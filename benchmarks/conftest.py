@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+``STORM_BENCH_N`` scales the synthetic OSM substrate (default 50k keeps
+the whole suite under a few minutes; the paper-shape tables in
+EXPERIMENTS.md use the storm-bench CLI at 100k+).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import build_osm_dataset, fig3a_query
+
+BENCH_N = int(os.environ.get("STORM_BENCH_N", "50000"))
+
+
+@pytest.fixture(scope="session")
+def osm():
+    """(dataset, workload): the shared Figure-3 substrate."""
+    return build_osm_dataset(n=BENCH_N, seed=17)
+
+
+@pytest.fixture(scope="session")
+def osm_dataset(osm):
+    return osm[0]
+
+
+@pytest.fixture(scope="session")
+def osm_query(osm):
+    dataset, workload = osm
+    return fig3a_query(workload).to_rect(dataset.dims)

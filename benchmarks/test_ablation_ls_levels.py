@@ -1,0 +1,64 @@
+"""Ablation: LS-tree survival probability p.
+
+The paper samples each level with probability 1/2.  Smaller p means
+fewer, smaller levels (less space, coarser sample-size granularity —
+more over-reporting per level); larger p means more levels (more space,
+finer granularity).  The sweep measures space blowup and the cost of
+drawing a fixed k.
+"""
+
+import random
+
+import pytest
+
+from repro.core.sampling.base import take
+from repro.core.sampling.ls_tree import LSTree, LSTreeSampler
+from repro.index.cost import CostCounter, DEFAULT_COST_MODEL
+
+PROBS = [0.25, 0.5, 0.75]
+K = 512
+
+
+@pytest.fixture(scope="module")
+def items(osm_dataset):
+    return [(rid, r.key(osm_dataset.dims))
+            for rid, r in osm_dataset.records.items()]
+
+
+@pytest.mark.parametrize("p", PROBS)
+def test_ls_probability_sweep(benchmark, items, osm_query, p):
+    forest = LSTree(2, rng=random.Random(1), p=p)
+    forest.bulk_load(items)
+    sampler = LSTreeSampler(forest)
+    tallies = CostCounter()
+
+    def draw():
+        cost = CostCounter()
+        got = take(sampler.sample_stream(osm_query, random.Random(2),
+                                         cost=cost), K)
+        assert len(got) == K
+        tallies.node_reads = cost.node_reads
+        tallies.random_reads = cost.random_reads
+        tallies.sequential_reads = cost.sequential_reads
+        return got
+
+    benchmark(draw)
+    benchmark.extra_info["levels"] = forest.num_levels
+    benchmark.extra_info["space_blowup"] = \
+        forest.total_entries() / len(items)
+    benchmark.extra_info["node_reads"] = tallies.node_reads
+    benchmark.extra_info["simulated_s"] = \
+        DEFAULT_COST_MODEL.simulated_seconds(tallies)
+
+
+def test_space_grows_with_p(items):
+    """The space/granularity tradeoff, asserted: expected blowup is
+    1/(1-p)."""
+    blowups = {}
+    for p in (0.25, 0.75):
+        forest = LSTree(2, rng=random.Random(3), p=p)
+        forest.bulk_load(items)
+        blowups[p] = forest.total_entries() / len(items)
+    assert blowups[0.25] == pytest.approx(1 / 0.75, rel=0.05)
+    assert blowups[0.75] == pytest.approx(1 / 0.25, rel=0.05)
+    assert blowups[0.75] > blowups[0.25]

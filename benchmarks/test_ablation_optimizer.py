@@ -1,0 +1,82 @@
+"""Ablation: optimizer choice vs forced methods across selectivities.
+
+The optimizer's value claim: its per-query choice tracks the best forced
+method.  The sweep runs queries from very selective (tiny boxes) to very
+broad, measuring the simulated cost of the optimizer's pick against the
+best and worst forced picks.
+"""
+
+import random
+
+import pytest
+
+from repro.core.records import STRange
+from repro.core.sampling.base import take
+from repro.index.cost import CostCounter, DEFAULT_COST_MODEL
+
+# (name, selectivity box half-width as fraction of domain, expected k)
+SCENARIOS = [
+    ("selective", 0.03, 32),
+    ("medium", 0.15, 256),
+    ("broad", 0.45, 256),
+]
+
+
+def scenario_query(osm_dataset, half_fraction):
+    lo = osm_dataset.bounds.lo
+    hi = osm_dataset.bounds.hi
+    cx = (lo[0] + hi[0]) / 2
+    cy = (lo[1] + hi[1]) / 2
+    hw_x = (hi[0] - lo[0]) * half_fraction
+    hw_y = (hi[1] - lo[1]) * half_fraction
+    return STRange(cx - hw_x, cy - hw_y, cx + hw_x, cy + hw_y).to_rect(
+        osm_dataset.dims)
+
+
+def simulated_cost(osm_dataset, method, query, k):
+    cost = CostCounter()
+    take(osm_dataset.samplers[method].sample_stream(
+        query, random.Random(5), cost=cost), k)
+    return DEFAULT_COST_MODEL.simulated_seconds(cost)
+
+
+@pytest.mark.parametrize("name,half,k", SCENARIOS,
+                         ids=[s[0] for s in SCENARIOS])
+def test_optimizer_choice(benchmark, osm_dataset, name, half, k):
+    query = scenario_query(osm_dataset, half)
+
+    def choose_and_run():
+        plan = osm_dataset.optimizer.choose(query, expected_k=k)
+        cost = CostCounter()
+        kk = min(k, plan.q)
+        take(plan.sampler.sample_stream(query, random.Random(6),
+                                        cost=cost), kk)
+        return plan, DEFAULT_COST_MODEL.simulated_seconds(cost)
+
+    plan, chosen_cost = benchmark(choose_and_run)
+    benchmark.extra_info["chosen"] = plan.method
+    benchmark.extra_info["q"] = plan.q
+    benchmark.extra_info["simulated_s"] = chosen_cost
+
+
+@pytest.mark.parametrize("name,half,k", SCENARIOS,
+                         ids=[s[0] for s in SCENARIOS])
+def test_optimizer_tracks_best_method(osm_dataset, name, half, k):
+    """The ablation's claim: the optimizer's pick is never far from the
+    best forced method, and always far from the worst."""
+    query = scenario_query(osm_dataset, half)
+    q = osm_dataset.tree.range_count(query)
+    if q == 0:
+        pytest.skip("degenerate scenario for this substrate size")
+    k = min(k, q)
+    costs = {m: simulated_cost(osm_dataset, m, query, k)
+             for m in osm_dataset.samplers}
+    plan = osm_dataset.optimizer.choose(query, expected_k=k)
+    best = min(costs.values())
+    worst = max(costs.values())
+    chosen = costs[plan.method]
+    assert chosen <= best * 25 + 1e-6, (
+        f"optimizer picked {plan.method} ({chosen:.4g}s) but best was "
+        f"{min(costs, key=costs.get)} ({best:.4g}s)")
+    if worst > 20 * best:
+        assert chosen < worst / 2

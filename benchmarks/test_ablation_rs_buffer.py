@@ -1,0 +1,66 @@
+"""Ablation: RS-tree sample buffer size s.
+
+The design choice DESIGN.md calls out — bigger buffers mean fewer refill
+I/Os per sample but more space per node.  The sweep measures time and
+node reads to draw a fixed k, plus the space overhead.
+"""
+
+import random
+
+import pytest
+
+from repro.core.sampling.base import take
+from repro.core.sampling.rs_tree import RSTreeSampler
+from repro.index.cost import CostCounter, DEFAULT_COST_MODEL
+from repro.index.hilbert_rtree import HilbertRTree
+
+BUFFER_SIZES = [8, 32, 128]
+K = 1024
+
+
+@pytest.fixture(scope="module")
+def own_tree(osm_dataset):
+    """A private tree copy: buffer experiments must not mutate the
+    shared dataset's node buffers."""
+    tree = HilbertRTree(osm_dataset.dims, osm_dataset.bounds)
+    tree.bulk_load((rid, r.key(osm_dataset.dims))
+                   for rid, r in osm_dataset.records.items())
+    return tree
+
+
+@pytest.mark.parametrize("buffer_size", BUFFER_SIZES)
+def test_rs_buffer_sweep(benchmark, own_tree, osm_query, buffer_size):
+    sampler = RSTreeSampler(own_tree, buffer_size=buffer_size,
+                            rng=random.Random(1))
+    sampler.prepare()
+    tallies = CostCounter()
+
+    def draw():
+        cost = CostCounter()
+        got = take(sampler.sample_stream(osm_query, random.Random(2),
+                                         cost=cost), K)
+        assert len(got) == K
+        tallies.node_reads = cost.node_reads
+        tallies.random_reads = cost.random_reads
+        tallies.sequential_reads = cost.sequential_reads
+        return got
+
+    benchmark(draw)
+    benchmark.extra_info["node_reads"] = tallies.node_reads
+    benchmark.extra_info["simulated_s"] = \
+        DEFAULT_COST_MODEL.simulated_seconds(tallies)
+    benchmark.extra_info["space_entries_per_node"] = buffer_size
+
+
+def test_bigger_buffers_fewer_refill_reads(own_tree, osm_query):
+    """The ablation's expected direction, asserted."""
+    reads = {}
+    for size in (8, 128):
+        sampler = RSTreeSampler(own_tree, buffer_size=size,
+                                rng=random.Random(3))
+        sampler.prepare()
+        cost = CostCounter()
+        take(sampler.sample_stream(osm_query, random.Random(4),
+                                   cost=cost), K)
+        reads[size] = cost.node_reads
+    assert reads[128] < reads[8]

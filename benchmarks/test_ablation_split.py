@@ -1,0 +1,64 @@
+"""Ablation: insertion heuristics (Guttman quadratic vs R*).
+
+Node quality drives every sampler's canonical-set size.  This compares
+dynamically built trees (random-order inserts) on build time, leaf
+overlap, range-query reads and the canonical-set size the RS-tree's
+sampler would see.
+"""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.index.cost import CostCounter
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+N = 8000
+VARIANTS = {
+    "guttman": lambda: RTree(2, leaf_capacity=16, branch_capacity=8),
+    "rstar": lambda: RStarTree(2, leaf_capacity=16, branch_capacity=8),
+}
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = random.Random(181)
+    centers = [(rng.uniform(10, 90), rng.uniform(10, 90))
+               for _ in range(12)]
+    pts = []
+    for i in range(N):
+        cx, cy = centers[rng.randrange(len(centers))]
+        pts.append((i, (rng.gauss(cx, 4.0), rng.gauss(cy, 4.0))))
+    rng.shuffle(pts)
+    return pts
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_dynamic_build(benchmark, points, variant):
+    def build():
+        tree = VARIANTS[variant]()
+        for pid, pt in points:
+            tree.insert(pid, pt)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    box = Rect((25, 25), (75, 75))
+    cost = CostCounter()
+    canon = tree.canonical_set(box, cost)
+    benchmark.extra_info["canonical_nodes"] = len(canon.nodes)
+    benchmark.extra_info["residual_points"] = len(canon.residual)
+    benchmark.extra_info["query_reads"] = cost.node_reads
+
+
+def test_rstar_smaller_canonical_residual(points):
+    """Tighter leaves leave fewer boundary residuals for the sampler."""
+    residuals = {}
+    for name, factory in VARIANTS.items():
+        tree = factory()
+        for pid, pt in points:
+            tree.insert(pid, pt)
+        canon = tree.canonical_set(Rect((25, 25), (75, 75)))
+        residuals[name] = len(canon.residual)
+    assert residuals["rstar"] <= residuals["guttman"]

@@ -1,0 +1,64 @@
+"""Ablation: worker scaling of the distributed sampler.
+
+STORM "builds on a cluster of commodity machines to achieve its
+scalability".  The sweep draws a fixed k through the distributed RS-tree
+with 1..8 workers and reports the simulated per-query time (network +
+slowest worker); more workers should shrink it until coordination
+overhead flattens the curve.
+"""
+
+import random
+
+import pytest
+
+from repro.core.records import Record, STRange
+from repro.distributed.dist_index import DistributedSTIndex
+from repro.distributed.dist_sampler import DistributedSampler
+
+WORKER_COUNTS = [1, 2, 4, 8]
+K = 512
+N = 30_000
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = random.Random(81)
+    return [Record(record_id=i, lon=rng.uniform(0, 100),
+                   lat=rng.uniform(0, 100), t=rng.uniform(0, 1000),
+                   attrs={"v": rng.random()})
+            for i in range(N)]
+
+
+QUERY = STRange(20, 20, 80, 80, 100, 900)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_distributed_scaling(benchmark, records, workers):
+    index = DistributedSTIndex(records, n_workers=workers, seed=8,
+                               rs_buffer_size=32)
+    sampler = DistributedSampler(index, batch_size=32)
+
+    seeds = iter(range(10_000))
+
+    def draw():
+        got = sampler.sample(QUERY, K, random.Random(next(seeds)))
+        assert len(got) == K
+        return got
+
+    benchmark(draw)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["simulated_s"] = sampler.last_query_seconds()
+    benchmark.extra_info["network_msgs"] = \
+        index.cluster.network.messages
+
+
+def test_scaling_shape(records):
+    """Simulated time decreases from 1 to 4 workers for a fixed k."""
+    times = {}
+    for workers in (1, 4):
+        index = DistributedSTIndex(records, n_workers=workers, seed=9,
+                                   rs_buffer_size=32)
+        sampler = DistributedSampler(index, batch_size=32)
+        sampler.sample(QUERY, K, random.Random(82))
+        times[workers] = sampler.last_query_seconds()
+    assert times[4] < times[1]

@@ -1,0 +1,74 @@
+"""Figure 3(a): time to produce k online samples, per method.
+
+The paper fixes one range query and varies k/q from 0 to 10% for
+RandomPath, RS-tree, RangeReport (QueryFirst) and LS-tree.  Each
+benchmark row here is one (method, k/q) cell; ``extra_info`` carries the
+device-independent tallies (simulated disk seconds, node reads) that the
+EXPERIMENTS.md shape comparison uses.
+
+Expected shape: LS/RS ≪ RandomPath and RangeReport at small k/q;
+RandomPath grows linearly in k; RangeReport is flat.
+"""
+
+import random
+
+import pytest
+
+from repro.core.sampling.base import take
+from repro.index.cost import CostCounter, DEFAULT_COST_MODEL
+
+METHODS = ["random-path", "rs-tree", "query-first", "ls-tree"]
+FRACTIONS = [0.01, 0.05, 0.10]
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS,
+                         ids=[f"{f:.0%}" for f in FRACTIONS])
+@pytest.mark.parametrize("method", METHODS)
+def test_fig3a(benchmark, osm_dataset, osm_query, method, fraction):
+    sampler = osm_dataset.samplers[method]
+    q = osm_dataset.tree.range_count(osm_query)
+    k = max(1, int(q * fraction))
+    tallies = CostCounter()
+
+    def draw():
+        cost = CostCounter()
+        got = take(sampler.sample_stream(
+            osm_query, random.Random(7), cost=cost), k)
+        assert len(got) == k
+        tallies.node_reads = cost.node_reads
+        tallies.random_reads = cost.random_reads
+        tallies.sequential_reads = cost.sequential_reads
+        tallies.leaf_entries_scanned = cost.leaf_entries_scanned
+        return got
+
+    benchmark(draw)
+    benchmark.extra_info["q"] = q
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["node_reads"] = tallies.node_reads
+    benchmark.extra_info["simulated_s"] = \
+        DEFAULT_COST_MODEL.simulated_seconds(tallies)
+
+
+def test_fig3a_shape(osm_dataset, osm_query):
+    """The figure's qualitative claims, asserted: at k/q = 1% the index
+    samplers beat both baselines on simulated I/O, and RandomPath's cost
+    grows roughly linearly in k."""
+    q = osm_dataset.tree.range_count(osm_query)
+    k = max(1, q // 100)
+
+    def simulated(method, kk):
+        cost = CostCounter()
+        take(osm_dataset.samplers[method].sample_stream(
+            osm_query, random.Random(11), cost=cost), kk)
+        return DEFAULT_COST_MODEL.simulated_seconds(cost)
+
+    ls = simulated("ls-tree", k)
+    rs = simulated("rs-tree", k)
+    report = simulated("query-first", k)
+    path = simulated("random-path", k)
+    assert ls < report and ls < path
+    assert rs < report and rs < path
+    # RandomPath ~ linear in k: 8x the samples ≳ 4x the cost.
+    assert simulated("random-path", 8 * k) > 4 * path
+    # RangeReport is flat: more samples cost (almost) nothing extra.
+    assert simulated("query-first", 8 * k) < 1.2 * report

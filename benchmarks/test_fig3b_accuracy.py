@@ -1,0 +1,62 @@
+"""Figure 3(b): relative error of online avg(altitude) vs time.
+
+The paper plots the relative error of an online spatio-temporal AVG
+estimate shrinking as query execution time grows, for the RS-tree and
+LS-tree.  Each benchmark row measures the wall time for the online
+estimate to provably reach a 2% relative-error bound; the shape test
+asserts the error trajectory is decreasing and ends in single digits.
+"""
+
+import random
+
+import pytest
+
+from repro.core.estimators.aggregates import AvgEstimator
+from repro.core.records import attribute_getter
+from repro.core.session import OnlineQuerySession, StopCondition
+
+METHODS = ["rs-tree", "ls-tree"]
+
+
+def truth_avg(dataset, query):
+    entries = dataset.tree.range_query(query)
+    values = [dataset.lookup(e.item_id).attrs["altitude"]
+              for e in entries]
+    return sum(values) / len(values)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fig3b_time_to_2pct(benchmark, osm_dataset, osm_query, method):
+    seeds = iter(range(10_000))
+
+    def run():
+        estimator = AvgEstimator(attribute_getter("altitude"))
+        session = OnlineQuerySession(
+            osm_dataset.samplers[method], estimator, osm_query,
+            osm_dataset.lookup, rng=random.Random(next(seeds)),
+            report_every=16)
+        final = session.run_to_stop(
+            StopCondition(target_relative_error=0.02))
+        return final
+
+    final = benchmark(run)
+    benchmark.extra_info["k_needed"] = final.k
+    benchmark.extra_info["q"] = final.estimate.q
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fig3b_error_decreases(osm_dataset, osm_query, method):
+    """The figure's content: the error trajectory trends downward and
+    the online estimate is within a few percent within a small k."""
+    truth = truth_avg(osm_dataset, osm_query)
+    estimator = AvgEstimator(attribute_getter("altitude"))
+    session = OnlineQuerySession(
+        osm_dataset.samplers[method], estimator, osm_query,
+        osm_dataset.lookup, rng=random.Random(5), report_every=64)
+    errors = [abs(p.estimate.value - truth) / abs(truth)
+              for p in session.run(StopCondition(max_samples=2048))]
+    assert len(errors) >= 8
+    early = sum(errors[:3]) / 3
+    late = sum(errors[-3:]) / 3
+    assert late <= early
+    assert late < 0.05

@@ -1,0 +1,79 @@
+"""Space accounting: the paper's O(N) space claims, measured.
+
+* LS-tree: "since their sizes form a geometric series, the total size
+  is still O(N)" — expected 2N entries at p = 1/2.
+* RS-tree: one R-tree plus an s-entry buffer per node — ~N(1 + s/B)
+  entries.
+
+Also times index construction, the one-off cost of each scheme.
+"""
+
+import random
+
+import pytest
+
+from repro.core.sampling.ls_tree import LSTree
+from repro.core.sampling.rs_tree import RSTreeSampler
+from repro.index.hilbert_rtree import HilbertRTree
+from repro.index.rtree import RTree
+
+
+@pytest.fixture(scope="module")
+def items(osm_dataset):
+    return [(rid, r.key(osm_dataset.dims))
+            for rid, r in osm_dataset.records.items()]
+
+
+def buffered_entries(tree) -> int:
+    total = 0
+    stack = [tree.root] if tree.root is not None else []
+    while stack:
+        node = stack.pop()
+        if node.sample_buffer is not None:
+            total += len(node.sample_buffer)
+        if not node.is_leaf:
+            stack.extend(node.children or [])
+    return total
+
+
+def test_ls_space_is_linear(benchmark, items):
+    def build():
+        forest = LSTree(2, rng=random.Random(1))
+        forest.bulk_load(items)
+        return forest
+
+    forest = benchmark(build)
+    blowup = forest.total_entries() / len(items)
+    benchmark.extra_info["entries_blowup"] = blowup
+    benchmark.extra_info["levels"] = forest.num_levels
+    assert blowup == pytest.approx(2.0, rel=0.1)
+
+
+def test_rs_space_is_linear(benchmark, items, osm_dataset):
+    def build():
+        tree = HilbertRTree(2, osm_dataset.bounds)
+        tree.bulk_load(items)
+        sampler = RSTreeSampler(tree, buffer_size=64,
+                                rng=random.Random(2))
+        sampler.prepare()
+        return tree
+
+    tree = benchmark(build)
+    extra = buffered_entries(tree) / len(items)
+    benchmark.extra_info["buffer_blowup"] = extra
+    benchmark.extra_info["nodes"] = tree.node_count()
+    # One 64-entry buffer per ~64-entry leaf plus internal nodes: the
+    # buffered copies stay a small constant multiple of N.
+    assert extra < 2.5
+
+
+def test_plain_rtree_space(benchmark, items):
+    def build():
+        tree = RTree(2)
+        tree.bulk_load(items)
+        return tree
+
+    tree = benchmark(build)
+    benchmark.extra_info["nodes"] = tree.node_count()
+    # Fanout-64 leaves: node count is a small fraction of N.
+    assert tree.node_count() < len(items) / 16

@@ -1,0 +1,90 @@
+"""Related-work comparison: IRS (1-d) vs the paper's samplers on 1-d data.
+
+The paper dismisses Hu et al.'s independent range sampling as
+one-dimensional and impractical; our simplified static version is
+actually very fast in 1-d — the point of this bench is the flip side:
+it cannot index 2-d/3-d data or absorb updates, which is the gap STORM
+fills.  Timed at fixed k on the same 1-d workload.
+"""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.core.sampling.base import take
+from repro.core.sampling.ls_tree import LSTree, LSTreeSampler
+from repro.core.sampling.rs_tree import RSTreeSampler
+from repro.extensions.irs1d import IRS1D
+from repro.index.hilbert_rtree import HilbertRTree
+
+N = 50_000
+K = 256
+LO, HI = 200_000.0, 700_000.0
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = random.Random(121)
+    return [rng.uniform(0, 1_000_000) for _ in range(N)]
+
+
+@pytest.fixture(scope="module")
+def irs(values):
+    return IRS1D(enumerate(values))
+
+
+@pytest.fixture(scope="module")
+def rs_1d(values):
+    tree = HilbertRTree(1, Rect((0.0,), (1_000_000.0,)))
+    tree.bulk_load((i, (v,)) for i, v in enumerate(values))
+    sampler = RSTreeSampler(tree, buffer_size=64,
+                            rng=random.Random(1))
+    sampler.prepare()
+    return sampler
+
+
+@pytest.fixture(scope="module")
+def ls_1d(values):
+    forest = LSTree(1, rng=random.Random(2))
+    forest.bulk_load((i, (v,)) for i, v in enumerate(values))
+    return LSTreeSampler(forest)
+
+
+def test_irs_sampling(benchmark, irs):
+    def draw():
+        return take(irs.sample_stream(LO, HI, random.Random(3)), K)
+
+    got = benchmark(draw)
+    assert len(got) == K
+    benchmark.extra_info["q"] = irs.range_count(LO, HI)
+
+
+def test_rs_tree_1d(benchmark, rs_1d):
+    box = Rect((LO,), (HI,))
+
+    def draw():
+        return take(rs_1d.sample_stream(box, random.Random(4)), K)
+
+    got = benchmark(draw)
+    assert len(got) == K
+
+
+def test_ls_tree_1d(benchmark, ls_1d):
+    box = Rect((LO,), (HI,))
+
+    def draw():
+        return take(ls_1d.sample_stream(box, random.Random(5)), K)
+
+    got = benchmark(draw)
+    assert len(got) == K
+
+
+def test_same_answers(irs, rs_1d, values):
+    """All structures agree on the range contents."""
+    box = Rect((LO,), (HI,))
+    want = {i for i, v in enumerate(values) if LO <= v <= HI}
+    got_irs = {i for i, _ in irs.sample_stream(LO, HI,
+                                               random.Random(6))}
+    assert got_irs == want
+    assert rs_1d.range_count(box) == len(want)

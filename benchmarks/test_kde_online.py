@@ -1,0 +1,64 @@
+"""Demo benchmark (Figure 5): online KDE population density.
+
+Measures the cost of building a progressively refined density map from
+online samples of a city-scale twitter window, across grid resolutions —
+the "zoom from SLC to the USA" interaction.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import Dataset
+from repro.core.estimators.kde import GridSpec, OnlineKDE
+from repro.core.session import OnlineQuerySession, StopCondition
+from repro.workloads.twitter import TwitterWorkload
+
+GRIDS = [16, 32]
+K = 500
+
+
+@pytest.fixture(scope="module")
+def tweets():
+    workload = TwitterWorkload(n=30_000, users=1_500, seed=23)
+    dataset = Dataset("tweets", workload.generate(), rs_buffer_size=64)
+    return dataset, workload
+
+
+@pytest.mark.parametrize("grid", GRIDS, ids=[f"{g}x{g}" for g in GRIDS])
+def test_kde_usa_window(benchmark, tweets, grid):
+    dataset, workload = tweets
+    window = workload.usa_range()
+
+    def run():
+        spec = GridSpec(window.lon_lo, window.lat_lo, window.lon_hi,
+                        window.lat_hi, nx=grid, ny=grid)
+        estimator = OnlineKDE(spec)
+        session = OnlineQuerySession(
+            dataset.samplers["rs-tree"], estimator,
+            dataset.to_rect(window), dataset.lookup,
+            rng=random.Random(3), report_every=100)
+        return session.run_to_stop(StopCondition(max_samples=K))
+
+    final = benchmark(run)
+    benchmark.extra_info["cells"] = grid * grid
+    benchmark.extra_info["k"] = final.k
+
+
+def test_kde_refines_with_samples(tweets):
+    """More samples → tighter per-cell intervals (the Figure 5 story)."""
+    dataset, workload = tweets
+    window = workload.slc_range()
+    spec = GridSpec(window.lon_lo, window.lat_lo, window.lon_hi,
+                    window.lat_hi, nx=16, ny=16)
+    estimator = OnlineKDE(spec)
+    session = OnlineQuerySession(
+        dataset.samplers["rs-tree"], estimator,
+        dataset.to_rect(window), dataset.lookup,
+        rng=random.Random(4), report_every=50)
+    widths = []
+    for point in session.run(StopCondition(max_samples=800)):
+        lo, hi = estimator.cell_intervals()
+        widths.append(float((hi - lo).mean()))
+    assert len(widths) >= 4
+    assert widths[-1] < widths[0]

@@ -1,0 +1,80 @@
+"""Selectivity sweep: method costs as q varies at fixed k.
+
+Section 3.1 analyses exactly this axis: SampleFirst costs O(kN/q) —
+"this could be good for very large q, say, a query that covers a large
+constant fraction of P.  However, for most queries, this cost can be
+extremely large."  The sweep fixes k and shrinks the query box,
+exposing the SampleFirst blow-up and the index samplers' indifference.
+"""
+
+import random
+
+import pytest
+
+from repro.core.records import STRange
+from repro.core.sampling.base import take
+from repro.index.cost import CostCounter, DEFAULT_COST_MODEL
+
+K = 128
+# Fraction of each axis covered by the query box.
+AXIS_FRACTIONS = [0.9, 0.5, 0.2, 0.05]
+METHODS = ["sample-first", "random-path", "rs-tree", "ls-tree",
+           "query-first"]
+
+
+def box_for(osm_dataset, axis_fraction):
+    lo, hi = osm_dataset.bounds.lo, osm_dataset.bounds.hi
+    cx, cy = (lo[0] + hi[0]) / 2, (lo[1] + hi[1]) / 2
+    hx = (hi[0] - lo[0]) * axis_fraction / 2
+    hy = (hi[1] - lo[1]) * axis_fraction / 2
+    return STRange(cx - hx, cy - hy, cx + hx, cy + hy).to_rect(
+        osm_dataset.dims)
+
+
+@pytest.mark.parametrize("axis_fraction", AXIS_FRACTIONS,
+                         ids=[f"box{f:g}" for f in AXIS_FRACTIONS])
+@pytest.mark.parametrize("method", METHODS)
+def test_selectivity_sweep(benchmark, osm_dataset, method,
+                           axis_fraction):
+    query = box_for(osm_dataset, axis_fraction)
+    q = osm_dataset.tree.range_count(query)
+    if q < K:
+        pytest.skip("query too selective for k at this substrate size")
+    sampler = osm_dataset.samplers[method]
+    tallies = CostCounter()
+
+    def draw():
+        cost = CostCounter()
+        got = take(sampler.sample_stream(query, random.Random(3),
+                                         cost=cost), K)
+        assert len(got) == K
+        tallies.node_reads = cost.node_reads
+        tallies.random_reads = cost.random_reads
+        tallies.sequential_reads = cost.sequential_reads
+        tallies.rejections = cost.rejections
+        return got
+
+    benchmark(draw)
+    benchmark.extra_info["q"] = q
+    benchmark.extra_info["selectivity"] = q / len(osm_dataset)
+    benchmark.extra_info["rejections"] = tallies.rejections
+    benchmark.extra_info["simulated_s"] = \
+        DEFAULT_COST_MODEL.simulated_seconds(tallies)
+
+
+def test_sample_first_blows_up_when_selective(osm_dataset):
+    """The O(kN/q) claim: shrinking q by ~50x inflates SampleFirst's
+    rejections roughly proportionally, while the RS-tree barely moves."""
+    def cost_of(method, axis_fraction):
+        query = box_for(osm_dataset, axis_fraction)
+        cost = CostCounter()
+        take(osm_dataset.samplers[method].sample_stream(
+            query, random.Random(4), cost=cost), K)
+        return DEFAULT_COST_MODEL.simulated_seconds(cost)
+
+    sf_broad = cost_of("sample-first", 0.9)
+    sf_narrow = cost_of("sample-first", 0.1)
+    rs_broad = cost_of("rs-tree", 0.9)
+    rs_narrow = cost_of("rs-tree", 0.1)
+    assert sf_narrow > 5 * sf_broad
+    assert rs_narrow < 5 * rs_broad + 1.0

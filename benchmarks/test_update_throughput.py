@@ -1,0 +1,87 @@
+"""Demo benchmark (updates): ad-hoc update cost and post-update
+sampling freshness.
+
+Measures insert/delete batch throughput through the update manager (all
+index structures maintained: Hilbert R-tree with RS buffers invalidated
+along paths, LS forest levels) and the extra sampling cost right after
+an update burst (buffer refills).
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import Dataset
+from repro.core.records import Record, STRange
+from repro.core.sampling.base import take
+from repro.updates.manager import UpdateBatch, UpdateManager
+
+BATCH = 200
+
+
+def fresh_records(start_id, n, seed):
+    rng = random.Random(seed)
+    return [Record(record_id=start_id + i, lon=rng.uniform(0, 100),
+                   lat=rng.uniform(0, 100), t=rng.uniform(0, 1000),
+                   attrs={"v": rng.random()})
+            for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def live_dataset():
+    return Dataset("live", fresh_records(0, 20_000, seed=41),
+                   rs_buffer_size=32)
+
+
+def test_insert_delete_cycle_throughput(benchmark, live_dataset):
+    """One batch of BATCH inserts + BATCH deletes (size stays stable)."""
+    manager = UpdateManager(live_dataset)
+    state = {"next_id": 10_000_000}
+
+    def cycle():
+        start = state["next_id"]
+        state["next_id"] += BATCH
+        inserts = fresh_records(start, BATCH, seed=start)
+        manager.apply(UpdateBatch(inserts=inserts))
+        manager.apply(UpdateBatch(
+            deletes=[r.record_id for r in inserts]))
+
+    benchmark(cycle)
+    benchmark.extra_info["ops_per_cycle"] = 2 * BATCH
+
+
+def test_sampling_after_update_burst(benchmark, live_dataset):
+    """Sampling right after updates pays buffer refills — measure it."""
+    manager = UpdateManager(live_dataset)
+    everything = STRange(0, 0, 100, 100).to_rect(3)
+    state = {"next_id": 20_000_000}
+
+    def burst_then_sample():
+        start = state["next_id"]
+        state["next_id"] += BATCH
+        inserts = fresh_records(start, BATCH, seed=start)
+        manager.apply(UpdateBatch(inserts=inserts))
+        got = take(live_dataset.samplers["rs-tree"].sample_stream(
+            everything, random.Random(start)), 256)
+        manager.apply(UpdateBatch(
+            deletes=[r.record_id for r in inserts]))
+        return got
+
+    benchmark(burst_then_sample)
+
+
+def test_updates_keep_samples_fresh(live_dataset):
+    """Correctness under the benchmark's own churn: a fresh insert is
+    immediately sampleable, a delete never reappears."""
+    manager = UpdateManager(live_dataset)
+    marker = Record(record_id=99_999_999, lon=50.0, lat=50.0, t=500.0)
+    manager.insert(marker)
+    window = STRange(49.9, 49.9, 50.1, 50.1, 499, 501).to_rect(3)
+    rng = random.Random(9)
+    got = {e.item_id for e in
+           live_dataset.samplers["rs-tree"].sample_stream(window, rng)}
+    assert marker.record_id in got
+    manager.delete(marker.record_id)
+    got = {e.item_id for e in
+           live_dataset.samplers["rs-tree"].sample_stream(window, rng)}
+    assert marker.record_id not in got

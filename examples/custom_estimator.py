@@ -1,0 +1,130 @@
+"""Customized analytics: build your own online estimator.
+
+The paper's fourth demo component: "we will show how to program a
+customized analytical task using the built-in feature module and spatial
+online samples returned from the sampler."
+
+Here we build an estimator STORM does not ship — the *correlation*
+between elevation and temperature over a spatio-temporal region (it
+should be strongly negative: the lapse rate) — two ways:
+
+1. subclassing :class:`OnlineEstimator` directly, with an exact online
+   (Welford-style) correlation accumulator and a Fisher-z interval;
+2. wrapping a plain function in :class:`BootstrapEstimator`, the
+   zero-math route for one-off analytics.
+
+Both plug into the same sampler/session machinery as the built-ins.
+
+Run:  python examples/custom_estimator.py
+"""
+
+import math
+import random
+
+from repro import Record, STRange, StopCondition, StormEngine
+from repro.core.estimators import (BootstrapEstimator, ConfidenceInterval,
+                                   Estimate, OnlineEstimator)
+from repro.core.session import OnlineQuerySession
+from repro.errors import EstimatorError
+from repro.workloads import MesoWestWorkload
+
+
+class OnlineCorrelation(OnlineEstimator):
+    """Pearson correlation of two attributes, online, with Fisher-z CI."""
+
+    def __init__(self, x_attr: str, y_attr: str):
+        super().__init__()
+        self.x_attr = x_attr
+        self.y_attr = y_attr
+        self.n = 0
+        self.mean_x = self.mean_y = 0.0
+        self.m2_x = self.m2_y = self.co = 0.0
+
+    def update(self, record: Record) -> None:
+        x = float(record.attrs[self.x_attr])
+        y = float(record.attrs[self.y_attr])
+        self.n += 1
+        dx = x - self.mean_x            # deviation from the old mean
+        dy = y - self.mean_y
+        self.mean_x += dx / self.n
+        self.mean_y += dy / self.n
+        self.m2_x += dx * (x - self.mean_x)
+        self.m2_y += dy * (y - self.mean_y)
+        self.co += dx * (y - self.mean_y)
+
+    def estimate(self, level: float = 0.95) -> Estimate:
+        if self.n < 4:
+            raise EstimatorError("need >= 4 samples for a correlation")
+        denom = math.sqrt(self.m2_x * self.m2_y)
+        if denom == 0:
+            raise EstimatorError("degenerate attribute variance")
+        r = self.co / denom
+        # Fisher z-transform interval.
+        z = 0.5 * math.log((1 + r) / (1 - r)) if abs(r) < 1 else \
+            math.copysign(10.0, r)
+        se = 1.0 / math.sqrt(self.n - 3)
+        from scipy.stats import norm
+        crit = float(norm.ppf((1 + level) / 2))
+        lo = math.tanh(z - crit * se)
+        hi = math.tanh(z + crit * se)
+        return Estimate(value=r, std_error=se,
+                        interval=ConfidenceInterval(lo, hi, level),
+                        k=self.k, q=self.population_size,
+                        exact=self.is_exact)
+
+    def reset(self) -> None:
+        super().reset()
+        self.n = 0
+        self.mean_x = self.mean_y = 0.0
+        self.m2_x = self.m2_y = self.co = 0.0
+
+
+def correlation_statistic(records) -> float:
+    xs = [r.attrs["elevation"] for r in records]
+    ys = [r.attrs["temperature"] for r in records]
+    n = len(xs)
+    mx, my = sum(xs) / n, sum(ys) / n
+    co = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    return co / math.sqrt(vx * vy) if vx > 0 and vy > 0 else 0.0
+
+
+def main() -> None:
+    print("== Customized analytics: elevation/temperature correlation ==")
+    workload = MesoWestWorkload(stations=1_200,
+                                measurements_per_station=25, seed=29)
+    engine = StormEngine(seed=9)
+    dataset = engine.create_dataset("mesowest", workload.generate())
+    window = STRange(-125, 25, -65, 50)
+    print(f"indexed {len(dataset)} measurements\n")
+
+    print("1) hand-rolled OnlineCorrelation (Fisher-z interval):")
+    est = OnlineCorrelation("elevation", "temperature")
+    session = OnlineQuerySession(
+        dataset.samplers["rs-tree"], est, dataset.to_rect(window),
+        dataset.lookup, rng=random.Random(23), report_every=100)
+    for point in session.run(StopCondition(max_samples=1500)):
+        e = point.estimate
+        print(f"   k={e.k:>5}: r = {e.value:+.3f} "
+              f"[{e.interval.lo:+.3f}, {e.interval.hi:+.3f}]")
+
+    print("\n2) the same statistic through BootstrapEstimator "
+          "(no math needed):")
+    boot = BootstrapEstimator(correlation_statistic, replicates=200,
+                              seed=7)
+    session = OnlineQuerySession(
+        dataset.samplers["ls-tree"], boot, dataset.to_rect(window),
+        dataset.lookup, rng=random.Random(24), report_every=250)
+    for point in session.run(StopCondition(max_samples=1000)):
+        e = point.estimate
+        print(f"   k={e.k:>5}: r = {e.value:+.3f} "
+              f"[{e.interval.lo:+.3f}, {e.interval.hi:+.3f}] "
+              f"(bootstrap)")
+
+    print("\nnegative and tightening: the -6.5 C/km lapse rate, "
+          "recovered from samples alone")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Data-import demo: the connector walkthrough from the paper.
+
+"We will walk through the steps for importing a new data source from a
+plain text file and a MySQL database respectively."  This script builds
+a CSV file, a SQL database and a Cassandra-style key-value store, runs
+schema discovery + import on each, and queries the imported datasets —
+including one source that is merely *indexed* in place.
+
+Run:  python examples/data_import.py
+"""
+
+import random
+import sqlite3
+import tempfile
+from pathlib import Path
+
+from repro import STRange, StopCondition, StormEngine
+from repro.connector import (CSVSource, Importer, KeyValueSource,
+                             KeyValueStore, SQLSource)
+
+
+def make_csv(path: Path) -> None:
+    rng = random.Random(41)
+    lines = ["lon,lat,timestamp,species,count"]
+    for _ in range(3_000):
+        lines.append(f"{rng.uniform(-120, -70):.4f},"
+                     f"{rng.uniform(28, 48):.4f},"
+                     f"{rng.uniform(0, 10**6):.0f},"
+                     f"{rng.choice(['elk', 'moose', 'bison'])},"
+                     f"{rng.randint(1, 40)}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def make_sql(path: Path) -> None:
+    rng = random.Random(42)
+    conn = sqlite3.connect(path)
+    conn.execute("CREATE TABLE sensors (longitude REAL, latitude REAL, "
+                 "ts REAL, pm25 REAL)")
+    conn.executemany(
+        "INSERT INTO sensors VALUES (?, ?, ?, ?)",
+        [(rng.uniform(-120, -70), rng.uniform(28, 48),
+          rng.uniform(0, 10**6), rng.gauss(35, 12))
+         for _ in range(2_000)])
+    conn.commit()
+    conn.close()
+
+
+def make_kv() -> KeyValueStore:
+    rng = random.Random(43)
+    kv = KeyValueStore(partitions=8)
+    for i in range(1_500):
+        kv.put("readings", f"r{i}",
+               {"lon": rng.uniform(-120, -70),
+                "lat": rng.uniform(28, 48),
+                "t": rng.uniform(0, 10**6),
+                "noise_db": round(rng.gauss(60, 8), 1)})
+    return kv
+
+
+def main() -> None:
+    print("== Data connector: import from CSV / SQL / key-value ==")
+    engine = StormEngine(seed=6)
+    importer = Importer(engine)
+    window = STRange(-110, 33, -85, 45, 0, 10**6)
+    stop = StopCondition(max_samples=400)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        csv_path = tmp_path / "wildlife.csv"
+        make_csv(csv_path)
+        dataset, report = importer.run(CSVSource(str(csv_path)),
+                                       "wildlife")
+        print(f"\n{report.summary()}")
+        print(f"  discovered schema: "
+              f"{ {n: str(t) for n, t in report.schema.fields} }")
+        print(f"  detected mapping: lon={report.mapping.lon_field} "
+              f"lat={report.mapping.lat_field} "
+              f"time={report.mapping.time_field}")
+        point = engine.avg("wildlife", "count", window, stop=stop,
+                           rng=random.Random(1))
+        print(f"  AVG(count) in window: {point.estimate.value:.2f} "
+              f"± {point.estimate.interval.half_width:.2f}")
+
+        sql_path = tmp_path / "air.db"
+        make_sql(sql_path)
+        dataset, report = importer.run(
+            SQLSource(str(sql_path), table="sensors"), "air")
+        print(f"\n{report.summary()}")
+        point = engine.avg("air", "pm25", window, stop=stop,
+                           rng=random.Random(2))
+        print(f"  AVG(pm25) in window: {point.estimate.value:.2f} "
+              f"± {point.estimate.interval.half_width:.2f}")
+
+        # Index-in-place: STORM indexes but does not copy the data.
+        kv = make_kv()
+        dataset, report = importer.run(KeyValueSource(kv, "readings"),
+                                       "noise", mode="index")
+        print(f"\n{report.summary()}")
+        print(f"  storage engine collections: "
+              f"{importer.store.list_collections()} "
+              f"(no 'noise' — index mode leaves data at the source)")
+        point = engine.avg("noise", "noise_db", window, stop=stop,
+                           rng=random.Random(3))
+        print(f"  AVG(noise_db) in window: {point.estimate.value:.2f} "
+              f"± {point.estimate.interval.half_width:.2f}")
+
+        print("\ncatalog after the imports:")
+        for name in importer.catalog.names():
+            info = importer.catalog.get(name)
+            print(f"  {info.name:<10} {info.mode:<7} {info.source:<28} "
+                  f"{info.record_count} records")
+
+
+if __name__ == "__main__":
+    main()

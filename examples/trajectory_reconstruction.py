@@ -1,0 +1,73 @@
+"""Figure 6(a) demo: online approximate trajectory reconstruction.
+
+Build an online, approximate trajectory for a given twitter user over a
+time range using the location/timestamp of their sampled tweets.  The
+polyline sharpens as more samples arrive; we print the reconstruction at
+a few sample counts and its discrepancy against the exact trajectory.
+
+Run:  python examples/trajectory_reconstruction.py
+"""
+
+import random
+
+from repro import StopCondition, StormEngine, TrajectoryEstimator
+from repro.core.estimators.trajectory import Trajectory
+from repro.core.session import OnlineQuerySession
+from repro.viz import render_trajectory
+from repro.workloads import TwitterWorkload
+
+
+def busiest_user(records):
+    counts: dict[str, int] = {}
+    for r in records:
+        counts[r.attrs["user"]] = counts.get(r.attrs["user"], 0) + 1
+    return max(counts, key=counts.get)
+
+
+def main() -> None:
+    print("== Online approximate trajectory construction ==")
+    workload = TwitterWorkload(n=40_000, users=300, seed=23)
+    records = workload.generate()
+    engine = StormEngine(seed=5)
+    dataset = engine.create_dataset("tweets", records)
+
+    user = busiest_user(records)
+    user_tweets = sorted((r for r in records if r.attrs["user"] == user),
+                         key=lambda r: r.t)
+    truth = Trajectory([(r.t, r.lon, r.lat) for r in user_tweets])
+    print(f"user {user!r} tweeted {len(user_tweets)} times; "
+          f"reconstructing from online samples of the whole region\n")
+
+    window = workload.usa_range()
+    estimator = TrajectoryEstimator(key_field="user", key_value=user)
+    session = OnlineQuerySession(
+        dataset.samplers["rs-tree"], estimator,
+        dataset.to_rect(window), dataset.lookup,
+        rng=random.Random(19), report_every=500)
+
+    shown = set()
+    for point in session.run(StopCondition(max_samples=20_000)):
+        matched = estimator.matched
+        for checkpoint in (5, 20, 60):
+            if matched >= checkpoint and checkpoint not in shown \
+                    and matched >= 2:
+                shown.add(checkpoint)
+                traj = estimator.trajectory()
+                err = traj.discrepancy(truth)
+                print(render_trajectory(
+                    traj, width=56, height=12,
+                    title=f"after {matched} of the user's tweets "
+                          f"sampled (mean error "
+                          f"{err:.3f} deg):"))
+                print()
+        if len(shown) == 3:
+            break
+
+    final = estimator.trajectory()
+    print(f"final reconstruction: {len(final)} vertices, "
+          f"discrepancy {final.discrepancy(truth):.4f} deg, "
+          f"temporal resolution {final.mean_gap() / 3600:.1f} h/vertex")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so the package can
+be installed in environments whose tooling predates PEP 660 editable
+installs (``python setup.py develop`` / ``pip install -e .`` with old
+setuptools and no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""STORM reproduction: spatio-temporal online reasoning and management.
+
+A from-scratch Python implementation of the STORM system (Christensen et
+al., SIGMOD 2015): spatial online sampling over R-tree indexes (the
+LS-tree and RS-tree, with QueryFirst/SampleFirst/RandomPath baselines)
+plus online spatio-temporal estimators with confidence guarantees, a
+keyword query language, a data connector, an update manager, and a
+simulated distributed substrate.
+
+Quickstart::
+
+    from repro import StormEngine, STRange, StopCondition
+    from repro.workloads import OSMWorkload
+
+    engine = StormEngine()
+    engine.create_dataset("osm", OSMWorkload(n=50_000).generate())
+    window = STRange(-114, 37, -109, 42)
+    point = engine.avg("osm", "altitude", window,
+                       stop=StopCondition(target_relative_error=0.02))
+    print(point.estimate)          # value ± CI, improving over time
+
+See README.md and DESIGN.md for the architecture, and EXPERIMENTS.md for
+the reproduced figures.
+"""
+
+from repro.core.engine import Dataset, StormEngine
+from repro.core.estimators import (AvgEstimator, CountEstimator, Estimate,
+                                   GridSpec, OnlineEstimator, OnlineKDE,
+                                   OnlineKMeans, ProportionEstimator,
+                                   QuantileEstimator, ShortTextEstimator,
+                                   SumEstimator, TrajectoryEstimator,
+                                   VarianceEstimator)
+from repro.core.geometry import Rect
+from repro.core.records import Record, STRange, attribute_getter
+from repro.core.sampling import (LSTree, LSTreeSampler, QueryFirstSampler,
+                                 RandomPathSampler, RSTreeSampler,
+                                 SampleFirstSampler, SpatialSampler)
+from repro.core.session import (OnlineQuerySession, ProgressPoint,
+                                StopCondition)
+from repro.errors import StormError
+from repro.index import HilbertRTree, RTree
+from repro.query import QueryExecutor, parse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvgEstimator",
+    "CountEstimator",
+    "Dataset",
+    "Estimate",
+    "GridSpec",
+    "HilbertRTree",
+    "LSTree",
+    "LSTreeSampler",
+    "OnlineEstimator",
+    "OnlineKDE",
+    "OnlineKMeans",
+    "OnlineQuerySession",
+    "ProgressPoint",
+    "ProportionEstimator",
+    "QuantileEstimator",
+    "QueryExecutor",
+    "QueryFirstSampler",
+    "RSTreeSampler",
+    "RTree",
+    "RandomPathSampler",
+    "Record",
+    "Rect",
+    "STRange",
+    "SampleFirstSampler",
+    "ShortTextEstimator",
+    "SpatialSampler",
+    "StopCondition",
+    "StormEngine",
+    "StormError",
+    "SumEstimator",
+    "TrajectoryEstimator",
+    "VarianceEstimator",
+    "attribute_getter",
+    "parse",
+]

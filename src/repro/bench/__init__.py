@@ -1,0 +1,16 @@
+"""Benchmark harness: regenerate the paper's evaluation artifacts.
+
+``harness``
+    Experiment runners producing structured result tables — one runner
+    per paper artifact (Figure 3a query efficiency, Figure 3b online
+    accuracy) plus the ablations DESIGN.md calls out.
+``figures``
+    The ``storm-bench`` CLI: run an experiment and print its table and
+    ASCII chart (the offline stand-in for the paper's plots).
+"""
+
+from repro.bench.harness import (ExperimentResult, Fig3aRunner,
+                                 Fig3bRunner, build_osm_dataset)
+
+__all__ = ["ExperimentResult", "Fig3aRunner", "Fig3bRunner",
+           "build_osm_dataset"]

@@ -1,0 +1,96 @@
+"""storm-bench: regenerate the paper's figures from the command line.
+
+Usage::
+
+    storm-bench fig3a [--n 100000]
+    storm-bench fig3b [--n 100000]
+    storm-bench all   [--n 100000]
+
+Each experiment prints its result table and an ASCII rendition of the
+paper's plot.  EXPERIMENTS.md records a captured run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import (BufferAblationRunner, Fig3aRunner,
+                                 Fig3bRunner, ScalingRunner,
+                                 build_osm_dataset)
+
+__all__ = ["main"]
+
+
+def run_fig3a(n: int, seed: int) -> None:
+    """Run and print the Figure 3(a) experiment at size n."""
+    dataset, workload = build_osm_dataset(n=n, seed=seed)
+    result = Fig3aRunner(dataset, workload).run()
+    print(result.table())
+    print()
+    print(result.chart(x_label="k/q (%)", y_label="simulated seconds",
+                       log_y=True))
+    print(result.notes)
+
+
+def run_fig3b(n: int, seed: int) -> None:
+    """Run and print the Figure 3(b) experiment at size n."""
+    dataset, workload = build_osm_dataset(n=n, seed=seed)
+    result = Fig3bRunner(dataset, workload).run()
+    print(result.table())
+    print()
+    print(result.chart(x_label="time (ms)", y_label="relative error"))
+    print(result.notes)
+
+
+def run_buffer_ablation(n: int, seed: int) -> None:
+    """Run and print the RS-tree buffer-size ablation."""
+    dataset, workload = build_osm_dataset(n=n, seed=seed)
+    result = BufferAblationRunner(dataset, workload).run()
+    print(result.table())
+
+
+def run_scaling(n: int, seed: int) -> None:
+    """Run and print the distributed worker-scaling sweep."""
+    dataset, workload = build_osm_dataset(n=n, seed=seed)
+    result = ScalingRunner(dataset, workload).run()
+    print(result.table())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """storm-bench entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="storm-bench",
+        description="Regenerate the STORM paper's evaluation figures "
+                    "and the reproduction's ablations.")
+    parser.add_argument("experiment",
+                        choices=["fig3a", "fig3b", "buffer",
+                                 "scaling", "all"])
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="synthetic OSM size (default 100k)")
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args(argv)
+    print(f"building synthetic OSM (n={args.n}) ...", file=sys.stderr)
+    ran = False
+    if args.experiment in ("fig3a", "all"):
+        run_fig3a(args.n, args.seed)
+        ran = True
+    if args.experiment in ("fig3b", "all"):
+        if ran:
+            print()
+        run_fig3b(args.n, args.seed)
+        ran = True
+    if args.experiment in ("buffer", "all"):
+        if ran:
+            print()
+        run_buffer_ablation(args.n, args.seed)
+        ran = True
+    if args.experiment in ("scaling", "all"):
+        if ran:
+            print()
+        run_scaling(args.n, args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,272 @@
+"""Experiment runners for the paper's evaluation section.
+
+Figure 3(a) — *query efficiency, vary k*: time for each sampling method
+to produce k online samples from a fixed range query, k/q from 0.5% to
+10%.  The paper runs this on the full OSM data set (q = 10^9) on disk; we
+run a scaled synthetic OSM and report wall time, node reads, and the
+simulated disk seconds of the cost model, whose *shape* across methods is
+the figure's content: LS/RS orders of magnitude under RandomPath and
+RangeReport at small k/q, RandomPath growing linearly in k.
+
+Figure 3(b) — *online accuracy*: relative error of an online
+avg(altitude) estimate versus elapsed time, for LS-tree and RS-tree.
+Error decays like 1/sqrt(k) and hits single digits in a tiny fraction of
+full-scan time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.core.engine import Dataset
+from repro.core.estimators.aggregates import AvgEstimator
+from repro.core.records import STRange, attribute_getter
+from repro.core.sampling.base import take
+from repro.core.session import OnlineQuerySession, StopCondition
+from repro.index.cost import CostCounter, CostModel, DEFAULT_COST_MODEL
+from repro.viz.series import render_series, render_table
+from repro.workloads.osm import OSMWorkload
+
+__all__ = ["ExperimentResult", "Fig3aRunner", "Fig3bRunner",
+           "build_osm_dataset"]
+
+FIG3A_METHODS = ("random-path", "rs-tree", "query-first", "ls-tree")
+FIG3A_FRACTIONS = (0.005, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10)
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """A finished experiment: headers + rows + optional chart series."""
+
+    name: str
+    headers: list[str]
+    rows: list[list[object]]
+    series: dict[str, list[tuple[float, float]]] = field(
+        default_factory=dict)
+    notes: str = ""
+
+    def table(self) -> str:
+        """The result as a fixed-width text table."""
+        return render_table(self.headers, self.rows, title=self.name)
+
+    def chart(self, x_label: str = "x", y_label: str = "y",
+              log_y: bool = False) -> str:
+        """The result's series as an ASCII chart."""
+        return render_series(self.series, x_label=x_label,
+                             y_label=y_label, log_y=log_y)
+
+
+def build_osm_dataset(n: int = 100_000, seed: int = 17,
+                      rs_buffer_size: int = 64) -> tuple[Dataset,
+                                                         OSMWorkload]:
+    """The shared experimental substrate: synthetic OSM, fully indexed.
+
+    Indexed in 2-d: OSM is a spatial (not temporal) data set, and that is
+    what the paper's Figure 3 runs on.  The spatio-temporal (3-d) path is
+    exercised by the demo workloads (twitter/MesoWest/electricity).
+    """
+    workload = OSMWorkload(n=n, seed=seed)
+    dataset = Dataset("osm", workload.generate(), dims=2,
+                      rs_buffer_size=rs_buffer_size)
+    return dataset, workload
+
+
+def fig3a_query(workload: OSMWorkload, selectivity: float = 0.4
+                ) -> STRange:
+    """The fixed range query of Figure 3(a): a central box covering a
+    large constant fraction of the data set (the paper fixes one query
+    with q in the billions; selectivity is what matters at our scale)."""
+    lon_lo, lat_lo, lon_hi, lat_hi = workload.dense_query_box(selectivity)
+    return STRange(lon_lo, lat_lo, lon_hi, lat_hi)
+
+
+class Fig3aRunner:
+    """Time to produce k online samples, per method, k/q ∈ (0, 10%]."""
+
+    def __init__(self, dataset: Dataset, workload: OSMWorkload,
+                 fractions: tuple[float, ...] = FIG3A_FRACTIONS,
+                 methods: tuple[str, ...] = FIG3A_METHODS,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 seed: int = 7):
+        self.dataset = dataset
+        self.workload = workload
+        self.fractions = fractions
+        self.methods = methods
+        self.cost_model = cost_model
+        self.seed = seed
+        self.query = fig3a_query(workload).to_rect(dataset.dims)
+        self.q = dataset.tree.range_count(self.query)
+
+    def run_one(self, method: str, k: int) -> tuple[float, float, int]:
+        """(wall seconds, simulated seconds, node reads) for k samples."""
+        sampler = self.dataset.samplers[method]
+        cost = CostCounter()
+        rng = random.Random(self.seed)
+        start = time.perf_counter()
+        got = take(sampler.sample_stream(self.query, rng, cost=cost), k)
+        wall = time.perf_counter() - start
+        assert len(got) == min(k, self.q)
+        return wall, self.cost_model.simulated_seconds(cost), \
+            cost.node_reads
+
+    def run(self) -> ExperimentResult:
+        rows: list[list[object]] = []
+        series: dict[str, list[tuple[float, float]]] = {
+            m: [] for m in self.methods}
+        for fraction in self.fractions:
+            k = max(1, int(self.q * fraction))
+            for method in self.methods:
+                wall, simulated, reads = self.run_one(method, k)
+                rows.append([method, f"{fraction:.1%}", k, wall,
+                             simulated, reads])
+                series[method].append((fraction * 100, simulated))
+        return ExperimentResult(
+            name=(f"Figure 3(a): time to produce k samples "
+                  f"(N={len(self.dataset)}, q={self.q})"),
+            headers=["method", "k/q", "k", "wall_s", "simulated_s",
+                     "node_reads"],
+            rows=rows, series=series,
+            notes="simulated_s uses the disk cost model "
+                  "(10ms random / 80us sequential block reads)")
+
+
+class BufferAblationRunner:
+    """RS-tree buffer-size sweep: refill I/O vs space, fixed k."""
+
+    def __init__(self, dataset: Dataset, workload: OSMWorkload,
+                 sizes: tuple[int, ...] = (8, 32, 128, 512),
+                 k: int = 1024, seed: int = 3):
+        self.dataset = dataset
+        self.workload = workload
+        self.sizes = sizes
+        self.k = k
+        self.seed = seed
+
+    def run(self) -> ExperimentResult:
+        from repro.core.sampling.rs_tree import RSTreeSampler
+        from repro.index.hilbert_rtree import HilbertRTree
+        query = fig3a_query(self.workload).to_rect(self.dataset.dims)
+        rows = []
+        series: dict[str, list[tuple[float, float]]] = {"rs-tree": []}
+        for s in self.sizes:
+            tree = HilbertRTree(self.dataset.dims, self.dataset.bounds)
+            tree.bulk_load((rid, r.key(self.dataset.dims))
+                           for rid, r in self.dataset.records.items())
+            sampler = RSTreeSampler(tree, buffer_size=s,
+                                    rng=random.Random(self.seed))
+            sampler.prepare()
+            cost = CostCounter()
+            take(sampler.sample_stream(query,
+                                       random.Random(self.seed + 1),
+                                       cost=cost), self.k)
+            simulated = DEFAULT_COST_MODEL.simulated_seconds(cost)
+            buffered = sum(
+                len(n.sample_buffer or [])
+                for n in _iter_nodes(tree))
+            rows.append([s, cost.node_reads, simulated,
+                         buffered / max(1, len(self.dataset))])
+            series["rs-tree"].append((s, simulated))
+        return ExperimentResult(
+            name=f"RS-tree buffer ablation (k={self.k})",
+            headers=["buffer_size", "node_reads", "simulated_s",
+                     "space_blowup"],
+            rows=rows, series=series)
+
+
+class ScalingRunner:
+    """Distributed worker-scaling sweep at fixed k."""
+
+    def __init__(self, dataset: Dataset, workload: OSMWorkload,
+                 workers: tuple[int, ...] = (1, 2, 4, 8),
+                 k: int = 512, seed: int = 5):
+        self.dataset = dataset
+        self.workload = workload
+        self.workers = workers
+        self.k = k
+        self.seed = seed
+
+    def run(self) -> ExperimentResult:
+        from repro.distributed.dist_index import DistributedSTIndex
+        from repro.distributed.dist_sampler import DistributedSampler
+        query = fig3a_query(self.workload)
+        records = list(self.dataset.records.values())
+        rows = []
+        series: dict[str, list[tuple[float, float]]] = {"rs-dist": []}
+        for w in self.workers:
+            index = DistributedSTIndex(records, n_workers=w,
+                                       dims=self.dataset.dims,
+                                       seed=self.seed,
+                                       rs_buffer_size=32)
+            sampler = DistributedSampler(index, batch_size=32)
+            sampler.sample(query, self.k, random.Random(self.seed + 1))
+            seconds = sampler.last_query_seconds()
+            rows.append([w, seconds, index.cluster.network.messages])
+            series["rs-dist"].append((w, seconds))
+        return ExperimentResult(
+            name=f"Distributed scaling (k={self.k})",
+            headers=["workers", "simulated_s", "network_msgs"],
+            rows=rows, series=series)
+
+
+def _iter_nodes(tree):
+    if tree.root is None:
+        return
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_leaf:
+            stack.extend(node.children or [])
+
+
+class Fig3bRunner:
+    """Relative error of online avg(altitude) vs elapsed time."""
+
+    def __init__(self, dataset: Dataset, workload: OSMWorkload,
+                 methods: tuple[str, ...] = ("rs-tree", "ls-tree"),
+                 max_samples: int = 4000, seed: int = 11):
+        self.dataset = dataset
+        self.workload = workload
+        self.methods = methods
+        self.max_samples = max_samples
+        self.seed = seed
+        self.query = fig3a_query(workload)
+
+    def _truth(self) -> float:
+        rect = self.query.to_rect(self.dataset.dims)
+        entries = self.dataset.tree.range_query(rect)
+        values = [self.dataset.lookup(e.item_id).attrs["altitude"]
+                  for e in entries]
+        return sum(values) / len(values)
+
+    def run(self) -> ExperimentResult:
+        truth = self._truth()
+        rows: list[list[object]] = []
+        series: dict[str, list[tuple[float, float]]] = {}
+        for method in self.methods:
+            estimator = AvgEstimator(attribute_getter("altitude"))
+            session = OnlineQuerySession(
+                self.dataset.samplers[method], estimator,
+                self.query.to_rect(self.dataset.dims),
+                self.dataset.lookup, rng=random.Random(self.seed),
+                report_every=32)
+            points = []
+            for point in session.run(
+                    StopCondition(max_samples=self.max_samples)):
+                rel_err = abs(point.estimate.value - truth) / abs(truth)
+                points.append((point.elapsed * 1000.0, rel_err))
+                rows.append([method, point.k,
+                             point.elapsed * 1000.0, rel_err,
+                             point.estimate.interval.half_width
+                             if point.estimate.interval else None])
+            series[method] = points
+        return ExperimentResult(
+            name=(f"Figure 3(b): relative error of avg(altitude) vs "
+                  f"time (truth={truth:.2f})"),
+            headers=["method", "k", "time_ms", "relative_error",
+                     "ci_half_width"],
+            rows=rows, series=series,
+            notes="error shrinks ~1/sqrt(k); both methods reach "
+                  "single-digit % within milliseconds")

@@ -1,0 +1,95 @@
+"""storm-query: a small REPL/one-shot CLI over the demo datasets.
+
+The paper's demo runs queries interactively from a map UI; this is the
+terminal equivalent.  It loads one or more synthetic workloads, then
+either executes a single query (``--query``) or drops into a REPL::
+
+    storm-query --dataset osm --n 20000
+    storm> ESTIMATE AVG(altitude) FROM osm WHERE \
+           REGION(-114, 37, -109, 42) WITHIN ERROR 2%
+    storm> EXPLAIN ESTIMATE COUNT FROM osm WHERE REGION(-114,37,-109,42)
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core.engine import StormEngine
+from repro.errors import StormError
+from repro.query.executor import QueryExecutor
+from repro.workloads import (ElectricityWorkload, MesoWestWorkload,
+                             OSMWorkload, TwitterWorkload)
+
+__all__ = ["main", "build_engine"]
+
+_WORKLOADS = {
+    "osm": lambda n, seed: OSMWorkload(n=n, seed=seed).generate(),
+    "tweets": lambda n, seed: TwitterWorkload(n=n, seed=seed).generate(),
+    "mesowest": lambda n, seed: MesoWestWorkload(
+        stations=max(1, n // 25), measurements_per_station=25,
+        seed=seed).generate(),
+    "electricity": lambda n, seed: ElectricityWorkload(
+        units=max(1, n // 12), readings_per_unit=12,
+        seed=seed).generate(),
+}
+
+
+def build_engine(datasets: list[str], n: int, seed: int) -> StormEngine:
+    """Load the named synthetic datasets into a fresh engine."""
+    engine = StormEngine(seed=seed)
+    for name in datasets:
+        maker = _WORKLOADS.get(name)
+        if maker is None:
+            raise StormError(
+                f"unknown dataset {name!r}; pick from "
+                f"{sorted(_WORKLOADS)}")
+        engine.create_dataset(name, maker(n, seed))
+    return engine
+
+
+def main(argv: list[str] | None = None) -> int:
+    """storm-query entry point: one-shot --query or a REPL."""
+    parser = argparse.ArgumentParser(
+        prog="storm-query",
+        description="Run STORM keyword queries on synthetic datasets.")
+    parser.add_argument("--dataset", action="append", default=[],
+                        help="dataset(s) to load: osm, tweets, mesowest, "
+                             "electricity (repeatable)")
+    parser.add_argument("--n", type=int, default=20_000,
+                        help="records per dataset (default 20000)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--query", help="run one query and exit")
+    args = parser.parse_args(argv)
+    datasets = args.dataset or ["osm"]
+    print(f"loading {datasets} with n={args.n} ...", file=sys.stderr)
+    engine = build_engine(datasets, args.n, args.seed)
+    executor = QueryExecutor(engine, rng=random.Random(args.seed))
+    if args.query:
+        return _run_one(executor, args.query)
+    print("storm> type a query, or 'quit'", file=sys.stderr)
+    while True:
+        try:
+            line = input("storm> ")
+        except EOFError:
+            return 0
+        if line.strip().lower() in ("quit", "exit"):
+            return 0
+        if not line.strip():
+            continue
+        _run_one(executor, line)
+
+
+def _run_one(executor: QueryExecutor, query: str) -> int:
+    try:
+        result = executor.execute(query)
+    except StormError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

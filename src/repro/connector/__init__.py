@@ -1,0 +1,50 @@
+"""Data connector: import or index external data sources.
+
+The paper's connector "uses schema discovery and data parser for a number
+of data sources ... in order to import and index a data source from a
+specified storage engine", supporting spreadsheets, text files, MySQL,
+Cassandra and MongoDB, with the option to *import* into STORM's storage
+engine or merely *index* in place.
+
+This package reproduces all of it:
+
+``schema``
+    Field type inference over sampled rows and automatic detection of the
+    longitude/latitude/time fields.
+``parsers``
+    Typed value parsing (numbers, booleans, many timestamp formats).
+``sources``
+    One :class:`~repro.connector.base.DataSource` per storage engine:
+    CSV/spreadsheet files, JSON-lines files, SQL databases (sqlite3,
+    standing in for MySQL), a partitioned key-value store (standing in
+    for Cassandra), and the document store (MongoDB).
+``importer``
+    Drives the pipeline: discover schema → map fields → parse rows →
+    build records → create the indexed dataset (copying documents into
+    the store in ``import`` mode, leaving them at the source in ``index``
+    mode) → register in the catalog.
+"""
+
+from repro.connector.base import DataSource
+from repro.connector.importer import Importer, ImportReport
+from repro.connector.schema import (FieldMapping, FieldType, Schema,
+                                    SchemaDiscovery)
+from repro.connector.sources import (CSVSource, DocumentStoreSource,
+                                     JSONLinesSource, KeyValueSource,
+                                     KeyValueStore, SQLSource)
+
+__all__ = [
+    "CSVSource",
+    "DataSource",
+    "DocumentStoreSource",
+    "FieldMapping",
+    "FieldType",
+    "Importer",
+    "ImportReport",
+    "JSONLinesSource",
+    "KeyValueSource",
+    "KeyValueStore",
+    "SQLSource",
+    "Schema",
+    "SchemaDiscovery",
+]

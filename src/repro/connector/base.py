@@ -1,0 +1,39 @@
+"""The DataSource interface every connector backend implements."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, Mapping
+
+__all__ = ["DataSource"]
+
+
+class DataSource(ABC):
+    """A readable external data source.
+
+    Implementations wrap one storage engine and expose a uniform scan of
+    string-keyed rows.  Rows may be stringly typed (CSV) or already typed
+    (SQL, document store); the importer's parsing layer normalises them.
+    """
+
+    @property
+    @abstractmethod
+    def description(self) -> str:
+        """Human-readable description for the catalog ("csv:file.csv")."""
+
+    @abstractmethod
+    def scan(self) -> Iterator[Mapping[str, Any]]:
+        """Iterate every row of the source."""
+
+    def sample_rows(self, n: int = 100) -> list[Mapping[str, Any]]:
+        """The first n rows (schema discovery input)."""
+        out = []
+        for row in self.scan():
+            out.append(row)
+            if len(out) >= n:
+                break
+        return out
+
+    def count(self) -> int:
+        """Row count (default: full scan; backends may override)."""
+        return sum(1 for _ in self.scan())

@@ -1,0 +1,110 @@
+"""Typed value parsing for stringly-typed sources (the data parser).
+
+CSV files and spreadsheets deliver everything as strings; the parser turns
+them into ints, floats, booleans and epoch timestamps.  Timestamp parsing
+accepts numeric epochs and the common ISO / US date formats the demo's
+import walkthrough needs.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any
+
+from repro.errors import SchemaError
+
+__all__ = ["parse_bool", "parse_timestamp", "coerce", "looks_like"]
+
+_TRUE = {"true", "t", "yes", "y", "1"}
+_FALSE = {"false", "f", "no", "n", "0"}
+
+_DATE_FORMATS = (
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%dT%H:%M",
+    "%Y-%m-%d %H:%M",
+    "%Y-%m-%d",
+    "%Y/%m/%d",
+    "%m/%d/%Y %H:%M:%S",
+    "%m/%d/%Y",
+)
+
+
+def parse_bool(text: str) -> bool:
+    """Parse common textual booleans (yes/no, t/f, 0/1, ...)."""
+    lowered = text.strip().lower()
+    if lowered in _TRUE:
+        return True
+    if lowered in _FALSE:
+        return False
+    raise SchemaError(f"not a boolean: {text!r}")
+
+
+def parse_timestamp(value: Any) -> float:
+    """Epoch seconds from a numeric epoch or a formatted date string."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    text = str(value).strip()
+    if not text:
+        raise SchemaError("empty timestamp")
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    iso = text.replace("Z", "+00:00")
+    try:
+        return _dt.datetime.fromisoformat(iso).timestamp()
+    except ValueError:
+        pass
+    for fmt in _DATE_FORMATS:
+        try:
+            return _dt.datetime.strptime(text, fmt).timestamp()
+        except ValueError:
+            continue
+    raise SchemaError(f"unparseable timestamp: {text!r}")
+
+
+def looks_like(text: str) -> str:
+    """Classify a raw string: 'int', 'float', 'bool', 'timestamp' or
+    'str'.  Used by schema discovery on sampled rows."""
+    stripped = text.strip()
+    if not stripped:
+        return "str"
+    try:
+        int(stripped)
+        return "int"
+    except ValueError:
+        pass
+    try:
+        float(stripped)
+        return "float"
+    except ValueError:
+        pass
+    if stripped.lower() in _TRUE | _FALSE:
+        return "bool"
+    try:
+        parse_timestamp(stripped)
+        return "timestamp"
+    except SchemaError:
+        return "str"
+
+
+def coerce(value: Any, type_name: str) -> Any:
+    """Coerce a raw value to the discovered field type."""
+    if value is None:
+        return None
+    if type_name == "int":
+        if isinstance(value, bool):
+            return int(value)
+        return int(str(value).strip())
+    if type_name == "float":
+        return float(str(value).strip())
+    if type_name == "bool":
+        if isinstance(value, bool):
+            return value
+        return parse_bool(str(value))
+    if type_name == "timestamp":
+        return parse_timestamp(value)
+    if type_name == "str":
+        return value if isinstance(value, str) else str(value)
+    raise SchemaError(f"unknown field type {type_name!r}")

@@ -1,0 +1,184 @@
+"""Schema discovery: infer field types and the spatio-temporal mapping.
+
+Given sampled rows, :class:`SchemaDiscovery` infers a type per field (a
+field is the *widest* type consistent with all its sampled values:
+int ⊂ float ⊂ str, etc.) and then detects which fields carry longitude,
+latitude and time — by name first (``lon``, ``longitude``, ``lng``...),
+falling back to value-range heuristics (a numeric field within ±180 whose
+companion lies within ±90).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.connector.parsers import looks_like
+from repro.errors import SchemaError
+
+__all__ = ["FieldType", "Schema", "FieldMapping", "SchemaDiscovery"]
+
+
+class FieldType(str, enum.Enum):
+    """Field types schema discovery can infer."""
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    TIMESTAMP = "timestamp"
+    STR = "str"
+
+    def __str__(self) -> str:  # catalog-friendly
+        return self.value
+
+
+# Widening lattice: merging two observed types picks the widest.
+_WIDEN: dict[frozenset[str], str] = {
+    frozenset({"int", "float"}): "float",
+    frozenset({"int", "timestamp"}): "float",
+    frozenset({"float", "timestamp"}): "float",
+    frozenset({"int", "bool"}): "int",
+}
+
+
+def _merge_types(a: str | None, b: str) -> str:
+    if a is None or a == b:
+        return b
+    return _WIDEN.get(frozenset({a, b}), "str")
+
+
+@dataclass(frozen=True, slots=True)
+class Schema:
+    """Discovered field types."""
+
+    fields: tuple[tuple[str, FieldType], ...]
+
+    def as_dict(self) -> dict[str, FieldType]:
+        """Field name -> type mapping."""
+        return dict(self.fields)
+
+    def type_of(self, field: str) -> FieldType:
+        """Type of one field (SchemaError when unknown)."""
+        for name, ftype in self.fields:
+            if name == field:
+                return ftype
+        raise SchemaError(f"no field named {field!r}")
+
+    def names(self) -> list[str]:
+        """Field names in discovery order."""
+        return [name for name, _ in self.fields]
+
+    def numeric_fields(self) -> list[str]:
+        """Names of int/float fields (lon/lat candidates)."""
+        return [name for name, ftype in self.fields
+                if ftype in (FieldType.INT, FieldType.FLOAT)]
+
+
+@dataclass(frozen=True, slots=True)
+class FieldMapping:
+    """Which fields carry the spatio-temporal key."""
+
+    lon_field: str
+    lat_field: str
+    time_field: str | None = None
+
+
+_LON_NAMES = ("lon", "longitude", "lng", "long", "x", "lon_deg")
+_LAT_NAMES = ("lat", "latitude", "y", "lat_deg")
+_TIME_NAMES = ("t", "time", "timestamp", "ts", "datetime", "date",
+               "created_at", "epoch")
+
+
+class SchemaDiscovery:
+    """Infers a :class:`Schema` and :class:`FieldMapping` from samples."""
+
+    def __init__(self, sample_size: int = 200):
+        if sample_size < 1:
+            raise SchemaError("sample_size must be >= 1")
+        self.sample_size = sample_size
+
+    def discover(self, rows: Iterable[Mapping[str, Any]]) -> Schema:
+        """Infer a Schema from sampled rows (widest consistent types)."""
+        observed: dict[str, str | None] = {}
+        order: list[str] = []
+        seen = 0
+        for row in rows:
+            for key, value in row.items():
+                if key not in observed:
+                    observed[key] = None
+                    order.append(key)
+                if value is None:
+                    continue
+                observed[key] = _merge_types(observed[key],
+                                             self._classify(value))
+            seen += 1
+            if seen >= self.sample_size:
+                break
+        if seen == 0:
+            raise SchemaError("cannot discover a schema from zero rows")
+        fields = tuple((name, FieldType(observed[name] or "str"))
+                       for name in order)
+        return Schema(fields)
+
+    @staticmethod
+    def _classify(value: Any) -> str:
+        if isinstance(value, bool):
+            return "bool"
+        if isinstance(value, int):
+            return "int"
+        if isinstance(value, float):
+            return "float"
+        if isinstance(value, str):
+            return looks_like(value)
+        return "str"
+
+    # -- spatio-temporal mapping --------------------------------------------
+
+    def detect_mapping(self, schema: Schema,
+                       rows: list[Mapping[str, Any]] | None = None
+                       ) -> FieldMapping:
+        """Find the lon/lat/time fields by name, else by value ranges."""
+        names = {name.lower(): name for name in schema.names()}
+        lon = next((names[n] for n in _LON_NAMES if n in names), None)
+        lat = next((names[n] for n in _LAT_NAMES if n in names), None)
+        time_field = next(
+            (names[n] for n in _TIME_NAMES if n in names
+             and schema.type_of(names[n]) in (FieldType.TIMESTAMP,
+                                              FieldType.FLOAT,
+                                              FieldType.INT)), None)
+        if lon is None or lat is None:
+            if rows:
+                lon, lat = self._detect_by_range(schema, rows, lon, lat)
+        if lon is None or lat is None:
+            raise SchemaError(
+                "could not detect longitude/latitude fields; pass an "
+                "explicit FieldMapping")
+        return FieldMapping(lon_field=lon, lat_field=lat,
+                            time_field=time_field)
+
+    def _detect_by_range(self, schema: Schema,
+                         rows: list[Mapping[str, Any]],
+                         lon: str | None, lat: str | None
+                         ) -> tuple[str | None, str | None]:
+        """Numeric fields whose values fit geographic ranges."""
+        candidates: dict[str, tuple[float, float]] = {}
+        for field in schema.numeric_fields():
+            values = []
+            for row in rows:
+                v = row.get(field)
+                try:
+                    if v is not None:
+                        values.append(float(v))
+                except (TypeError, ValueError):
+                    break
+            if values:
+                candidates[field] = (min(values), max(values))
+        if lat is None:
+            lat = next((f for f, (lo, hi) in candidates.items()
+                        if f != lon and -90.0 <= lo and hi <= 90.0
+                        and hi - lo > 0), None)
+        if lon is None:
+            lon = next((f for f, (lo, hi) in candidates.items()
+                        if f != lat and -180.0 <= lo and hi <= 180.0
+                        and hi - lo > 0), None)
+        return lon, lat

@@ -1,0 +1,223 @@
+"""Connector backends: one DataSource per supported storage engine.
+
+The paper demos importing from "excel spreadsheets, text files, Cassandra,
+MySQL, and MongoDB".  The offline stand-ins:
+
+* :class:`CSVSource` — CSV/TSV files (the spreadsheet & text-file path);
+* :class:`JSONLinesSource` — JSON-lines text files;
+* :class:`SQLSource` — any DB-API database; sqlite3 here, exercising the
+  same cursor/scan path a MySQL driver would;
+* :class:`KeyValueStore`/:class:`KeyValueSource` — a partitioned wide-row
+  key-value store modelled after Cassandra's data layout;
+* :class:`DocumentStoreSource` — STORM's own MongoDB-like document store.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sqlite3
+from typing import Any, Iterator, Mapping
+
+from repro.connector.base import DataSource
+from repro.errors import ConnectorError
+from repro.storage.document_store import DocumentStore
+
+__all__ = ["CSVSource", "JSONLinesSource", "SQLSource", "KeyValueStore",
+           "KeyValueSource", "DocumentStoreSource"]
+
+
+class CSVSource(DataSource):
+    """CSV/TSV file with a header row (spreadsheet export)."""
+
+    def __init__(self, path: str, delimiter: str = ","):
+        self.path = path
+        self.delimiter = delimiter
+
+    @property
+    def description(self) -> str:
+        return f"csv:{self.path}"
+
+    def scan(self) -> Iterator[Mapping[str, Any]]:
+        try:
+            with open(self.path, newline="") as f:
+                reader = csv.DictReader(f, delimiter=self.delimiter)
+                if reader.fieldnames is None:
+                    raise ConnectorError(
+                        f"{self.path}: missing header row")
+                for row in reader:
+                    yield row
+        except OSError as exc:
+            raise ConnectorError(f"cannot read {self.path}: {exc}") \
+                from exc
+
+
+class JSONLinesSource(DataSource):
+    """One JSON object per line."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    @property
+    def description(self) -> str:
+        return f"jsonl:{self.path}"
+
+    def scan(self) -> Iterator[Mapping[str, Any]]:
+        try:
+            with open(self.path) as f:
+                for lineno, line in enumerate(f, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        doc = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise ConnectorError(
+                            f"{self.path}:{lineno}: bad JSON: {exc}") \
+                            from exc
+                    if not isinstance(doc, dict):
+                        raise ConnectorError(
+                            f"{self.path}:{lineno}: expected an object")
+                    yield doc
+        except OSError as exc:
+            raise ConnectorError(f"cannot read {self.path}: {exc}") \
+                from exc
+
+
+class SQLSource(DataSource):
+    """A table or query in a DB-API database (sqlite3 ≈ MySQL here)."""
+
+    def __init__(self, database: str, table: str | None = None,
+                 query: str | None = None):
+        if (table is None) == (query is None):
+            raise ConnectorError("provide exactly one of table or query")
+        if table is not None and not table.replace("_", "").isalnum():
+            raise ConnectorError(f"suspicious table name {table!r}")
+        self.database = database
+        self.table = table
+        self.query = query if query is not None \
+            else f"SELECT * FROM {table}"  # noqa: S608 (validated above)
+
+    @property
+    def description(self) -> str:
+        what = self.table if self.table else "query"
+        return f"sql:{self.database}/{what}"
+
+    def scan(self) -> Iterator[Mapping[str, Any]]:
+        try:
+            conn = sqlite3.connect(self.database)
+        except sqlite3.Error as exc:
+            raise ConnectorError(
+                f"cannot open database {self.database}: {exc}") from exc
+        try:
+            conn.row_factory = sqlite3.Row
+            try:
+                cursor = conn.execute(self.query)
+            except sqlite3.Error as exc:
+                raise ConnectorError(
+                    f"query failed on {self.database}: {exc}") from exc
+            for row in cursor:
+                yield dict(row)
+        finally:
+            conn.close()
+
+    def count(self) -> int:
+        if self.table is None:
+            return super().count()
+        conn = sqlite3.connect(self.database)
+        try:
+            (n,) = conn.execute(
+                f"SELECT COUNT(*) FROM {self.table}").fetchone()  # noqa: S608
+            return int(n)
+        except sqlite3.Error as exc:
+            raise ConnectorError(str(exc)) from exc
+        finally:
+            conn.close()
+
+
+class KeyValueStore:
+    """A tiny partitioned wide-row store (the Cassandra stand-in).
+
+    Rows live under (partition_key, row_key); each row is a column map.
+    Partitioning is by hash of the partition key across virtual nodes,
+    like Cassandra's ring.
+    """
+
+    def __init__(self, partitions: int = 8):
+        if partitions < 1:
+            raise ConnectorError("need at least one partition")
+        self.partitions = partitions
+        self._ring: list[dict[tuple[str, str], dict[str, Any]]] = [
+            {} for _ in range(partitions)]
+
+    def _shard(self, partition_key: str) -> dict:
+        return self._ring[hash(partition_key) % self.partitions]
+
+    def put(self, partition_key: str, row_key: str,
+            columns: Mapping[str, Any]) -> None:
+        """Insert or replace one row's column map."""
+        self._shard(partition_key)[(partition_key, row_key)] = \
+            dict(columns)
+
+    def get(self, partition_key: str, row_key: str
+            ) -> dict[str, Any] | None:
+        """One row's columns, or None when absent."""
+        row = self._shard(partition_key).get((partition_key, row_key))
+        return dict(row) if row is not None else None
+
+    def delete(self, partition_key: str, row_key: str) -> bool:
+        """Remove a row; returns whether it existed."""
+        return self._shard(partition_key).pop(
+            (partition_key, row_key), None) is not None
+
+    def scan_all(self) -> Iterator[tuple[str, str, dict[str, Any]]]:
+        """Iterate every (partition_key, row_key, columns) triple."""
+        for shard in self._ring:
+            for (pk, rk), columns in shard.items():
+                yield pk, rk, dict(columns)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._ring)
+
+
+class KeyValueSource(DataSource):
+    """Scan a :class:`KeyValueStore`, exposing keys as columns."""
+
+    def __init__(self, store: KeyValueStore, name: str = "kv"):
+        self.store = store
+        self.name = name
+
+    @property
+    def description(self) -> str:
+        return f"cassandra:{self.name}"
+
+    def scan(self) -> Iterator[Mapping[str, Any]]:
+        for pk, rk, columns in self.store.scan_all():
+            row = dict(columns)
+            row.setdefault("partition_key", pk)
+            row.setdefault("row_key", rk)
+            yield row
+
+    def count(self) -> int:
+        return len(self.store)
+
+
+class DocumentStoreSource(DataSource):
+    """Scan a collection of STORM's own document store (MongoDB)."""
+
+    def __init__(self, store: DocumentStore, collection: str):
+        if collection not in store.collections:
+            raise ConnectorError(
+                f"no collection named {collection!r} in store")
+        self.store = store
+        self.collection = collection
+
+    @property
+    def description(self) -> str:
+        return f"mongodb:{self.collection}"
+
+    def scan(self) -> Iterator[Mapping[str, Any]]:
+        yield from self.store.collection(self.collection).find()
+
+    def count(self) -> int:
+        return self.store.collection(self.collection).count()

@@ -1,0 +1,26 @@
+"""Core STORM contribution: spatial online sampling and online analytics.
+
+The subpackages are:
+
+``repro.core.geometry``
+    d-dimensional boxes and point predicates shared by every index.
+``repro.core.records``
+    The record model (location, timestamp, attributes) and spatio-temporal
+    query ranges.
+``repro.core.sampling``
+    The spatial online samplers — the baselines (QueryFirst, SampleFirst,
+    RandomPath) and the paper's two index-based samplers (LS-tree, RS-tree).
+``repro.core.estimators``
+    The feature module: online estimators with confidence intervals built on
+    top of the sample stream.
+``repro.core.session`` / ``repro.core.engine``
+    The query/analytics evaluator: progressive query sessions and the
+    user-facing engine.
+``repro.core.optimizer``
+    Cost-based selection of a sampling method per query.
+"""
+
+from repro.core.geometry import Rect
+from repro.core.records import Record, STRange
+
+__all__ = ["Rect", "Record", "STRange"]

@@ -1,0 +1,338 @@
+"""The STORM engine: datasets, sampler suites, and online analytics.
+
+:class:`Dataset` owns one indexed spatio-temporal data set — the Hilbert
+R-tree (shared by the QueryFirst/SampleFirst/RandomPath baselines and the
+RS-tree), the LS-tree forest, the record store and the per-dataset query
+optimizer.  :class:`StormEngine` is the user-facing registry plus
+convenience analytics (`avg`, `sum`, `count`, `kde`, ...), each of which
+opens an :class:`~repro.core.session.OnlineQuerySession` under the hood.
+
+This module is deliberately storage-agnostic: records live in memory here,
+and the storage engine / data connector layers feed records in through
+:meth:`StormEngine.create_dataset` or the importer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Mapping
+
+from repro.core.estimators.aggregates import (AvgEstimator, CountEstimator,
+                                              SumEstimator)
+from repro.core.estimators.base import OnlineEstimator
+from repro.core.estimators.groupby import GroupByEstimator
+from repro.core.estimators.kde import GridSpec, OnlineKDE
+from repro.core.estimators.text import ShortTextEstimator
+from repro.core.estimators.trajectory import TrajectoryEstimator
+from repro.core.geometry import Rect
+from repro.core.optimizer import QueryOptimizer, default_sampler_suite
+from repro.core.records import Record, STRange, attribute_getter
+from repro.core.sampling.base import SpatialSampler
+from repro.core.sampling.ls_tree import LSTree
+from repro.core.session import OnlineQuerySession, ProgressPoint, \
+    StopCondition
+from repro.errors import StormError, UpdateError
+from repro.index.hilbert_rtree import HilbertRTree
+
+__all__ = ["Dataset", "StormEngine"]
+
+_GEO_FALLBACK_BOUNDS_2D = Rect((-180.0, -90.0), (180.0, 90.0))
+
+
+def _padded_bounds(records: list[Record], dims: int,
+                   pad_fraction: float = 0.25) -> Rect:
+    """Bounding box of the records, padded so later inserts stay inside
+    the Hilbert grid."""
+    if not records:
+        if dims == 2:
+            return _GEO_FALLBACK_BOUNDS_2D
+        return Rect((-180.0, -90.0, 0.0), (180.0, 90.0, 1.0))
+    box = Rect.bounding([r.key(dims) for r in records])
+    lo, hi = [], []
+    for l, h in zip(box.lo, box.hi):
+        pad = max((h - l) * pad_fraction, 1e-9)
+        lo.append(l - pad)
+        hi.append(h + pad)
+    return Rect(lo, hi)
+
+
+class Dataset:
+    """One spatio-temporal data set with its full index/sampler suite."""
+
+    def __init__(self, name: str, records: Iterable[Record],
+                 dims: int = 3, leaf_capacity: int = 64,
+                 branch_capacity: int = 16, hilbert_bits: int = 16,
+                 rs_buffer_size: int = 64, build_ls: bool = True,
+                 bounds: Rect | None = None, seed: int = 0):
+        if dims not in (2, 3):
+            raise StormError("datasets are 2-d (spatial) or 3-d (ST)")
+        self.name = name
+        self.dims = dims
+        self.records: dict[int, Record] = {}
+        ordered: list[Record] = []
+        for record in records:
+            if record.record_id in self.records:
+                raise StormError(
+                    f"duplicate record id {record.record_id} in {name}")
+            self.records[record.record_id] = record
+            ordered.append(record)
+        self.bounds = bounds if bounds is not None \
+            else _padded_bounds(ordered, dims)
+        self._build_rng = random.Random(seed)
+        self.tree = HilbertRTree(dims, self.bounds, bits=hilbert_bits,
+                                 leaf_capacity=leaf_capacity,
+                                 branch_capacity=branch_capacity)
+        self.tree.bulk_load(
+            (r.record_id, r.key(dims)) for r in ordered)
+        self.forest: LSTree | None = None
+        if build_ls:
+            self.forest = LSTree(dims,
+                                 rng=random.Random(
+                                     self._build_rng.getrandbits(32)),
+                                 leaf_capacity=leaf_capacity,
+                                 branch_capacity=branch_capacity)
+            self.forest.bulk_load(
+                (r.record_id, r.key(dims)) for r in ordered)
+        self.samplers = default_sampler_suite(
+            self.tree, self.forest, rs_buffer_size=rs_buffer_size,
+            rs_rng=random.Random(self._build_rng.getrandbits(32)))
+        self.samplers["rs-tree"].prepare()
+        self.optimizer = QueryOptimizer(self.samplers)
+        self._sample_first_dirty = False
+
+    # -- record access ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def lookup(self, record_id: int) -> Record:
+        """The record with the given id (KeyError when absent)."""
+        return self.records[record_id]
+
+    def to_rect(self, query: "Rect | STRange") -> Rect:
+        """Convert an STRange/Rect query to this dataset's box type."""
+        if isinstance(query, STRange):
+            return query.to_rect(self.dims)
+        if query.dim != self.dims:
+            raise StormError(
+                f"query is {query.dim}-d but dataset {self.name} is "
+                f"{self.dims}-d")
+        return query
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, record: Record) -> None:
+        """Insert one record into the store and every index."""
+        if record.record_id in self.records:
+            raise UpdateError(
+                f"record {record.record_id} already in {self.name}")
+        self.records[record.record_id] = record
+        key = record.key(self.dims)
+        self.tree.insert(record.record_id, key)
+        if self.forest is not None:
+            self.forest.insert(record.record_id, key)
+        self._sample_first_dirty = True
+
+    def delete(self, record_id: int) -> bool:
+        """Delete a record everywhere; returns whether it existed."""
+        record = self.records.pop(record_id, None)
+        if record is None:
+            return False
+        key = record.key(self.dims)
+        if not self.tree.delete(record_id, key):
+            raise UpdateError(
+                f"record {record_id} present in store but not in index")
+        if self.forest is not None:
+            self.forest.delete(record_id, key)
+        self._sample_first_dirty = True
+        return True
+
+    def rebuild(self) -> None:
+        """Rebuild every index from the current records.
+
+        Dynamic inserts degrade packing over time (bulk-loaded trees are
+        near-optimal, insertion-built ones are not); the update manager
+        triggers this once churn passes its threshold.  Sample buffers
+        and LS levels are re-drawn, so post-rebuild samples are as fresh
+        as after an initial load.
+        """
+        ordered = list(self.records.values())
+        self.tree.bulk_load(
+            (r.record_id, r.key(self.dims)) for r in ordered)
+        if self.forest is not None:
+            self.forest.bulk_load(
+                (r.record_id, r.key(self.dims)) for r in ordered)
+        self.samplers["rs-tree"].prepare()
+        self._sample_first_dirty = True
+
+    # -- sessions ------------------------------------------------------------
+
+    def sampler_for(self, query: Rect, method: str | None = None,
+                    expected_k: int | None = None) -> SpatialSampler:
+        """Resolve a sampler: explicit method or optimizer choice."""
+        if method is not None:
+            if method not in self.samplers:
+                raise StormError(
+                    f"unknown sampling method {method!r}; available: "
+                    f"{sorted(self.samplers)}")
+            sampler = self.samplers[method]
+        else:
+            sampler = self.optimizer.choose(query, expected_k).sampler
+        if sampler.name == "sample-first" and self._sample_first_dirty:
+            sampler.refresh()  # type: ignore[attr-defined]
+            self._sample_first_dirty = False
+        return sampler
+
+    def session(self, query: "Rect | STRange",
+                estimator: OnlineEstimator, method: str | None = None,
+                rng: random.Random | None = None,
+                expected_k: int | None = None,
+                report_every: int = 16,
+                with_replacement: bool = False) -> OnlineQuerySession:
+        """Open an online query session over this dataset."""
+        rect = self.to_rect(query)
+        sampler = self.sampler_for(rect, method, expected_k)
+        return OnlineQuerySession(sampler, estimator, rect, self.lookup,
+                                  rng=rng, report_every=report_every,
+                                  with_replacement=with_replacement)
+
+
+class StormEngine:
+    """Registry of datasets plus one-call online analytics."""
+
+    def __init__(self, seed: int = 0):
+        self.datasets: dict[str, Dataset] = {}
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    # -- dataset management ----------------------------------------------
+
+    def create_dataset(self, name: str, records: Iterable[Record],
+                       **kwargs) -> Dataset:
+        """Build and register a new indexed dataset from records."""
+        if name in self.datasets:
+            raise StormError(f"dataset {name!r} already exists")
+        dataset = Dataset(name, records,
+                          seed=self._rng.getrandbits(32), **kwargs)
+        self.datasets[name] = dataset
+        return dataset
+
+    def register(self, dataset: Dataset) -> None:
+        """Register an externally built dataset (e.g. distributed)."""
+        if dataset.name in self.datasets:
+            raise StormError(f"dataset {dataset.name!r} already exists")
+        self.datasets[dataset.name] = dataset
+
+    def drop_dataset(self, name: str) -> None:
+        """Remove a dataset from the registry."""
+        if name not in self.datasets:
+            raise StormError(f"no dataset named {name!r}")
+        del self.datasets[name]
+
+    def dataset(self, name: str) -> Dataset:
+        """Look up a registered dataset by name."""
+        if name not in self.datasets:
+            raise StormError(
+                f"no dataset named {name!r}; available: "
+                f"{sorted(self.datasets)}")
+        return self.datasets[name]
+
+    # -- keyword queries ---------------------------------------------------
+
+    def execute(self, query_text: str,
+                rng: random.Random | None = None):
+        """Run one keyword-language query (see :mod:`repro.query`).
+
+        Returns the :class:`repro.query.executor.QueryResult`.  This is
+        the convenience path; build a
+        :class:`~repro.query.executor.QueryExecutor` directly to reuse
+        one rng across many queries.
+        """
+        from repro.query.executor import QueryExecutor
+        return QueryExecutor(
+            self, rng=rng if rng is not None else
+            random.Random(self._rng.getrandbits(32))).execute(query_text)
+
+    # -- one-call online analytics -----------------------------------------
+
+    def _run(self, dataset: str, query, estimator: OnlineEstimator,
+             stop: StopCondition, method: str | None,
+             rng: random.Random | None) -> ProgressPoint:
+        ds = self.dataset(dataset)
+        session = ds.session(query, estimator, method=method,
+                             rng=rng if rng is not None else
+                             random.Random(self._rng.getrandbits(32)))
+        return session.run_to_stop(stop)
+
+    def avg(self, dataset: str, attribute: str, query,
+            stop: StopCondition = StopCondition(max_samples=1000),
+            method: str | None = None,
+            rng: random.Random | None = None) -> ProgressPoint:
+        """Online AVG(attribute) over a spatio-temporal range."""
+        return self._run(dataset, query,
+                         AvgEstimator(attribute_getter(attribute)),
+                         stop, method, rng)
+
+    def sum(self, dataset: str, attribute: str, query,
+            stop: StopCondition = StopCondition(max_samples=1000),
+            method: str | None = None,
+            rng: random.Random | None = None) -> ProgressPoint:
+        """Online SUM(attribute) over a spatio-temporal range."""
+        return self._run(dataset, query,
+                         SumEstimator(attribute_getter(attribute)),
+                         stop, method, rng)
+
+    def count(self, dataset: str, query,
+              predicate: Callable[[Record], bool] | None = None,
+              stop: StopCondition = StopCondition(max_samples=1000),
+              method: str | None = None,
+              rng: random.Random | None = None) -> ProgressPoint:
+        """Online COUNT(*) (exact) or COUNT WHERE predicate (estimated)."""
+        return self._run(dataset, query, CountEstimator(predicate),
+                         stop, method, rng)
+
+    def group_by(self, dataset: str, key: str, query,
+                 attribute: str | None = None,
+                 stop: StopCondition = StopCondition(max_samples=1000),
+                 method: str | None = None,
+                 rng: random.Random | None = None) -> ProgressPoint:
+        """Online GROUP BY ``key``: per-group shares (and per-group
+        AVG/SUM when ``attribute`` is given)."""
+        accessor = attribute_getter(attribute) \
+            if attribute is not None else None
+        return self._run(dataset, query,
+                         GroupByEstimator(key, attribute=accessor),
+                         stop, method, rng)
+
+    def kde(self, dataset: str, query, grid: GridSpec,
+            bandwidth: float | None = None, kernel: str = "gaussian",
+            stop: StopCondition = StopCondition(max_samples=2000),
+            method: str | None = None,
+            rng: random.Random | None = None) -> ProgressPoint:
+        """Online kernel density map over the query range."""
+        return self._run(dataset, query,
+                         OnlineKDE(grid, bandwidth=bandwidth,
+                                   kernel=kernel),
+                         stop, method, rng)
+
+    def top_terms(self, dataset: str, query, text_field: str = "text",
+                  background: Mapping[str, float] | None = None,
+                  stop: StopCondition = StopCondition(max_samples=2000),
+                  method: str | None = None,
+                  rng: random.Random | None = None) -> ProgressPoint:
+        """Online short-text understanding over the query range."""
+        return self._run(dataset, query,
+                         ShortTextEstimator(text_field=text_field,
+                                            background=background),
+                         stop, method, rng)
+
+    def trajectory(self, dataset: str, query, key_field: str,
+                   key_value, stop: StopCondition =
+                   StopCondition(max_samples=2000),
+                   method: str | None = None,
+                   rng: random.Random | None = None) -> ProgressPoint:
+        """Online trajectory reconstruction for one entity."""
+        return self._run(dataset, query,
+                         TrajectoryEstimator(key_field=key_field,
+                                             key_value=key_value),
+                         stop, method, rng)

@@ -1,0 +1,160 @@
+"""Online estimator protocol and shared running statistics.
+
+An online estimator consumes records one at a time (as the sampler emits
+them) and can produce a current :class:`Estimate` — value, standard error
+and confidence interval — at any moment.  The query/analytics evaluator
+drives this loop; users build *customised* estimators by implementing the
+same two methods, which is the extension point the paper's demo highlights.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.estimators.intervals import ConfidenceInterval
+from repro.core.records import Record
+from repro.errors import EstimatorError
+
+__all__ = ["Estimate", "OnlineEstimator", "RunningStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class Estimate:
+    """A progressive estimate at some point during query execution.
+
+    ``exact`` is set when the estimate is no longer an approximation —
+    either every in-range point was consumed (k = q) or the quantity is
+    computed exactly from index metadata (e.g. COUNT).
+    """
+
+    value: Any
+    std_error: float | None
+    interval: ConfidenceInterval | None
+    k: int
+    q: int | None
+    exact: bool = False
+
+    def __repr__(self) -> str:
+        tail = " exact" if self.exact else ""
+        ci = f" ±{self.interval.half_width:.4g}" if self.interval else ""
+        return (f"Estimate({self.value!r}{ci} k={self.k}"
+                f" q={self.q}{tail})")
+
+
+class OnlineEstimator(ABC):
+    """Base class for estimators fed by the spatial online sampler.
+
+    Subclasses implement :meth:`update` (absorb one sampled record) and
+    :meth:`estimate` (current value + interval).  ``population_size`` is
+    set by the evaluator once q is known; estimators use it for finite
+    population corrections, SUM scaling and exactness detection.
+    """
+
+    def __init__(self) -> None:
+        self.k = 0
+        self.population_size: int | None = None
+        # Set by the session when the sampler runs in with-replacement
+        # mode: disables the finite population correction and the
+        # "k = q is exact" collapse (repeats make both invalid).
+        self.sampling_with_replacement = False
+
+    def set_population_size(self, q: int) -> None:
+        if q < 0:
+            raise EstimatorError("population size cannot be negative")
+        self.population_size = q
+
+    @property
+    def fpc_population(self) -> int | None:
+        """Population size for variance corrections — ``None`` when the
+        correction does not apply (with-replacement sampling)."""
+        if self.sampling_with_replacement:
+            return None
+        return self.population_size
+
+    def absorb(self, record: Record) -> None:
+        """Feed one sampled record (bookkeeping + subclass update)."""
+        self.k += 1
+        self.update(record)
+
+    @abstractmethod
+    def update(self, record: Record) -> None:
+        """Absorb one record's contribution."""
+
+    @abstractmethod
+    def estimate(self, level: float = 0.95) -> Estimate:
+        """Current estimate with a confidence interval at ``level``."""
+
+    @property
+    def is_exact(self) -> bool:
+        """True once every in-range point was consumed (k = q)."""
+        if self.sampling_with_replacement:
+            return False
+        return (self.population_size is not None
+                and self.k >= self.population_size)
+
+    def reset(self) -> None:
+        self.k = 0
+
+
+class RunningStats:
+    """Welford's online mean/variance accumulator (numerically stable)."""
+
+    __slots__ = ("n", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Absorb one value."""
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 when n < 2)."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def population_variance(self) -> float:
+        """Biased (n denominator) variance."""
+        if self.n < 1:
+            return 0.0
+        return self._m2 / self.n
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel aggregation; Chan et al.)."""
+        merged = RunningStats()
+        merged.n = self.n + other.n
+        if merged.n == 0:
+            return merged
+        delta = other.mean - self.mean
+        merged.mean = self.mean + delta * other.n / merged.n
+        merged._m2 = (self._m2 + other._m2
+                      + delta * delta * self.n * other.n / merged.n)
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    def __repr__(self) -> str:
+        return (f"RunningStats(n={self.n}, mean={self.mean:.6g}, "
+                f"std={self.std:.6g})")

@@ -1,0 +1,154 @@
+"""Online GROUP BY aggregation.
+
+Online aggregation's classic companion (Xu, Jermaine & Dobra, TODS 2008,
+cited by the paper): estimate an aggregate *per group* from one shared
+sample stream.  Each sampled record lands in its group's accumulator;
+each group's mean gets a CLT/t interval, and the group's share of the
+population (needed to scale SUM/COUNT per group) is itself estimated as
+a proportion with a Wilson interval.
+
+Groups with too few samples are reported but flagged ``low_support`` —
+the UI treatment the group-by online aggregation literature recommends
+instead of silently dropping small groups.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.core.estimators.base import Estimate, OnlineEstimator, \
+    RunningStats
+from repro.core.estimators.intervals import (ConfidenceInterval,
+                                             mean_interval,
+                                             proportion_interval)
+from repro.core.records import AttributeAccessor, Record
+from repro.errors import EstimatorError
+
+__all__ = ["GroupByEstimator", "GroupResult"]
+
+GroupKeyFn = Callable[[Record], Hashable]
+
+
+@dataclass(frozen=True, slots=True)
+class GroupResult:
+    """One group's progressive estimates."""
+
+    key: Hashable
+    samples: int                     # samples that fell in this group
+    mean: float | None               # None for COUNT-only aggregation
+    mean_interval: ConfidenceInterval | None
+    share: float                     # estimated fraction of the range
+    share_interval: ConfidenceInterval
+    estimated_count: float | None    # share × q (None when q unknown)
+    estimated_sum: float | None      # mean × count
+    low_support: bool
+
+    def __repr__(self) -> str:
+        mean = "" if self.mean is None else f" mean={self.mean:.6g}"
+        return (f"GroupResult({self.key!r} n={self.samples}"
+                f"{mean} share={self.share:.1%})")
+
+
+class GroupByEstimator(OnlineEstimator):
+    """Per-group online aggregation over a shared sample stream.
+
+    ``group_key`` extracts the group of a record (an attribute name or a
+    callable).  ``attribute`` is optional: with it the estimator tracks
+    per-group means/sums; without it, it is an online GROUP BY COUNT.
+    ``min_support`` marks groups with fewer samples as low-support.
+    """
+
+    def __init__(self, group_key: "str | GroupKeyFn",
+                 attribute: AttributeAccessor | None = None,
+                 min_support: int = 10, max_groups: int = 10_000):
+        super().__init__()
+        if min_support < 1:
+            raise EstimatorError("min_support must be >= 1")
+        if max_groups < 1:
+            raise EstimatorError("max_groups must be >= 1")
+        if isinstance(group_key, str):
+            field = group_key
+
+            def key_fn(record: Record) -> Hashable:
+                return record.attrs.get(field)
+
+            self.group_key: GroupKeyFn = key_fn
+        else:
+            self.group_key = group_key
+        self.attribute = attribute
+        self.min_support = min_support
+        self.max_groups = max_groups
+        self._groups: dict[Hashable, RunningStats] = {}
+        self._counts: dict[Hashable, int] = {}
+
+    def update(self, record: Record) -> None:
+        key = self.group_key(record)
+        if key not in self._counts \
+                and len(self._counts) >= self.max_groups:
+            raise EstimatorError(
+                f"more than {self.max_groups} distinct groups; raise "
+                f"max_groups or aggregate a coarser key")
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if self.attribute is not None:
+            stats = self._groups.get(key)
+            if stats is None:
+                stats = self._groups[key] = RunningStats()
+            stats.add(self.attribute(record))
+
+    # ------------------------------------------------------------------
+
+    def group(self, key: Hashable, level: float = 0.95) -> GroupResult:
+        """The current estimate for one group."""
+        if self.k == 0:
+            raise EstimatorError("no samples absorbed yet")
+        n = self._counts.get(key, 0)
+        share_ci = proportion_interval(n, self.k, level,
+                                       q=self.fpc_population)
+        share = n / self.k
+        q = self.population_size
+        est_count = share * q if q is not None else None
+        mean = mean_ci = est_sum = None
+        if self.attribute is not None and n > 0:
+            stats = self._groups[key]
+            mean = stats.mean
+            # The group's in-range population size is unknown; the
+            # conservative interval omits the FPC.
+            mean_ci = mean_interval(stats.mean, stats.variance, n, level)
+            if est_count is not None:
+                est_sum = mean * est_count
+        return GroupResult(key=key, samples=n, mean=mean,
+                           mean_interval=mean_ci, share=share,
+                           share_interval=share_ci,
+                           estimated_count=est_count,
+                           estimated_sum=est_sum,
+                           low_support=n < self.min_support)
+
+    def groups(self, level: float = 0.95,
+               order_by: str = "share") -> list[GroupResult]:
+        """All groups, largest first (by ``share``, ``mean`` or key)."""
+        if self.k == 0:
+            raise EstimatorError("no samples absorbed yet")
+        results = [self.group(key, level) for key in self._counts]
+        if order_by == "share":
+            results.sort(key=lambda g: (-g.share, repr(g.key)))
+        elif order_by == "mean":
+            results.sort(key=lambda g: (-(g.mean if g.mean is not None
+                                          else -math.inf), repr(g.key)))
+        elif order_by == "key":
+            results.sort(key=lambda g: repr(g.key))
+        else:
+            raise EstimatorError(
+                f"order_by must be share|mean|key, not {order_by!r}")
+        return results
+
+    def estimate(self, level: float = 0.95) -> Estimate:
+        return Estimate(value=self.groups(level), std_error=None,
+                        interval=None, k=self.k, q=self.population_size,
+                        exact=self.is_exact)
+
+    def reset(self) -> None:
+        super().reset()
+        self._groups = {}
+        self._counts = {}

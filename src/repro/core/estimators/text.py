@@ -1,0 +1,142 @@
+"""Online short-text understanding (Figure 6b).
+
+The Atlanta-snowstorm demo: sample tweets from a spatio-temporal window
+and surface the terms whose document frequency stands out, with confidence
+intervals on each frequency.  The estimator maintains per-term hit counts
+over the sampled records; each term's population document-frequency gets a
+Wilson interval, so the ranking stabilises as more samples arrive.
+
+An optional *background* vocabulary (term → expected document frequency)
+turns raw frequencies into lift scores, which is how "snow", "ice" and
+"outage" float above everyday chatter.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.estimators.base import Estimate, OnlineEstimator
+from repro.core.estimators.intervals import (ConfidenceInterval,
+                                             proportion_interval)
+from repro.core.records import Record
+from repro.errors import EstimatorError
+
+__all__ = ["ShortTextEstimator", "TermStat", "tokenize", "STOPWORDS"]
+
+# A term starts with a letter; digits may follow ("user42", "word7"),
+# but pure numbers never tokenize.
+_TOKEN_RE = re.compile(r"[a-z][a-z0-9']+")
+
+STOPWORDS = frozenset("""
+a about after all also an and any are as at be because been but by can
+could day did do even first for from get go going got had has have he her
+him his how i if in into is it its just know like me more my new no not
+now of on one only or other our out over said she so some than that the
+their them then there these they this time to up us was we were what when
+which who will with would you your rt amp https http via
+""".split())
+
+
+def tokenize(text: str, stopwords: frozenset[str] = STOPWORDS
+             ) -> set[str]:
+    """Lower-cased unique terms of a short text, stopwords removed."""
+    return {tok for tok in _TOKEN_RE.findall(text.lower())
+            if tok not in stopwords}
+
+
+@dataclass(frozen=True, slots=True)
+class TermStat:
+    """One term's estimated document frequency within the query range."""
+
+    term: str
+    frequency: float            # estimated fraction of records using it
+    interval: ConfidenceInterval
+    hits: int                   # sampled records containing the term
+    lift: float | None = None   # frequency / background frequency
+
+    def __repr__(self) -> str:
+        lift = f" lift={self.lift:.2f}" if self.lift is not None else ""
+        return (f"TermStat({self.term!r} {self.frequency:.1%} "
+                f"[{self.interval.lo:.1%}, {self.interval.hi:.1%}]{lift})")
+
+
+class ShortTextEstimator(OnlineEstimator):
+    """Estimate term document-frequencies from sampled short texts."""
+
+    def __init__(self, text_field: str = "text",
+                 stopwords: frozenset[str] = STOPWORDS,
+                 background: Mapping[str, float] | None = None,
+                 min_hits: int = 2):
+        super().__init__()
+        if min_hits < 1:
+            raise EstimatorError("min_hits must be >= 1")
+        self.text_field = text_field
+        self.stopwords = stopwords
+        self.background = dict(background) if background else None
+        # Terms absent from the background vocabulary are the *most*
+        # anomalous; give them a floor frequency so their lift is large
+        # and finite instead of undefined.
+        self._novel_floor = None
+        if self.background:
+            positive = [v for v in self.background.values() if v > 0]
+            self._novel_floor = (min(positive) / 2.0 if positive
+                                 else 1e-4)
+        self.min_hits = min_hits
+        self.term_hits: dict[str, int] = {}
+        self.texts_seen = 0
+
+    def update(self, record: Record) -> None:
+        text = record.attrs.get(self.text_field)
+        if not isinstance(text, str):
+            return
+        self.texts_seen += 1
+        for term in tokenize(text, self.stopwords):
+            self.term_hits[term] = self.term_hits.get(term, 0) + 1
+
+    def term_stat(self, term: str, level: float = 0.95) -> TermStat:
+        """Current frequency estimate and interval for one term."""
+        if self.texts_seen == 0:
+            raise EstimatorError("no texts sampled yet")
+        hits = self.term_hits.get(term, 0)
+        interval = proportion_interval(hits, self.texts_seen, level,
+                                       q=self.fpc_population)
+        lift = None
+        if self.background is not None:
+            base = self.background.get(term, 0.0)
+            if base <= 0:
+                base = self._novel_floor or 1e-4
+            lift = (hits / self.texts_seen) / base
+        return TermStat(term=term, frequency=hits / self.texts_seen,
+                        interval=interval, hits=hits, lift=lift)
+
+    def top_terms(self, n: int = 20, level: float = 0.95,
+                  by_lift: bool = False) -> list[TermStat]:
+        """The n most frequent (or highest-lift) terms with intervals."""
+        if self.texts_seen == 0:
+            raise EstimatorError("no texts sampled yet")
+        stats = [self.term_stat(t, level) for t, h in self.term_hits.items()
+                 if h >= self.min_hits]
+        if by_lift:
+            if self.background is None:
+                raise EstimatorError(
+                    "lift ranking needs a background vocabulary")
+            stats = [s for s in stats if s.lift is not None]
+            stats.sort(key=lambda s: (-s.lift, -s.hits, s.term))
+        else:
+            stats.sort(key=lambda s: (-s.hits, s.term))
+        return stats[:n]
+
+    def estimate(self, level: float = 0.95) -> Estimate:
+        """The top-terms list as the progressive value."""
+        top = self.top_terms(level=level,
+                             by_lift=self.background is not None)
+        return Estimate(value=top, std_error=None, interval=None,
+                        k=self.k, q=self.population_size,
+                        exact=self.is_exact)
+
+    def reset(self) -> None:
+        super().reset()
+        self.term_hits = {}
+        self.texts_seen = 0

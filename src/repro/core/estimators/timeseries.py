@@ -1,0 +1,68 @@
+"""Online time-series aggregation: per-bucket estimates over a window.
+
+The interactive UI pattern behind "measurements in this time period":
+bucket the query's time range and estimate, per bucket, the record share
+(traffic over time) and optionally an attribute's mean (e.g. temperature
+by hour).  Implemented on the group-by machinery — the bucket index is
+just a computed group key — so every bucket carries the same interval
+guarantees, online.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimators.groupby import GroupByEstimator, GroupResult
+from repro.core.records import AttributeAccessor, Record
+from repro.errors import EstimatorError
+
+__all__ = ["TimeHistogramEstimator"]
+
+
+class TimeHistogramEstimator(GroupByEstimator):
+    """Per-time-bucket online aggregation.
+
+    ``t_lo``/``t_hi`` bound the histogram (normally the query's TIME
+    range); records outside are clamped into the edge buckets (they can
+    only appear if the spatial filter admits them).
+    """
+
+    def __init__(self, t_lo: float, t_hi: float, buckets: int = 24,
+                 attribute: AttributeAccessor | None = None,
+                 min_support: int = 5):
+        if t_hi <= t_lo:
+            raise EstimatorError("time window must have positive length")
+        if buckets < 1:
+            raise EstimatorError("need at least one bucket")
+        self.t_lo = float(t_lo)
+        self.t_hi = float(t_hi)
+        self.buckets = buckets
+        span = self.t_hi - self.t_lo
+
+        def bucket_of(record: Record) -> int:
+            i = int((record.t - self.t_lo) / span * buckets)
+            return min(buckets - 1, max(0, i))
+
+        super().__init__(bucket_of, attribute=attribute,
+                         min_support=min_support,
+                         max_groups=buckets)
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """[lo, hi) time bounds of one bucket."""
+        if not 0 <= index < self.buckets:
+            raise EstimatorError(
+                f"bucket {index} out of range [0, {self.buckets})")
+        width = (self.t_hi - self.t_lo) / self.buckets
+        return (self.t_lo + index * width,
+                self.t_lo + (index + 1) * width)
+
+    def series(self, level: float = 0.95) -> list[GroupResult]:
+        """All buckets in time order (empty buckets included)."""
+        if self.k == 0:
+            raise EstimatorError("no samples absorbed yet")
+        return [self.group(i, level) for i in range(self.buckets)]
+
+    def estimate(self, level: float = 0.95):
+        """Progressive value = the time-ordered bucket series."""
+        from repro.core.estimators.base import Estimate
+        return Estimate(value=self.series(level), std_error=None,
+                        interval=None, k=self.k,
+                        q=self.population_size, exact=self.is_exact)

@@ -1,0 +1,221 @@
+"""d-dimensional axis-aligned geometry used by every spatial index.
+
+A point is a tuple of ``d`` floats.  A :class:`Rect` is a closed axis-aligned
+box ``[lo, hi]`` in ``d`` dimensions.  Rects are immutable and hashable so
+they can be used as dictionary keys (the canonical-set caches do this).
+
+The paper works in ``R^d`` (Definition 1); STORM's spatio-temporal queries
+are 3-dimensional boxes (longitude, latitude, time) built by
+:class:`repro.core.records.STRange`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import GeometryError
+
+Point = tuple[float, ...]
+
+__all__ = ["Point", "Rect", "point_in_rect", "euclidean", "squared_distance"]
+
+
+def euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two points of equal dimension."""
+    if len(a) != len(b):
+        raise GeometryError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    return math.sqrt(sum((x - y) * (x - y) for x, y in zip(a, b)))
+
+
+def squared_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Squared Euclidean distance (avoids the sqrt when comparing)."""
+    if len(a) != len(b):
+        raise GeometryError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    return sum((x - y) * (x - y) for x, y in zip(a, b))
+
+
+def point_in_rect(point: Sequence[float], lo: Sequence[float],
+                  hi: Sequence[float]) -> bool:
+    """Closed-box containment test without building a :class:`Rect`."""
+    return all(l <= c <= h for c, l, h in zip(point, lo, hi))
+
+
+class Rect:
+    """A closed axis-aligned box ``[lo, hi]`` in ``d`` dimensions.
+
+    ``lo`` and ``hi`` are tuples of equal length with ``lo[i] <= hi[i]``
+    for every axis.  All predicates treat the box as closed on both ends,
+    matching the usual R-tree convention.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Iterable[float], hi: Iterable[float]):
+        lo = tuple(float(v) for v in lo)
+        hi = tuple(float(v) for v in hi)
+        if len(lo) != len(hi):
+            raise GeometryError(
+                f"lo has {len(lo)} coordinates but hi has {len(hi)}")
+        if not lo:
+            raise GeometryError("a Rect needs at least one dimension")
+        for axis, (l, h) in enumerate(zip(lo, hi)):
+            if l > h:
+                raise GeometryError(
+                    f"inverted box on axis {axis}: lo={l} > hi={h}")
+            if math.isnan(l) or math.isnan(h):
+                raise GeometryError(f"NaN coordinate on axis {axis}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    # Rects are immutable: forbid attribute writes after __init__.
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("Rect is immutable")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "Rect":
+        """Degenerate box covering exactly one point."""
+        return cls(point, point)
+
+    @classmethod
+    def bounding(cls, points: Iterable[Sequence[float]]) -> "Rect":
+        """Smallest box containing all the given points."""
+        pts = list(points)
+        if not pts:
+            raise GeometryError("cannot bound an empty point set")
+        d = len(pts[0])
+        lo = [math.inf] * d
+        hi = [-math.inf] * d
+        for p in pts:
+            if len(p) != d:
+                raise GeometryError("points have mixed dimensions")
+            for i, c in enumerate(p):
+                if c < lo[i]:
+                    lo[i] = c
+                if c > hi[i]:
+                    hi[i] = c
+        return cls(lo, hi)
+
+    @classmethod
+    def union_all(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Smallest box containing all the given boxes."""
+        rects = list(rects)
+        if not rects:
+            raise GeometryError("cannot union an empty rect set")
+        d = rects[0].dim
+        lo = list(rects[0].lo)
+        hi = list(rects[0].hi)
+        for r in rects[1:]:
+            if r.dim != d:
+                raise GeometryError("rects have mixed dimensions")
+            for i in range(d):
+                if r.lo[i] < lo[i]:
+                    lo[i] = r.lo[i]
+                if r.hi[i] > hi[i]:
+                    hi[i] = r.hi[i]
+        return cls(lo, hi)
+
+    @classmethod
+    def universe(cls, dim: int, bound: float = math.inf) -> "Rect":
+        """Box covering all of R^dim (or ``[-bound, bound]^dim``)."""
+        return cls((-bound,) * dim, (bound,) * dim)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Number of dimensions."""
+        return len(self.lo)
+
+    @property
+    def center(self) -> Point:
+        """Box midpoint."""
+        return tuple((l + h) / 2.0 for l, h in zip(self.lo, self.hi))
+
+    def extent(self, axis: int) -> float:
+        """Length of the box along one axis."""
+        return self.hi[axis] - self.lo[axis]
+
+    def area(self) -> float:
+        """Volume of the box (product of extents)."""
+        result = 1.0
+        for l, h in zip(self.lo, self.hi):
+            result *= h - l
+        return result
+
+    def margin(self) -> float:
+        """Sum of extents (the R*-tree 'margin' split heuristic metric)."""
+        return sum(h - l for l, h in zip(self.lo, self.hi))
+
+    # -- predicates ---------------------------------------------------------
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the closed boxes share at least one point."""
+        return all(sl <= oh and ol <= sh
+                   for sl, sh, ol, oh
+                   in zip(self.lo, self.hi, other.lo, other.hi))
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside ``self``."""
+        return all(sl <= ol and oh <= sh
+                   for sl, sh, ol, oh
+                   in zip(self.lo, self.hi, other.lo, other.hi))
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Closed-box containment of a point."""
+        if len(point) != self.dim:
+            raise GeometryError(
+                f"point has {len(point)} coordinates, rect is {self.dim}-d")
+        return all(l <= c <= h for c, l, h in zip(point, self.lo, self.hi))
+
+    # -- combinations --------------------------------------------------------
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest box covering both boxes."""
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def union_point(self, point: Sequence[float]) -> "Rect":
+        """Smallest box covering this box and a point."""
+        return Rect(
+            tuple(min(l, c) for l, c in zip(self.lo, point)),
+            tuple(max(h, c) for h, c in zip(self.hi, point)),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlap box, or ``None`` when the boxes are disjoint."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(l > h for l, h in zip(lo, hi)):
+            return None
+        return Rect(lo, hi)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed for ``self`` to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    def min_distance(self, point: Sequence[float]) -> float:
+        """Euclidean distance from a point to the box (0 if inside)."""
+        total = 0.0
+        for c, l, h in zip(point, self.lo, self.hi):
+            if c < l:
+                total += (l - c) ** 2
+            elif c > h:
+                total += (c - h) ** 2
+        return math.sqrt(total)
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Rect)
+                and self.lo == other.lo and self.hi == other.hi)
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"Rect(lo={self.lo}, hi={self.hi})"

@@ -1,0 +1,214 @@
+"""Cost-based selection of a sampling method per query.
+
+The paper: "The query optimizer implements a set of basic query
+optimization rules for deciding which method the sampler should use when
+generating spatial online samples for a given query."
+
+The rules here mirror the asymptotic costs of Section 3.1, instantiated
+with the tree's measured shape (height, node count, fanout) and the
+query's exact selectivity (one cheap counting traversal):
+
+==============  =====================================================
+method          expected block reads for k samples
+==============  =====================================================
+query-first     r(N) + q/B  (paid up front, regardless of k)
+sample-first    k · N/q     (random reads; infinite when q = 0)
+random-path     k · height  (random reads, plus rejection overhead)
+ls-tree         Σ_j r(N/2^j) over visited levels + k/B sequential
+rs-tree         r(N) canonical traversal + k/s buffer reads
+==============  =====================================================
+
+The optimizer scores whichever samplers the dataset actually has and
+returns a ranked :class:`Plan`.  ``explain()`` exposes the scores — the
+demo UI's "why did it pick RS-tree" panel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.geometry import Rect
+from repro.core.sampling.base import SpatialSampler
+from repro.core.sampling.ls_tree import LSTreeSampler
+from repro.core.sampling.query_first import QueryFirstSampler
+from repro.core.sampling.random_path import RandomPathSampler
+from repro.core.sampling.rs_tree import RSTreeSampler
+from repro.core.sampling.sample_first import SampleFirstSampler
+from repro.errors import OptimizerError
+from repro.index.cost import CostModel, DEFAULT_COST_MODEL
+
+__all__ = ["Plan", "QueryOptimizer", "DEFAULT_K_GUESS"]
+
+DEFAULT_K_GUESS = 256
+
+
+@dataclass(frozen=True, slots=True)
+class Plan:
+    """The optimizer's decision for one query."""
+
+    method: str
+    sampler: SpatialSampler
+    expected_seconds: float
+    scores: dict[str, float]
+    q: int
+    k_assumed: int
+
+    def explain(self) -> str:
+        """Human-readable scoring of every method, best first."""
+        lines = [f"selectivity: q={self.q}, assumed k={self.k_assumed}"]
+        for name, seconds in sorted(self.scores.items(),
+                                    key=lambda kv: kv[1]):
+            marker = " <-- chosen" if name == self.method else ""
+            lines.append(f"  {name:<13} ~{seconds:.4g}s{marker}")
+        return "\n".join(lines)
+
+
+class QueryOptimizer:
+    """Scores the available samplers for a query and picks the cheapest."""
+
+    #: EMA weight of a new observation in the calibration factors.
+    FEEDBACK_ALPHA = 0.3
+    #: Calibration factors are clamped to this range so one outlier
+    #: measurement cannot permanently disable a method.
+    FEEDBACK_CLAMP = (0.1, 10.0)
+
+    def __init__(self, samplers: dict[str, SpatialSampler],
+                 cost_model: CostModel = DEFAULT_COST_MODEL):
+        if not samplers:
+            raise OptimizerError("no samplers registered")
+        self.samplers = dict(samplers)
+        self.cost_model = cost_model
+        # Learned multiplier per method: ratio of observed to predicted
+        # cost, updated by record_outcome().  Starts neutral.
+        self.calibration: dict[str, float] = {
+            name: 1.0 for name in self.samplers}
+
+    # -- shape statistics ------------------------------------------------
+
+    def _any_tree(self):
+        for sampler in self.samplers.values():
+            tree = getattr(sampler, "tree", None)
+            if tree is not None:
+                return tree
+        raise OptimizerError("no sampler exposes a backing tree")
+
+    def _canonical_size_guess(self, n: int, leaf_capacity: int) -> float:
+        """r(N) ≈ O(sqrt(N/B)) boundary leaves for a 2-d range."""
+        if n <= 0:
+            return 1.0
+        return max(1.0, 2.0 * math.sqrt(n / max(1, leaf_capacity)))
+
+    # -- scoring -----------------------------------------------------------
+
+    def score(self, query: Rect, k: int) -> tuple[dict[str, float], int]:
+        """Expected simulated seconds per method for k samples."""
+        tree = self._any_tree()
+        n = len(tree)
+        q = tree.range_count(query)
+        height = max(1, tree.height)
+        leaf_cap = tree.leaf_capacity
+        rnd = self.cost_model.random_read_seconds
+        seq = self.cost_model.sequential_read_seconds
+        r_n = self._canonical_size_guess(n, leaf_cap)
+        scores: dict[str, float] = {}
+        for name in self.samplers:
+            if name == "query-first":
+                blocks = r_n + q / leaf_cap
+                scores[name] = r_n * rnd + (q / leaf_cap) * seq \
+                    + k * self.cost_model.per_sample_cpu_seconds
+            elif name == "sample-first":
+                if q == 0:
+                    scores[name] = math.inf
+                else:
+                    scores[name] = k * (n / q) * rnd
+            elif name == "random-path":
+                scores[name] = k * height * rnd * 1.2  # +rejections
+            elif name == "ls-tree":
+                levels = max(1.0, math.log2(max(2.0, q / max(1, k))))
+                visit = sum(
+                    self._canonical_size_guess(
+                        int(n / 2 ** j), leaf_cap)
+                    for j in range(int(levels),
+                                   int(math.log2(max(2, n))) + 1))
+                scores[name] = visit * rnd + (k / leaf_cap) * seq
+            elif name == "rs-tree":
+                buffer_size = getattr(self.samplers[name], "buffer_size",
+                                      leaf_cap)
+                refills = k / max(1, buffer_size)
+                scores[name] = r_n * rnd + refills * rnd \
+                    + k * self.cost_model.per_sample_cpu_seconds
+            else:
+                scores[name] = math.inf
+        return scores, q
+
+    def choose(self, query: Rect, expected_k: int | None = None) -> Plan:
+        """Pick the cheapest method for the query.
+
+        ``expected_k`` is how many samples the caller anticipates needing
+        (from an accuracy target via
+        :func:`repro.core.estimators.intervals.required_sample_size`, or
+        the default guess for exploratory queries).
+        """
+        k = expected_k if expected_k is not None else DEFAULT_K_GUESS
+        if k < 1:
+            raise OptimizerError("expected_k must be >= 1")
+        raw, q = self.score(query, k)
+        scores = {name: s * self.calibration.get(name, 1.0)
+                  for name, s in raw.items()}
+        finite = {name: s for name, s in scores.items()
+                  if math.isfinite(s)}
+        if not finite:
+            raise OptimizerError(
+                "no sampling method is viable for this query")
+        method = min(finite, key=finite.get)  # type: ignore[arg-type]
+        return Plan(method=method, sampler=self.samplers[method],
+                    expected_seconds=finite[method], scores=scores, q=q,
+                    k_assumed=k)
+
+    def record_outcome(self, method: str, query: Rect, k: int,
+                       actual_seconds: float) -> None:
+        """Feed back a measured cost to calibrate future choices.
+
+        ``actual_seconds`` is the simulated (or measured) cost of
+        drawing k samples with ``method`` on ``query``.  The learned
+        multiplier is an EMA of observed/predicted ratios, clamped so a
+        single bad measurement cannot blacklist a method forever.
+        """
+        if method not in self.samplers:
+            raise OptimizerError(f"unknown method {method!r}")
+        if k < 1 or actual_seconds < 0:
+            return  # nothing useful to learn
+        predicted, _ = self.score(query, k)
+        baseline = predicted.get(method, math.inf)
+        if not math.isfinite(baseline) or baseline <= 0:
+            return
+        ratio = actual_seconds / baseline
+        lo, hi = self.FEEDBACK_CLAMP
+        ratio = max(lo, min(hi, ratio))
+        old = self.calibration.get(method, 1.0)
+        self.calibration[method] = ((1 - self.FEEDBACK_ALPHA) * old
+                                    + self.FEEDBACK_ALPHA * ratio)
+
+    @classmethod
+    def for_samplers(cls, *samplers: SpatialSampler,
+                     cost_model: CostModel = DEFAULT_COST_MODEL
+                     ) -> "QueryOptimizer":
+        """Build from sampler instances, keyed by their names."""
+        return cls({s.name: s for s in samplers}, cost_model=cost_model)
+
+
+def default_sampler_suite(hilbert_tree, ls_forest=None,
+                          rs_buffer_size: int = 64, rs_rng=None
+                          ) -> dict[str, SpatialSampler]:
+    """The standard five-sampler suite over shared index structures."""
+    suite: dict[str, SpatialSampler] = {
+        "query-first": QueryFirstSampler(hilbert_tree),
+        "sample-first": SampleFirstSampler(hilbert_tree),
+        "random-path": RandomPathSampler(hilbert_tree),
+        "rs-tree": RSTreeSampler(hilbert_tree, buffer_size=rs_buffer_size,
+                                 rng=rs_rng),
+    }
+    if ls_forest is not None:
+        suite["ls-tree"] = LSTreeSampler(ls_forest)
+    return suite

@@ -1,0 +1,190 @@
+"""The STORM record model and spatio-temporal query ranges.
+
+STORM stores JSON-like records that carry a spatial location, a timestamp
+and arbitrary attributes.  Indexes only see the *key* of a record — its
+``(lon, lat, t)`` coordinates — while estimators read attributes through an
+attribute accessor, mirroring the paper's split between the ST-indexing
+module and the feature module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.core.geometry import Point, Rect
+from repro.errors import GeometryError
+
+__all__ = ["Record", "STRange", "AttributeAccessor", "attribute_getter"]
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One spatio-temporal data record.
+
+    ``record_id``
+        Unique integer id within a dataset (assigned at import time).
+    ``lon`` / ``lat``
+        Spatial location.  Any planar coordinate system works; the synthetic
+        workloads use WGS84-style degrees.
+    ``t``
+        Timestamp as seconds since an arbitrary epoch.
+    ``attrs``
+        Free-form attribute mapping (the JSON document body).
+    """
+
+    record_id: int
+    lon: float
+    lat: float
+    t: float = 0.0
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def location(self) -> Point:
+        """(lon, lat) tuple."""
+        return (self.lon, self.lat)
+
+    def key(self, dims: int = 3) -> Point:
+        """Index key for this record: ``(lon, lat)`` or ``(lon, lat, t)``."""
+        if dims == 2:
+            return (self.lon, self.lat)
+        if dims == 3:
+            return (self.lon, self.lat, self.t)
+        raise GeometryError(f"records only support 2 or 3 dims, got {dims}")
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialise to the JSON document format of the storage engine."""
+        doc = dict(self.attrs)
+        doc["_id"] = self.record_id
+        doc["lon"] = self.lon
+        doc["lat"] = self.lat
+        doc["t"] = self.t
+        return doc
+
+    @classmethod
+    def from_document(cls, doc: Mapping[str, Any]) -> "Record":
+        """Inverse of :meth:`to_document`."""
+        attrs = {k: v for k, v in doc.items()
+                 if k not in ("_id", "lon", "lat", "t")}
+        return cls(record_id=int(doc["_id"]), lon=float(doc["lon"]),
+                   lat=float(doc["lat"]), t=float(doc.get("t", 0.0)),
+                   attrs=attrs)
+
+
+class STRange:
+    """A spatio-temporal query range: a spatial box plus a time interval.
+
+    This is the query object the user builds from the map UI in the paper
+    (draw a region, pick a time window).  ``t_lo``/``t_hi`` may be omitted
+    for purely spatial queries, in which case the range is unbounded in
+    time.
+    """
+
+    __slots__ = ("lon_lo", "lat_lo", "lon_hi", "lat_hi", "t_lo", "t_hi")
+
+    def __init__(self, lon_lo: float, lat_lo: float, lon_hi: float,
+                 lat_hi: float, t_lo: float | None = None,
+                 t_hi: float | None = None):
+        if lon_lo > lon_hi or lat_lo > lat_hi:
+            raise GeometryError("inverted spatial range")
+        if (t_lo is None) != (t_hi is None):
+            raise GeometryError("specify both t_lo and t_hi or neither")
+        if t_lo is not None and t_lo > t_hi:  # type: ignore[operator]
+            raise GeometryError("inverted time range")
+        self.lon_lo = float(lon_lo)
+        self.lat_lo = float(lat_lo)
+        self.lon_hi = float(lon_hi)
+        self.lat_hi = float(lat_hi)
+        self.t_lo = None if t_lo is None else float(t_lo)
+        self.t_hi = None if t_hi is None else float(t_hi)
+
+    @classmethod
+    def everywhere(cls) -> "STRange":
+        """Range covering the whole plane at all times."""
+        big = 1e18
+        return cls(-big, -big, big, big)
+
+    @property
+    def has_time(self) -> bool:
+        """Whether the range bounds time."""
+        return self.t_lo is not None
+
+    def to_rect(self, dims: int = 3) -> Rect:
+        """Convert to the box the index understands.
+
+        With ``dims=3`` a missing time interval becomes ``[-inf, inf]``
+        clamped to a huge finite bound (indexes want finite boxes).
+        """
+        if dims == 2:
+            return Rect((self.lon_lo, self.lat_lo),
+                        (self.lon_hi, self.lat_hi))
+        if dims == 3:
+            big = 1e18
+            t_lo = -big if self.t_lo is None else self.t_lo
+            t_hi = big if self.t_hi is None else self.t_hi
+            return Rect((self.lon_lo, self.lat_lo, t_lo),
+                        (self.lon_hi, self.lat_hi, t_hi))
+        raise GeometryError(f"STRange supports 2 or 3 dims, got {dims}")
+
+    def contains(self, record: Record) -> bool:
+        """Whether a record falls inside the spatio-temporal range."""
+        if not (self.lon_lo <= record.lon <= self.lon_hi
+                and self.lat_lo <= record.lat <= self.lat_hi):
+            return False
+        if self.t_lo is None:
+            return True
+        return self.t_lo <= record.t <= self.t_hi  # type: ignore[operator]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, STRange):
+            return NotImplemented
+        return (self.lon_lo, self.lat_lo, self.lon_hi, self.lat_hi,
+                self.t_lo, self.t_hi) == (
+                    other.lon_lo, other.lat_lo, other.lon_hi, other.lat_hi,
+                    other.t_lo, other.t_hi)
+
+    def __hash__(self) -> int:
+        return hash((self.lon_lo, self.lat_lo, self.lon_hi, self.lat_hi,
+                     self.t_lo, self.t_hi))
+
+    def __repr__(self) -> str:
+        time = ""
+        if self.has_time:
+            time = f", t=[{self.t_lo}, {self.t_hi}]"
+        return (f"STRange(lon=[{self.lon_lo}, {self.lon_hi}], "
+                f"lat=[{self.lat_lo}, {self.lat_hi}]{time})")
+
+
+AttributeAccessor = Callable[[Record], float]
+
+
+def attribute_getter(name: str, default: float | None = None
+                     ) -> AttributeAccessor:
+    """Build an accessor reading a numeric attribute from records.
+
+    Estimators receive one of these so they stay agnostic of the record
+    schema.  A missing attribute raises :class:`KeyError` unless a default
+    is supplied.
+    """
+    def get(record: Record) -> float:
+        if name == "lon":
+            return record.lon
+        if name == "lat":
+            return record.lat
+        if name == "t":
+            return record.t
+        value = record.attrs.get(name, default)
+        if value is None:
+            raise KeyError(
+                f"record {record.record_id} has no attribute {name!r}")
+        return float(value)
+
+    return get
+
+
+def iter_in_range(records: Iterator[Record], query: STRange
+                  ) -> Iterator[Record]:
+    """Filter a record stream to those inside the query range."""
+    for record in records:
+        if query.contains(record):
+            yield record

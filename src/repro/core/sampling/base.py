@@ -1,0 +1,95 @@
+"""Common protocol for spatial online samplers.
+
+A sampler is bound to one indexed data set.  For each query it produces an
+iterator of :class:`~repro.index.rtree.Entry` objects drawn uniformly at
+random from ``P ∩ Q`` without replacement; the iterator ends (raises
+``StopIteration``) only when every in-range point has been emitted.  The
+consumer — an online estimator or a query session — pulls one sample at a
+time and stops whenever it is satisfied, which is the paper's Definition 1.
+
+``SamplerStats`` packages the cost-counter deltas a sampler accumulated for
+one query, used by the benchmark harness and the query optimizer's feedback
+loop.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.geometry import Rect
+from repro.index.cost import CostCounter, CostModel, DEFAULT_COST_MODEL
+from repro.index.rtree import Entry
+
+__all__ = ["SpatialSampler", "SamplerStats", "take"]
+
+
+@dataclass(slots=True)
+class SamplerStats:
+    """Work a sampler did for one query (cost delta + sample count)."""
+
+    sampler: str
+    samples: int
+    cost: CostCounter
+
+    def simulated_seconds(self, model: CostModel = DEFAULT_COST_MODEL
+                          ) -> float:
+        """The cost delta under the disk cost model."""
+        return model.simulated_seconds(self.cost)
+
+
+class SpatialSampler(ABC):
+    """Interface every sampling strategy implements.
+
+    Subclasses must set ``name`` (used by the optimizer and benchmarks) and
+    implement :meth:`sample_stream` and :meth:`range_count`.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def sample_stream(self, query: Rect, rng: random.Random,
+                      cost: CostCounter | None = None) -> Iterator[Entry]:
+        """Uniform without-replacement sample stream from ``P ∩ Q``."""
+
+    def sample_stream_with_replacement(
+            self, query: Rect, rng: random.Random,
+            cost: CostCounter | None = None) -> Iterator[Entry]:
+        """Uniform *with-replacement* stream (Definition 1's other mode).
+
+        The stream is infinite for non-empty ranges — the consumer stops
+        it.  The default implementation materialises one
+        without-replacement pass and resamples it, which is exact but
+        pays the full pass; index samplers override with cheaper draws.
+        """
+        pool = list(self.sample_stream(query, rng, cost=cost))
+        if not pool:
+            return
+        while True:
+            yield pool[rng.randrange(len(pool))]
+
+    @abstractmethod
+    def range_count(self, query: Rect,
+                    cost: CostCounter | None = None) -> int:
+        """Exact ``q = |P ∩ Q|`` (used for finite-population corrections
+        and SUM/COUNT estimators)."""
+
+    def sample(self, query: Rect, k: int, rng: random.Random,
+               cost: CostCounter | None = None) -> list[Entry]:
+        """Convenience: the first k samples (fewer when q < k)."""
+        return take(self.sample_stream(query, rng, cost=cost), k)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def take(stream: Iterator[Entry], k: int) -> list[Entry]:
+    """First k elements of a stream (all of them when shorter)."""
+    out: list[Entry] = []
+    for entry in stream:
+        out.append(entry)
+        if len(out) >= k:
+            break
+    return out

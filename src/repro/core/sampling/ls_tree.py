@@ -1,0 +1,193 @@
+"""LS-tree: the paper's level-sampling index.
+
+Construction (Section 3.1): starting from ``P_0 = P``, independently keep
+each element with probability 1/2 to form ``P_1``, then ``P_2``, ... until
+the top level is small; build an R-tree ``T_i`` over each ``P_i``.  Level
+sizes form a geometric series, so total space is still O(N).
+
+Equivalently — and this is how we implement it — every point draws one
+i.i.d. geometric *level* ``ℓ(e) = #heads before the first tail`` and lives
+in trees ``T_0 .. T_ℓ(e)``.
+
+Query: range-report from the *top* tree downward.  The in-range points of
+``T_i`` are a coin-flip sample of ``P ∩ Q`` with rate ``1/2^i``; shuffling
+them and skipping points already emitted by higher levels yields a stream
+whose every k-prefix is a uniform random k-subset of ``P ∩ Q`` (levels are
+i.i.d. per point, so the induced order is exchangeable).  The user who stops
+after k samples has, in expectation, only descended to the tree where
+``q/2^j ≈ k``, paying ``O(k) + Σ_j r(N/2^j)`` — and because each level is an
+ordinary R-tree range query, the O(k) term is sequential block I/O, not k
+random reads.
+
+Updates: a new point draws its level and is inserted into trees
+``T_0..level``; deletion removes it from the same trees (the index remembers
+each item's level).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.geometry import Rect
+from repro.core.sampling.base import SpatialSampler
+from repro.core.sampling.permutation import streaming_shuffle
+from repro.errors import IndexError_, UpdateError
+from repro.index.cost import CostCounter
+from repro.index.rtree import Entry, RTree
+
+__all__ = ["LSTree", "LSTreeSampler"]
+
+
+class LSTree:
+    """The level-sampling forest: R-trees over geometric subsamples.
+
+    ``p`` is the per-level survival probability (1/2 in the paper).
+    ``max_levels`` caps the forest height; the cap is far above
+    ``log_{1/p} N`` for any realistic N, so it never binds in practice.
+    """
+
+    def __init__(self, dims: int, rng: random.Random | None = None,
+                 p: float = 0.5, max_levels: int = 64,
+                 leaf_capacity: int = 64, branch_capacity: int = 16):
+        if not 0.0 < p < 1.0:
+            raise IndexError_("survival probability must be in (0, 1)")
+        self.dims = dims
+        self.p = p
+        self.max_levels = max_levels
+        self.leaf_capacity = leaf_capacity
+        self.branch_capacity = branch_capacity
+        self.rng = rng if rng is not None else random.Random()
+        self.cost = CostCounter()
+        self.trees: list[RTree] = [self._new_tree()]
+        self.levels: dict[int, int] = {}  # item_id -> level
+
+    def _new_tree(self) -> RTree:
+        tree = RTree(self.dims, leaf_capacity=self.leaf_capacity,
+                     branch_capacity=self.branch_capacity)
+        tree.cost = self.cost  # share one counter across the forest
+        return tree
+
+    def _draw_level(self) -> int:
+        level = 0
+        while level < self.max_levels - 1 and self.rng.random() < self.p:
+            level += 1
+        return level
+
+    # ------------------------------------------------------------------
+    # construction & updates
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[tuple[int, Sequence[float]]]) -> None:
+        """Assign levels and STR-build every tree of the forest."""
+        materialised = [(item_id, tuple(float(c) for c in pt))
+                        for item_id, pt in items]
+        self.levels = {item_id: self._draw_level()
+                       for item_id, _ in materialised}
+        top = max(self.levels.values(), default=0)
+        per_level: list[list[tuple[int, tuple[float, ...]]]] = [
+            [] for _ in range(top + 1)]
+        for item_id, pt in materialised:
+            for lvl in range(self.levels[item_id] + 1):
+                per_level[lvl].append((item_id, pt))
+        self.trees = []
+        for lvl in range(top + 1):
+            tree = self._new_tree()
+            tree.bulk_load(per_level[lvl])
+            self.trees.append(tree)
+
+    def insert(self, item_id: int, point: Sequence[float]) -> None:
+        """Insert a point: draw its level, add to trees 0..level."""
+        if item_id in self.levels:
+            raise UpdateError(f"item {item_id} already in LS-tree")
+        level = self._draw_level()
+        self.levels[item_id] = level
+        while len(self.trees) <= level:
+            self.trees.append(self._new_tree())
+        for lvl in range(level + 1):
+            self.trees[lvl].insert(item_id, point)
+
+    def delete(self, item_id: int, point: Sequence[float]) -> bool:
+        """Remove a point from every level it lives in."""
+        level = self.levels.pop(item_id, None)
+        if level is None:
+            return False
+        for lvl in range(min(level, len(self.trees) - 1) + 1):
+            if not self.trees[lvl].delete(item_id, point):
+                raise UpdateError(
+                    f"item {item_id} missing from level {lvl} despite "
+                    f"recorded level {level}")
+        self._trim_empty_top()
+        return True
+
+    def _trim_empty_top(self) -> None:
+        while len(self.trees) > 1 and len(self.trees[-1]) == 0:
+            self.trees.pop()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.trees[0]) if self.trees else 0
+
+    @property
+    def num_levels(self) -> int:
+        """Number of trees currently in the forest."""
+        return len(self.trees)
+
+    def total_entries(self) -> int:
+        """Space accounting: entries summed across every level."""
+        return sum(len(t) for t in self.trees)
+
+    def validate(self) -> None:
+        """Check every tree plus level downward-closure; raises on bugs."""
+        for tree in self.trees:
+            tree.validate()
+        # Membership must be downward closed in levels.
+        for lvl in range(1, len(self.trees)):
+            upper_ids = {e.item_id for e in self.trees[lvl].iter_entries()}
+            lower_ids = {e.item_id
+                         for e in self.trees[lvl - 1].iter_entries()}
+            if not upper_ids <= lower_ids:
+                raise IndexError_(
+                    f"level {lvl} contains ids missing from level "
+                    f"{lvl - 1}")
+
+    def expected_levels(self) -> int:
+        """The ``ℓ = O(log N)`` the paper quotes, for diagnostics."""
+        n = len(self)
+        return max(1, int(math.log(max(n, 2), 1.0 / self.p)))
+
+
+class LSTreeSampler(SpatialSampler):
+    """Sample stream over an :class:`LSTree` (top tree downward)."""
+
+    name = "ls-tree"
+
+    def __init__(self, forest: LSTree):
+        self.forest = forest
+
+    @property
+    def tree(self) -> RTree:
+        """The base tree (level 0) — the full data set."""
+        return self.forest.trees[0]
+
+    def sample_stream(self, query: Rect, rng: random.Random,
+                      cost: CostCounter | None = None) -> Iterator[Entry]:
+        cost = cost if cost is not None else self.forest.cost
+        emitted: set[int] = set()
+        for level in range(self.forest.num_levels - 1, -1, -1):
+            matches = self.forest.trees[level].range_query(query, cost)
+            for entry in streaming_shuffle(matches, rng):
+                if entry.item_id in emitted:
+                    continue
+                emitted.add(entry.item_id)
+                cost.charge_sample()
+                yield entry
+
+    def range_count(self, query: Rect,
+                    cost: CostCounter | None = None) -> int:
+        return self.forest.trees[0].range_count(
+            query, cost if cost is not None else self.forest.cost)

@@ -1,0 +1,45 @@
+"""Lazy random permutation utilities.
+
+Online sampling never knows k in advance, so shuffling an entire result set
+up front wastes work when the user stops after a handful of samples.
+:func:`streaming_shuffle` performs a Fisher-Yates shuffle *incrementally*:
+the i-th yielded element costs O(1), and stopping after k elements does only
+k swaps.  Every prefix of the stream is a uniform random k-subset in uniform
+random order — exactly the guarantee online estimators need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["streaming_shuffle", "sample_without_replacement"]
+
+
+def streaming_shuffle(items: Sequence[T], rng: random.Random
+                      ) -> Iterator[T]:
+    """Yield ``items`` in uniformly random order, lazily.
+
+    The input sequence is copied once (O(n)), then each yielded element is
+    an O(1) partial Fisher-Yates step.  The copy means the caller's list is
+    never mutated.
+    """
+    pool = list(items)
+    n = len(pool)
+    for i in range(n):
+        j = rng.randrange(i, n)
+        pool[i], pool[j] = pool[j], pool[i]
+        yield pool[i]
+
+
+def sample_without_replacement(items: Sequence[T], k: int,
+                               rng: random.Random) -> list[T]:
+    """Uniform random k-subset in random order (k may exceed len)."""
+    out = []
+    for item in streaming_shuffle(items, rng):
+        if len(out) >= k:
+            break
+        out.append(item)
+    return out

@@ -1,0 +1,335 @@
+"""RS-tree: a single Hilbert R-tree with per-node sample buffers.
+
+The paper's second index (Section 3.1) folds three ideas into one R-tree:
+
+**Sample buffering** — every node ``u`` stores ``S(u)``, a pre-shuffled
+without-replacement sample of the points below it.  Reading the node block
+therefore already yields random samples of its whole subtree; queries whose
+canonical set covers a node never descend into it.
+
+**Lazy exploration** — a query only materialises the canonical set ``R_Q``
+(maximal fully-contained nodes plus residual points from partial leaves),
+using per-node counts; subtrees below canonical nodes are not explored
+until their buffers run dry.
+
+**Acceptance/rejection sampling** — picking the next source node with
+probability proportional to its remaining count is done by A/R (draw a node
+uniformly, accept with probability ``remaining/max_remaining``), so large
+subtrees — the ones most likely to supply the next sample — are located in
+O(1) expected time without scanning all of ``R_Q`` per sample.
+
+Buffer maintenance is hierarchical: a leaf's buffer is a shuffle of its
+entries; an internal node's buffer is drawn by consuming its children's
+buffers with remaining-count-proportional interleaving (children are
+disjoint, so the merged batch is a uniform without-replacement sample of
+the subtree).  Exhausted buffers refill in place with fresh randomness;
+updates invalidate buffers along the affected root-to-leaf path and the
+next query refills them lazily.
+
+Statistical note: within one query the emitted stream is uniform without
+replacement (enforced by rejection against the emitted set, with an
+enumeration fallback once a subtree is mostly consumed).  Across *queries*
+samples are only fresh, not independent of past queries, exactly like the
+paper's system (inter-query independence is the open problem of Hu et al.
+cited there).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.geometry import Rect
+from repro.core.sampling.base import SpatialSampler
+from repro.core.sampling.permutation import (sample_without_replacement,
+                                             streaming_shuffle)
+from repro.index.cost import CostCounter
+from repro.index.rtree import Entry, Node, RTree, _iter_subtree_entries
+
+__all__ = ["RSTreeSampler"]
+
+# After this many consecutive duplicate rejections from one subtree the
+# sampler enumerates the subtree's remainder instead of rejecting forever.
+_REJECT_STREAK_LIMIT = 16
+
+
+class RSTreeSampler(SpatialSampler):
+    """Online sampler over a (Hilbert) R-tree with node sample buffers.
+
+    Parameters
+    ----------
+    tree:
+        The backing R-tree.  A :class:`~repro.index.hilbert_rtree.HilbertRTree`
+        matches the paper; any :class:`~repro.index.rtree.RTree` works.
+    buffer_size:
+        ``s = |S(u)|`` per node.  The paper sets this to roughly one block's
+        worth; the ablation benchmark sweeps it.
+    rng:
+        Randomness used for buffer refills (distinct from the per-query
+        rng so repeated queries see fresh buffers deterministically under a
+        fixed seed).
+    enumerate_threshold:
+        Fraction of a subtree that may be emitted before the sampler stops
+        rejection-sampling that subtree and enumerates the rest.
+    """
+
+    name = "rs-tree"
+
+    def __init__(self, tree: RTree, buffer_size: int = 64,
+                 rng: random.Random | None = None,
+                 enumerate_threshold: float = 0.5):
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        if not 0.0 < enumerate_threshold <= 1.0:
+            raise ValueError("enumerate_threshold must be in (0, 1]")
+        self.tree = tree
+        self.buffer_size = buffer_size
+        self.rng = rng if rng is not None else random.Random()
+        self.enumerate_threshold = enumerate_threshold
+
+    # ------------------------------------------------------------------
+    # buffer maintenance
+    # ------------------------------------------------------------------
+
+    def prepare(self, cost: CostCounter | None = None) -> None:
+        """(Re)fill every node buffer (index build step; cost optional).
+
+        Always refills, even nodes that already hold a buffer — another
+        sampler (possibly with a different ``buffer_size``) may have
+        attached buffers to the same tree.
+        """
+        if self.tree.root is None:
+            return
+        sink = cost if cost is not None else CostCounter()
+        self._fill_post_order(self.tree.root, sink)
+
+    def _fill_post_order(self, node: Node, cost: CostCounter) -> None:
+        if not node.is_leaf:
+            for child in node.children or []:
+                self._fill_post_order(child, cost)
+        self._fill_buffer(node, cost)
+
+    def _ensure_buffer(self, node: Node, cost: CostCounter) -> None:
+        if node.sample_buffer is None \
+                or node.buffer_pos >= len(node.sample_buffer):
+            self._fill_buffer(node, cost)
+
+    def _fill_buffer(self, node: Node, cost: CostCounter) -> None:
+        """(Re)draw ``S(node)`` with fresh randomness."""
+        s = min(self.buffer_size, node.count)
+        if node.is_leaf:
+            cost.charge_node(node.node_id)
+            cost.charge_entries(node.members())
+            node.sample_buffer = sample_without_replacement(
+                node.entries or [], s, self.rng)
+        elif node.count <= self.buffer_size:
+            # Small subtree: the buffer is a full shuffled enumeration.
+            entries = list(_iter_subtree_entries(node))
+            cost.charge_entries(len(entries))
+            node.sample_buffer = sample_without_replacement(
+                entries, len(entries), self.rng)
+        else:
+            node.sample_buffer = self._merge_from_children(node, s, cost)
+        node.buffer_pos = 0
+
+    def _merge_from_children(self, node: Node, s: int, cost: CostCounter
+                             ) -> list[Entry]:
+        """Draw s items from the subtree by interleaving child buffers.
+
+        A refill gathers the distinct child blocks it needs and reads
+        them in layout order — one sweep per batch, so the charged I/O is
+        (mostly sequential) per *block*, not per sample.
+        """
+        children = node.children or []
+        remaining = [c.count for c in children]
+        batch: list[Entry] = []
+        seen: set[int] = set()
+        touched: set[int] = set()
+        attempts = 0
+        max_attempts = 4 * s + 16
+        total = sum(remaining)
+        while len(batch) < s and total > 0 and attempts < max_attempts:
+            attempts += 1
+            pick = self.rng.randrange(total)
+            cum = 0
+            idx = 0
+            for i, rem in enumerate(remaining):
+                cum += rem
+                if pick < cum:
+                    idx = i
+                    break
+            child = children[idx]
+            touched.add(child.node_id)
+            entry = self._draw_from_subtree(child, cost)
+            remaining[idx] -= 1
+            total -= 1
+            if entry.item_id in seen:
+                # A child's buffer wrapped mid-batch; skip the duplicate.
+                cost.charge_rejection()
+                continue
+            seen.add(entry.item_id)
+            batch.append(entry)
+        for node_id in sorted(touched):
+            cost.charge_node(node_id)
+        return batch
+
+    def _charge_subtree_scan(self, node: Node, cost: CostCounter) -> None:
+        """Charge a full layout-order sweep of a subtree's blocks."""
+        ids = []
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            ids.append(n.node_id)
+            if not n.is_leaf:
+                stack.extend(n.children or [])
+        for node_id in sorted(ids):
+            cost.charge_node(node_id)
+
+    def _draw_from_subtree(self, node: Node, cost: CostCounter) -> Entry:
+        """Next buffered sample of the subtree (refilling as needed)."""
+        self._ensure_buffer(node, cost)
+        if not node.sample_buffer:
+            # Pathological refill (merge produced only duplicates): fall
+            # back to a full shuffled enumeration of the subtree.
+            entries = list(_iter_subtree_entries(node))
+            self._charge_subtree_scan(node, cost)
+            cost.charge_entries(len(entries))
+            node.sample_buffer = sample_without_replacement(
+                entries, len(entries), self.rng)
+            node.buffer_pos = 0
+        entry = node.sample_buffer[node.buffer_pos]
+        node.buffer_pos += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def sample_stream(self, query: Rect, rng: random.Random,
+                      cost: CostCounter | None = None) -> Iterator[Entry]:
+        cost = cost if cost is not None else self.tree.cost
+        canon = self.tree.canonical_set(query, cost)
+        nodes = canon.nodes
+        residual_iter = streaming_shuffle(canon.residual, rng)
+        # Source 0..len(nodes)-1 are canonical nodes; the last source is
+        # the residual pool from partially overlapping leaves.
+        remaining = [n.count for n in nodes] + [len(canon.residual)]
+        counts = list(remaining)
+        emitted: set[int] = set()
+        enum_pools: dict[int, Iterator[Entry]] = {}
+        total = sum(remaining)
+        n_sources = len(remaining)
+        max_rem = max(remaining, default=0)
+        ar_misses = 0
+        while total > 0:
+            # --- acceptance/rejection selection of the next source -----
+            i = rng.randrange(n_sources)
+            if remaining[i] == 0 \
+                    or rng.random() >= remaining[i] / max_rem:
+                ar_misses += 1
+                if ar_misses >= 64:
+                    max_rem = max(remaining)
+                    ar_misses = 0
+                continue
+            ar_misses = 0
+            # --- draw one entry from the chosen source ------------------
+            if i == n_sources - 1:
+                entry = next(residual_iter)
+            elif i in enum_pools:
+                entry = next(enum_pools[i])
+            else:
+                entry = self._draw_checked(nodes[i], i, counts, remaining,
+                                           emitted, enum_pools, rng, cost)
+                if entry is None:
+                    continue
+            emitted.add(entry.item_id)
+            remaining[i] -= 1
+            total -= 1
+            cost.charge_sample()
+            yield entry
+
+    def _draw_checked(self, node: Node, i: int, counts: list[int],
+                      remaining: list[int], emitted: set[int],
+                      enum_pools: dict[int, Iterator[Entry]],
+                      rng: random.Random, cost: CostCounter
+                      ) -> Entry | None:
+        """Draw from a canonical node, skipping already-emitted points.
+
+        Returns ``None`` when the caller should re-select a source (the
+        node was switched to enumeration mode mid-draw).
+        """
+        streak = 0
+        while True:
+            consumed_fraction = 1.0 - remaining[i] / counts[i]
+            if consumed_fraction > self.enumerate_threshold \
+                    or streak >= _REJECT_STREAK_LIMIT:
+                pool = [e for e in _iter_subtree_entries(node)
+                        if e.item_id not in emitted]
+                self._charge_subtree_scan(node, cost)
+                cost.charge_entries(counts[i])
+                enum_pools[i] = streaming_shuffle(pool, rng)
+                return next(enum_pools[i])
+            entry = self._draw_from_subtree(node, cost)
+            if entry.item_id not in emitted:
+                return entry
+            cost.charge_rejection()
+            streak += 1
+
+    def sample_stream_with_replacement(
+            self, query: Rect, rng: random.Random,
+            cost: CostCounter | None = None) -> Iterator[Entry]:
+        """With-replacement draws: pick a canonical source ∝ its *full*
+        count each time and consume its (cycling) buffer.
+
+        Draws from one buffer batch are without replacement internally,
+        so very short gaps between repeats are slightly under-
+        represented; across batches the stream is uniform.  (The exact
+        construction would re-shuffle per draw — the buffered
+        approximation is the one the node-resident sample store makes
+        possible.)
+        """
+        cost = cost if cost is not None else self.tree.cost
+        canon = self.tree.canonical_set(query, cost)
+        residual = list(canon.residual)
+        weights = [n.count for n in canon.nodes] + [len(residual)]
+        total = sum(weights)
+        if total == 0:
+            return
+        while True:
+            pick = rng.randrange(total)
+            cum = 0
+            idx = 0
+            for i, w in enumerate(weights):
+                cum += w
+                if pick < cum:
+                    idx = i
+                    break
+            if idx == len(canon.nodes):
+                entry = residual[rng.randrange(len(residual))]
+            else:
+                entry = self._draw_from_subtree(canon.nodes[idx], cost)
+            cost.charge_sample()
+            yield entry
+
+    def range_count(self, query: Rect,
+                    cost: CostCounter | None = None) -> int:
+        return self.tree.range_count(
+            query, cost if cost is not None else self.tree.cost)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def buffered_nodes(self) -> int:
+        """Number of nodes currently holding a valid buffer."""
+        if self.tree.root is None:
+            return 0
+        total = 0
+        stack = [self.tree.root]
+        while stack:
+            node = stack.pop()
+            if node.sample_buffer is not None:
+                total += 1
+            if not node.is_leaf:
+                stack.extend(node.children or [])
+        return total

@@ -1,0 +1,234 @@
+"""Online query sessions: the query/analytics evaluator loop.
+
+A session wires a sampler to an estimator for one query and drives the
+online loop: pull a sample, absorb it, report a progressive estimate.  The
+paper's three termination modes map onto :class:`StopCondition`:
+
+* *user stop* — the caller simply stops iterating :meth:`run` (interactive
+  exploration: issue the next query whenever satisfied);
+* *accuracy requirement* — ``target_relative_error`` / ``target_half_width``;
+* *best effort* — ``max_seconds`` wall-clock budget.
+
+When the stream exhausts (k = q) the final estimate is exact, mirroring
+"quality improves over time until the exact result is obtained".
+
+The clock is injectable so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.estimators.base import Estimate, OnlineEstimator
+from repro.core.geometry import Rect
+from repro.core.records import Record
+from repro.core.sampling.base import SpatialSampler
+from repro.errors import EstimatorError, StormError
+from repro.index.cost import CostCounter
+
+__all__ = ["StopCondition", "ProgressPoint", "OnlineQuerySession"]
+
+
+@dataclass(frozen=True, slots=True)
+class StopCondition:
+    """When to end an online query.
+
+    Any combination may be set; the session stops at the first one met.
+    ``target_relative_error`` refers to the interval half-width relative
+    to the current estimate (the paper's "error within x%").
+    """
+
+    max_samples: int | None = None
+    max_seconds: float | None = None
+    target_relative_error: float | None = None
+    target_half_width: float | None = None
+    level: float = 0.95
+
+    def __post_init__(self):
+        if (self.max_samples is None and self.max_seconds is None
+                and self.target_relative_error is None
+                and self.target_half_width is None):
+            # Pure user-stop mode is allowed: the caller breaks the loop.
+            return
+        for name in ("max_samples", "max_seconds",
+                     "target_relative_error", "target_half_width"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise StormError(f"{name} must be positive, got {value}")
+
+
+@dataclass(slots=True)
+class ProgressPoint:
+    """One snapshot of a running query."""
+
+    k: int
+    elapsed: float
+    estimate: Estimate
+    cost: CostCounter
+    done: bool = False
+    reason: str = ""
+
+
+class OnlineQuerySession:
+    """Drives one (sampler, estimator, query) online-aggregation loop."""
+
+    def __init__(self, sampler: SpatialSampler,
+                 estimator: OnlineEstimator, query: Rect,
+                 lookup: Callable[[int], Record],
+                 rng: random.Random | None = None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 report_every: int = 16,
+                 with_replacement: bool = False):
+        if report_every < 1:
+            raise StormError("report_every must be >= 1")
+        self.sampler = sampler
+        self.estimator = estimator
+        self.query = query
+        self.lookup = lookup
+        self.rng = rng if rng is not None else random.Random()
+        self.clock = clock
+        self.report_every = report_every
+        self.with_replacement = with_replacement
+        self.cost = CostCounter()
+        # Resumable-session state: the stream, sample count and clock
+        # origin survive across run() calls.
+        self._stream: Iterator | None = None
+        self._k = 0
+        self._q: int | None = None
+        self._start: float | None = None
+        self._exhausted = False
+
+    # ------------------------------------------------------------------
+
+    def _current_estimate(self, level: float) -> Estimate | None:
+        try:
+            return self.estimator.estimate(level)
+        except EstimatorError:
+            return None  # not enough samples yet for this estimator
+
+    def _met(self, stop: StopCondition, estimate: Estimate | None,
+             elapsed: float, k: int, q: int) -> str:
+        if k >= q and not self.with_replacement:
+            return "exhausted (exact result)"
+        if stop.max_samples is not None and k >= stop.max_samples:
+            return "sample budget reached"
+        if stop.max_seconds is not None and elapsed >= stop.max_seconds:
+            return "time budget reached"
+        if estimate is not None and estimate.interval is not None:
+            if stop.target_half_width is not None \
+                    and estimate.interval.half_width \
+                    <= stop.target_half_width:
+                return "target half-width reached"
+            if stop.target_relative_error is not None \
+                    and estimate.interval.relative_half_width() \
+                    <= stop.target_relative_error:
+                return "target relative error reached"
+        return ""
+
+    def _ensure_started(self) -> None:
+        """Lazy initialisation shared by first run() and resumes."""
+        if self._stream is not None or self._exhausted:
+            return
+        self._q = self.sampler.range_count(self.query, self.cost)
+        self.estimator.set_population_size(self._q)
+        # With replacement, the finite-population correction and the
+        # "k = q means exact" collapse do not apply.
+        self.estimator.sampling_with_replacement = self.with_replacement
+        if self._q == 0:
+            self._exhausted = True
+            return
+        if self.with_replacement:
+            self._stream = self.sampler.sample_stream_with_replacement(
+                self.query, self.rng, cost=self.cost)
+        else:
+            self._stream = self.sampler.sample_stream(
+                self.query, self.rng, cost=self.cost)
+
+    def run(self, stop: StopCondition = StopCondition()
+            ) -> Iterator[ProgressPoint]:
+        """Yield progressive estimates until a stop condition fires.
+
+        The caller may also just stop iterating — that is the paper's
+        "user terminates the query" mode, and no further samples are
+        drawn once the generator is dropped.
+
+        Sessions are *resumable*: calling run() again after a stop
+        condition fired continues the same sample stream and estimator
+        ("s/he could also wait a bit longer for better quality").  The
+        elapsed clock covers the session's whole life, so time budgets
+        compose across resumes.
+        """
+        if self.with_replacement and stop.max_samples is None \
+                and stop.max_seconds is None \
+                and stop.target_relative_error is None \
+                and stop.target_half_width is None:
+            raise StormError(
+                "with-replacement sessions never exhaust; set a sample,"
+                " time, or accuracy stop condition")
+        if self._start is None:
+            self._start = self.clock()
+        self._ensure_started()
+        q = self._q
+        assert q is not None
+        if q == 0:
+            yield ProgressPoint(k=0, elapsed=self.clock() - self._start,
+                                estimate=Estimate(
+                                    value=None, std_error=None,
+                                    interval=None, k=0, q=0, exact=True),
+                                cost=self.cost.snapshot(), done=True,
+                                reason="empty range")
+            return
+        # A resume may already satisfy the new stop condition.
+        if self._k > 0:
+            elapsed = self.clock() - self._start
+            estimate = self._current_estimate(stop.level)
+            reason = self._met(stop, estimate, elapsed, self._k, q)
+            if reason:
+                yield ProgressPoint(
+                    k=self._k, elapsed=elapsed,
+                    estimate=estimate if estimate is not None else
+                    Estimate(value=None, std_error=None, interval=None,
+                             k=self._k, q=q),
+                    cost=self.cost.snapshot(), done=True, reason=reason)
+                return
+        assert self._stream is not None
+        for entry in self._stream:
+            record = self.lookup(entry.item_id)
+            self.estimator.absorb(record)
+            self._k += 1
+            k = self._k
+            boundary = (k % self.report_every == 0) \
+                or (k >= q and not self.with_replacement)
+            if not boundary:
+                continue
+            elapsed = self.clock() - self._start
+            estimate = self._current_estimate(stop.level)
+            reason = self._met(stop, estimate, elapsed, k, q)
+            if estimate is not None or reason:
+                yield ProgressPoint(
+                    k=k, elapsed=elapsed,
+                    estimate=estimate if estimate is not None else
+                    Estimate(value=None, std_error=None, interval=None,
+                             k=k, q=q),
+                    cost=self.cost.snapshot(), done=bool(reason),
+                    reason=reason)
+            if reason:
+                return
+        self._exhausted = True
+
+    def run_to_stop(self, stop: StopCondition) -> ProgressPoint:
+        """Run until a stop condition fires; return the final snapshot."""
+        last: ProgressPoint | None = None
+        for point in self.run(stop):
+            last = point
+        if last is None:
+            raise StormError("session produced no progress points")
+        return last
+
+    def history(self, stop: StopCondition) -> list[ProgressPoint]:
+        """Run to the stop condition, keeping every snapshot (used by the
+        error-vs-time experiments)."""
+        return list(self.run(stop))

@@ -1,0 +1,43 @@
+"""Distributed substrate: STORM on a (simulated) cluster.
+
+The paper: "STORM builds on a cluster of commodity machines to achieve its
+scalability ... distributed R-trees are used ... a distributed Hilbert
+R-tree is used to work with the underlying distributed cluster."
+
+``cluster``
+    Simulated machines with a latency/bandwidth network cost model and
+    per-worker I/O accounting.
+``partitioner``
+    Hilbert-range partitioning: contiguous curve ranges make shards both
+    balanced and spatially coherent.
+``dist_index``
+    The distributed Hilbert R-tree: one shard (Hilbert R-tree + RS-tree
+    sampler) per worker, with routed inserts/deletes and distributed
+    counting.
+``dist_sampler``
+    Merges per-worker sample streams into one globally uniform
+    without-replacement stream by remaining-count-proportional selection,
+    batching worker fetches to amortise network round-trips.
+
+Everything runs in one process; "distribution" is the cost model — the
+simulated wall-clock of a query is ``network + max over workers`` (the
+workers operate in parallel), which is what the scaling benchmark reports.
+"""
+
+from repro.distributed.cluster import (NetworkModel, NetworkStats,
+                                       SimulatedCluster, Worker)
+from repro.distributed.dataset import DistributedDataset
+from repro.distributed.dist_index import DistributedSTIndex
+from repro.distributed.dist_sampler import DistributedSampler
+from repro.distributed.partitioner import HilbertRangePartitioner
+
+__all__ = [
+    "DistributedDataset",
+    "DistributedSTIndex",
+    "DistributedSampler",
+    "HilbertRangePartitioner",
+    "NetworkModel",
+    "NetworkStats",
+    "SimulatedCluster",
+    "Worker",
+]

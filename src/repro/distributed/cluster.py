@@ -1,0 +1,226 @@
+"""Simulated cluster: workers, shards and the network cost model."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.geometry import Rect
+from repro.core.records import Record
+from repro.core.sampling.rs_tree import RSTreeSampler
+from repro.errors import ClusterError
+from repro.index.cost import CostCounter, CostModel, DEFAULT_COST_MODEL
+from repro.index.hilbert_rtree import HilbertRTree
+
+__all__ = ["NetworkModel", "NetworkStats", "Worker", "SimulatedCluster"]
+
+# Rough per-record wire size (a JSON document with a few attributes).
+RECORD_WIRE_BYTES = 120
+MESSAGE_HEADER_BYTES = 64
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkModel:
+    """Latency/bandwidth constants for simulated message exchange."""
+
+    latency_seconds: float = 200e-6          # same-rack RTT
+    bandwidth_bytes_per_second: float = 1e9  # 8 Gb/s effective
+
+    def seconds(self, messages: int, payload_bytes: int) -> float:
+        """Simulated seconds for a message count and payload size."""
+        return (messages * self.latency_seconds
+                + payload_bytes / self.bandwidth_bytes_per_second)
+
+
+@dataclass(slots=True)
+class NetworkStats:
+    """Tally of simulated network traffic."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+
+    def charge(self, messages: int = 1, payload_bytes: int = 0) -> None:
+        """Tally messages and payload bytes."""
+        self.messages += messages
+        self.payload_bytes += payload_bytes
+
+    def seconds(self, model: NetworkModel) -> float:
+        """Simulated network seconds under a model."""
+        return model.seconds(self.messages, self.payload_bytes)
+
+    def snapshot(self) -> "NetworkStats":
+        """Independent copy of the tallies."""
+        return NetworkStats(self.messages, self.payload_bytes)
+
+    def delta_from(self, earlier: "NetworkStats") -> "NetworkStats":
+        """Tallies accumulated since an earlier snapshot."""
+        return NetworkStats(self.messages - earlier.messages,
+                            self.payload_bytes - earlier.payload_bytes)
+
+
+class Worker:
+    """One machine: a shard of records with its own index + sampler.
+
+    ``sampler_kind`` picks the shard-local sampling index: ``"rs"``
+    (the default single Hilbert R-tree with buffers) or ``"ls"`` (a
+    per-shard level-sampling forest — the paper's "distributed R-trees
+    are used when applying the [LS-tree] idea in a distributed cluster
+    setting").
+    """
+
+    def __init__(self, worker_id: int, bounds: Rect, dims: int = 3,
+                 leaf_capacity: int = 64, branch_capacity: int = 16,
+                 rs_buffer_size: int = 64, seed: int = 0,
+                 sampler_kind: str = "rs"):
+        if sampler_kind not in ("rs", "ls"):
+            raise ClusterError(
+                f"sampler_kind must be rs|ls, not {sampler_kind!r}")
+        self.worker_id = worker_id
+        self.dims = dims
+        self.sampler_kind = sampler_kind
+        self.records: dict[int, Record] = {}
+        self.tree = HilbertRTree(dims, bounds,
+                                 leaf_capacity=leaf_capacity,
+                                 branch_capacity=branch_capacity)
+        self.cost = CostCounter()
+        self.forest = None
+        if sampler_kind == "ls":
+            from repro.core.sampling.ls_tree import LSTree, LSTreeSampler
+            self.forest = LSTree(dims,
+                                 rng=random.Random(seed ^ 0x5F5F),
+                                 leaf_capacity=leaf_capacity,
+                                 branch_capacity=branch_capacity)
+            self.forest.cost = self.cost
+            for t in self.forest.trees:
+                t.cost = self.cost
+            self.sampler = LSTreeSampler(self.forest)
+        else:
+            self.sampler = RSTreeSampler(self.tree,
+                                         buffer_size=rs_buffer_size,
+                                         rng=random.Random(seed))
+        self._streams: dict[int, object] = {}
+        self._next_stream = 0
+
+    def load(self, records: Iterable[Record]) -> None:
+        """Bulk-load this worker's shard."""
+        materialised = list(records)
+        for r in materialised:
+            self.records[r.record_id] = r
+        self.tree.bulk_load(
+            (r.record_id, r.key(self.dims)) for r in materialised)
+        if self.forest is not None:
+            self.forest.bulk_load(
+                (r.record_id, r.key(self.dims)) for r in materialised)
+            self.forest.cost = self.cost
+            for t in self.forest.trees:
+                t.cost = self.cost
+        else:
+            self.sampler.prepare()
+
+    def insert(self, record: Record) -> None:
+        """Insert one record into this worker's shard and indexes."""
+        if record.record_id in self.records:
+            raise ClusterError(
+                f"worker {self.worker_id}: duplicate record id "
+                f"{record.record_id}")
+        self.records[record.record_id] = record
+        self.tree.insert(record.record_id, record.key(self.dims))
+        if self.forest is not None:
+            self.forest.insert(record.record_id, record.key(self.dims))
+
+    def delete(self, record_id: int) -> bool:
+        """Delete by id from this shard; returns whether it existed."""
+        record = self.records.pop(record_id, None)
+        if record is None:
+            return False
+        if self.forest is not None:
+            self.forest.delete(record_id, record.key(self.dims))
+        return self.tree.delete(record_id, record.key(self.dims))
+
+    def range_count(self, query: Rect) -> int:
+        return self.tree.range_count(query, self.cost)
+
+    def open_stream(self, query: Rect, seed: int) -> int:
+        """Start a per-query sample stream; returns a stream handle."""
+        handle = self._next_stream
+        self._next_stream += 1
+        self._streams[handle] = self.sampler.sample_stream(
+            query, random.Random(seed), cost=self.cost)
+        return handle
+
+    def fetch_batch(self, handle: int, n: int) -> list:
+        """Next n samples of an open stream (fewer at exhaustion)."""
+        stream = self._streams.get(handle)
+        if stream is None:
+            raise ClusterError(f"no stream {handle} on worker "
+                               f"{self.worker_id}")
+        out = []
+        for entry in stream:  # type: ignore[union-attr]
+            out.append(entry)
+            if len(out) >= n:
+                break
+        return out
+
+    def close_stream(self, handle: int) -> None:
+        """Release a per-query stream handle."""
+        self._streams.pop(handle, None)
+
+    def lookup(self, record_id: int) -> Record:
+        """Fetch a record owned by this worker."""
+        record = self.records.get(record_id)
+        if record is None:
+            raise ClusterError(
+                f"record {record_id} not on worker {self.worker_id}")
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class SimulatedCluster:
+    """A set of workers plus shared network accounting."""
+
+    def __init__(self, n_workers: int, bounds: Rect, dims: int = 3,
+                 network: NetworkModel | None = None, seed: int = 0,
+                 **worker_kwargs):
+        if n_workers < 1:
+            raise ClusterError("need at least one worker")
+        self.network_model = network if network is not None \
+            else NetworkModel()
+        self.network = NetworkStats()
+        rng = random.Random(seed)
+        self.workers = [Worker(i, bounds, dims=dims,
+                               seed=rng.getrandbits(32), **worker_kwargs)
+                        for i in range(n_workers)]
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers in the cluster."""
+        return len(self.workers)
+
+    def total_records(self) -> int:
+        """Records across all shards."""
+        return sum(len(w) for w in self.workers)
+
+    def reset_costs(self) -> None:
+        """Zero the network and per-worker cost tallies."""
+        self.network = NetworkStats()
+        for w in self.workers:
+            w.cost.reset()
+
+    def max_worker_seconds(self,
+                           model: CostModel = DEFAULT_COST_MODEL,
+                           since: list[CostCounter] | None = None
+                           ) -> float:
+        """Parallel-execution time: the slowest worker's simulated I/O."""
+        seconds = []
+        for i, w in enumerate(self.workers):
+            cost = w.cost if since is None \
+                else w.cost.delta_from(since[i])
+            seconds.append(model.simulated_seconds(cost))
+        return max(seconds)
+
+    def snapshot_costs(self) -> list[CostCounter]:
+        """Per-worker cost snapshots (for delta timing)."""
+        return [w.cost.snapshot() for w in self.workers]

@@ -1,0 +1,97 @@
+"""DistributedDataset: the cluster behind the engine's dataset API.
+
+Lets a sharded data set register in a :class:`StormEngine` next to
+local datasets: the engine's one-call analytics (`avg`, `count`,
+`kde`, ...) and online sessions work unchanged, with samples drawn
+through the distributed merge sampler and record lookups routed to the
+owning worker.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.core.estimators.base import OnlineEstimator
+from repro.core.geometry import Rect
+from repro.core.records import Record, STRange
+from repro.core.session import OnlineQuerySession
+from repro.distributed.cluster import NetworkModel
+from repro.distributed.dist_index import DistributedSTIndex
+from repro.distributed.dist_sampler import DistributedSampler
+from repro.errors import ClusterError, StormError
+
+__all__ = ["DistributedDataset"]
+
+
+class DistributedDataset:
+    """A sharded dataset exposing the local Dataset's session API."""
+
+    def __init__(self, name: str, records: Iterable[Record],
+                 n_workers: int = 4, dims: int = 3,
+                 sampler_kind: str = "rs", batch_size: int = 32,
+                 network: NetworkModel | None = None, seed: int = 0,
+                 **worker_kwargs):
+        self.name = name
+        self.dims = dims
+        self.index = DistributedSTIndex(records, n_workers=n_workers,
+                                        dims=dims, network=network,
+                                        seed=seed,
+                                        sampler_kind=sampler_kind,
+                                        **worker_kwargs)
+        self.sampler = DistributedSampler(self.index,
+                                          batch_size=batch_size)
+
+    # -- Dataset-compatible surface ---------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    @property
+    def cluster(self):
+        """The underlying simulated cluster."""
+        return self.index.cluster
+
+    def lookup(self, record_id: int) -> Record:
+        """Fetch a record from its owning worker."""
+        return self.index.lookup(record_id)
+
+    def to_rect(self, query: "Rect | STRange") -> Rect:
+        """Convert a query to this dataset's box type."""
+        rect = self.index.to_rect(query)
+        if rect.dim != self.dims:
+            raise StormError(
+                f"query is {rect.dim}-d but dataset {self.name} is "
+                f"{self.dims}-d")
+        return rect
+
+    def insert(self, record: Record) -> None:
+        """Route an insert to the owning shard."""
+        self.index.insert(record)
+
+    def delete(self, record_id: int) -> bool:
+        """Delete by id (broadcast); returns whether it existed."""
+        return self.index.delete(record_id)
+
+    def session(self, query: "Rect | STRange",
+                estimator: OnlineEstimator, method: str | None = None,
+                rng: random.Random | None = None,
+                expected_k: int | None = None,
+                report_every: int = 16,
+                with_replacement: bool = False) -> OnlineQuerySession:
+        """An online session over the cluster.
+
+        ``method`` must be omitted (or ``"distributed-rs"``): the
+        shard-local sampling index was fixed at construction.
+        ``with_replacement`` is not offered by the distributed merge.
+        """
+        if method not in (None, self.sampler.name):
+            raise StormError(
+                f"distributed dataset {self.name!r} has no method "
+                f"{method!r}; it samples via {self.sampler.name!r}")
+        if with_replacement:
+            raise StormError(
+                "the distributed sampler is without-replacement only")
+        return OnlineQuerySession(self.sampler, estimator,
+                                  self.to_rect(query), self.lookup,
+                                  rng=rng, report_every=report_every)

@@ -1,0 +1,110 @@
+"""The distributed Hilbert R-tree: sharded index + routed updates."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.geometry import Rect
+from repro.core.records import Record, STRange
+from repro.distributed.cluster import (MESSAGE_HEADER_BYTES,
+                                       NetworkModel, SimulatedCluster)
+from repro.distributed.partitioner import HilbertRangePartitioner
+from repro.errors import ClusterError
+
+__all__ = ["DistributedSTIndex"]
+
+
+class DistributedSTIndex:
+    """One dataset sharded across a simulated cluster.
+
+    Build: partition records by Hilbert range, bulk-load one Hilbert
+    R-tree (+ RS sampler) per worker.  Queries fan out to workers whose
+    shard MBR intersects; updates route by partition key.  All control
+    messages charge the cluster's network stats.
+    """
+
+    def __init__(self, records: Iterable[Record], n_workers: int = 4,
+                 dims: int = 3, bounds: Rect | None = None,
+                 network: NetworkModel | None = None, seed: int = 0,
+                 **worker_kwargs):
+        materialised = list(records)
+        if not materialised:
+            raise ClusterError("cannot build an empty distributed index")
+        self.dims = dims
+        if bounds is None:
+            keys = [r.key(dims) for r in materialised]
+            base = Rect.bounding(keys)
+            pad_lo = [l - max((h - l) * 0.25, 1e-9)
+                      for l, h in zip(base.lo, base.hi)]
+            pad_hi = [h + max((h - l) * 0.25, 1e-9)
+                      for l, h in zip(base.lo, base.hi)]
+            bounds = Rect(pad_lo, pad_hi)
+        self.bounds = bounds
+        self.partitioner = HilbertRangePartitioner(bounds, n_workers,
+                                                   dims=dims)
+        self.cluster = SimulatedCluster(n_workers, bounds, dims=dims,
+                                        network=network, seed=seed,
+                                        **worker_kwargs)
+        shards = self.partitioner.split(materialised)
+        for worker, shard in zip(self.cluster.workers, shards):
+            worker.load(shard)
+
+    # -- helpers ---------------------------------------------------------
+
+    def to_rect(self, query: "Rect | STRange") -> Rect:
+        """Convert an STRange/Rect query to the index's box type."""
+        if isinstance(query, STRange):
+            return query.to_rect(self.dims)
+        return query
+
+    def _intersecting_workers(self, query: Rect):
+        out = []
+        for worker in self.cluster.workers:
+            root = worker.tree.root
+            if root is not None and query.intersects(root.mbr):
+                out.append(worker)
+        return out
+
+    # -- queries -----------------------------------------------------------
+
+    def range_count(self, query: "Rect | STRange") -> int:
+        """Exact distributed count (one round trip to touched workers)."""
+        rect = self.to_rect(query)
+        total = 0
+        for worker in self._intersecting_workers(rect):
+            self.cluster.network.charge(
+                messages=2, payload_bytes=2 * MESSAGE_HEADER_BYTES)
+            total += worker.range_count(rect)
+        return total
+
+    def lookup(self, record_id: int) -> Record:
+        """Fetch a record from whichever worker owns it."""
+        for worker in self.cluster.workers:
+            record = worker.records.get(record_id)
+            if record is not None:
+                self.cluster.network.charge(
+                    messages=2,
+                    payload_bytes=MESSAGE_HEADER_BYTES + 120)
+                return record
+        raise ClusterError(f"record {record_id} not in the cluster")
+
+    def __len__(self) -> int:
+        return self.cluster.total_records()
+
+    # -- updates -------------------------------------------------------------
+
+    def insert(self, record: Record) -> None:
+        """Route one record to its Hilbert-range shard."""
+        shard = self.partitioner.shard_of(record)
+        self.cluster.network.charge(
+            messages=2, payload_bytes=MESSAGE_HEADER_BYTES + 120)
+        self.cluster.workers[shard].insert(record)
+
+    def delete(self, record_id: int) -> bool:
+        """Delete by id (broadcast; routing needs the key we don't have)."""
+        for worker in self.cluster.workers:
+            self.cluster.network.charge(
+                messages=2, payload_bytes=2 * MESSAGE_HEADER_BYTES)
+            if worker.delete(record_id):
+                return True
+        return False

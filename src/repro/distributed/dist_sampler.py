@@ -1,0 +1,127 @@
+"""Globally uniform sampling over the distributed index.
+
+Each worker's RS-tree stream is uniform without replacement over its own
+shard's in-range points.  Choosing the next *worker* with probability
+proportional to its remaining in-range count and consuming the next item
+of that worker's stream therefore yields a globally uniform
+without-replacement stream (shards are disjoint — same argument as the
+RS-tree's node merge).
+
+Network efficiency comes from batching: the coordinator pre-fetches
+``batch_size`` samples per request, amortising one round trip over many
+samples.  Statistics are unaffected — batching only reorders *when* the
+worker computes its stream, not *what* it returns.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.geometry import Rect
+from repro.core.records import STRange
+from repro.distributed.cluster import (MESSAGE_HEADER_BYTES,
+                                       RECORD_WIRE_BYTES)
+from repro.distributed.dist_index import DistributedSTIndex
+from repro.errors import ClusterError
+from repro.index.cost import CostCounter, CostModel, DEFAULT_COST_MODEL
+from repro.index.rtree import Entry
+
+__all__ = ["DistributedSampler"]
+
+
+class DistributedSampler:
+    """Coordinator-side merge of per-worker sample streams."""
+
+    name = "distributed-rs"
+
+    def __init__(self, index: DistributedSTIndex, batch_size: int = 32):
+        if batch_size < 1:
+            raise ClusterError("batch_size must be >= 1")
+        self.index = index
+        self.batch_size = batch_size
+        self._last_query_seconds: float | None = None
+
+    def range_count(self, query: "Rect | STRange",
+                    cost: "CostCounter | None" = None) -> int:
+        """``cost`` is accepted for session-protocol compatibility; the
+        cluster does its own per-worker/network accounting."""
+        return self.index.range_count(query)
+
+    def sample_stream(self, query: "Rect | STRange",
+                      rng: random.Random,
+                      cost: "CostCounter | None" = None
+                      ) -> Iterator[Entry]:
+        """Uniform without-replacement samples of the global range."""
+        rect = self.index.to_rect(query)
+        cluster = self.index.cluster
+        workers = self.index._intersecting_workers(rect)
+        worker_costs = cluster.snapshot_costs()
+        net_before = cluster.network.snapshot()
+        remaining: list[int] = []
+        handles: list[int] = []
+        buffers: list[list[Entry]] = []
+        for worker in workers:
+            cluster.network.charge(
+                messages=2, payload_bytes=2 * MESSAGE_HEADER_BYTES)
+            remaining.append(worker.range_count(rect))
+            handles.append(worker.open_stream(rect,
+                                              rng.getrandbits(32)))
+            buffers.append([])
+        total = sum(remaining)
+        try:
+            while total > 0:
+                pick = rng.randrange(total)
+                cum = 0
+                idx = 0
+                for i, rem in enumerate(remaining):
+                    cum += rem
+                    if pick < cum:
+                        idx = i
+                        break
+                if not buffers[idx]:
+                    want = min(self.batch_size, remaining[idx])
+                    batch = workers[idx].fetch_batch(handles[idx], want)
+                    cluster.network.charge(
+                        messages=2,
+                        payload_bytes=(MESSAGE_HEADER_BYTES
+                                       + len(batch)
+                                       * RECORD_WIRE_BYTES))
+                    if not batch:
+                        # Defensive: count said more, stream disagrees.
+                        total -= remaining[idx]
+                        remaining[idx] = 0
+                        continue
+                    buffers[idx] = batch[::-1]  # pop() consumes in order
+                entry = buffers[idx].pop()
+                remaining[idx] -= 1
+                total -= 1
+                yield entry
+        finally:
+            for worker, handle in zip(workers, handles):
+                worker.close_stream(handle)
+            self._last_query_seconds = (
+                cluster.network.delta_from(net_before).seconds(
+                    cluster.network_model)
+                + cluster.max_worker_seconds(since=worker_costs))
+
+    def sample(self, query: "Rect | STRange", k: int,
+               rng: random.Random) -> list[Entry]:
+        """The first k samples of a fresh stream (closed afterwards)."""
+        stream = self.sample_stream(query, rng)
+        out: list[Entry] = []
+        for entry in stream:
+            out.append(entry)
+            if len(out) >= k:
+                break
+        stream.close()  # run cleanup now so timing is recorded
+        return out
+
+    def last_query_seconds(self,
+                           model: CostModel = DEFAULT_COST_MODEL
+                           ) -> float:
+        """Simulated wall time of the last finished stream: network plus
+        the slowest worker (workers run in parallel)."""
+        if self._last_query_seconds is None:
+            raise ClusterError("no query has completed yet")
+        return self._last_query_seconds

@@ -1,0 +1,82 @@
+"""Hilbert-range partitioning of records across workers.
+
+Sorting by Hilbert key and cutting into contiguous ranges gives shards
+that are simultaneously *balanced* (equal counts) and *spatially
+coherent* (each shard covers a compact region), so range queries touch
+few workers and per-worker canonical sets stay small — the property a
+distributed Hilbert R-tree is built around.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+from repro.core.geometry import Rect
+from repro.core.records import Record
+from repro.errors import ClusterError
+from repro.index.hilbert import HilbertEncoder
+
+__all__ = ["HilbertRangePartitioner"]
+
+
+class HilbertRangePartitioner:
+    """Splits records into contiguous Hilbert-key ranges."""
+
+    def __init__(self, bounds: Rect, shards: int, bits: int = 16,
+                 dims: int = 3):
+        if shards < 1:
+            raise ClusterError("need at least one shard")
+        if bounds.dim != dims:
+            raise ClusterError(
+                f"bounds are {bounds.dim}-d but partitioner is {dims}-d")
+        self.shards = shards
+        self.dims = dims
+        self.encoder = HilbertEncoder(bounds, bits=bits)
+        # Upper key bound per shard (exclusive), learned at split time.
+        self._boundaries: list[int] | None = None
+
+    def key(self, record: Record) -> int:
+        """Hilbert curve position of a record's key."""
+        return self.encoder.key(record.key(self.dims))
+
+    def split(self, records: Iterable[Record]) -> list[list[Record]]:
+        """Sort by curve position and cut into equal contiguous chunks.
+
+        Also learns the shard boundaries used to route later updates.
+        """
+        ordered = sorted(records, key=self.key)
+        n = len(ordered)
+        if n == 0:
+            self._boundaries = [2 ** 63] * self.shards
+            return [[] for _ in range(self.shards)]
+        out: list[list[Record]] = []
+        boundaries: list[int] = []
+        base, extra = divmod(n, self.shards)
+        start = 0
+        for i in range(self.shards):
+            size = base + (1 if i < extra else 0)
+            chunk = ordered[start:start + size]
+            out.append(chunk)
+            start += size
+            if i < self.shards - 1 and start < n:
+                boundaries.append(self.key(ordered[start]))
+            else:
+                boundaries.append(2 ** 63)
+        self._boundaries = boundaries
+        return out
+
+    def shard_of(self, record: Record) -> int:
+        """Route a record to its shard (after :meth:`split` ran)."""
+        if self._boundaries is None:
+            raise ClusterError("partitioner has not split any data yet")
+        return bisect.bisect_right(self._boundaries[:-1],
+                                   self.key(record))
+
+    def balance(self, shards: Sequence[Sequence[Record]]) -> float:
+        """max/mean shard size (1.0 = perfectly balanced)."""
+        sizes = [len(s) for s in shards]
+        mean = sum(sizes) / len(sizes)
+        if mean == 0:
+            return 1.0
+        return max(sizes) / mean

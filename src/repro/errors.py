@@ -1,0 +1,65 @@
+"""Exception hierarchy for the STORM reproduction.
+
+Every error raised by the library derives from :class:`StormError`, so
+applications can catch one base class.  Subsystems raise the most specific
+subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class StormError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(StormError):
+    """Invalid geometric arguments (mismatched dimensions, inverted boxes)."""
+
+
+class IndexError_(StormError):
+    """Structural problem in a spatial index (named with a trailing
+    underscore to avoid shadowing the builtin :class:`IndexError`)."""
+
+
+class EmptyRangeError(StormError):
+    """A sampler was asked to sample from a range containing no points."""
+
+
+class SamplerExhaustedError(StormError):
+    """All points in the query range have already been emitted."""
+
+
+class QueryParseError(StormError):
+    """The keyword query language parser rejected the input text."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class SchemaError(StormError):
+    """Schema discovery or field mapping failed for a data source."""
+
+
+class ConnectorError(StormError):
+    """A data connector could not read from its backing storage engine."""
+
+
+class StorageError(StormError):
+    """The document store / simulated DFS hit an invalid operation."""
+
+
+class UpdateError(StormError):
+    """The update manager could not apply an insert/delete batch."""
+
+
+class EstimatorError(StormError):
+    """An online estimator was used incorrectly (e.g. no samples yet)."""
+
+
+class OptimizerError(StormError):
+    """The query optimizer could not pick a sampling strategy."""
+
+
+class ClusterError(StormError):
+    """The simulated cluster was configured or used incorrectly."""

@@ -1,0 +1,16 @@
+"""Extensions beyond the demo paper's core system.
+
+``irs1d``
+    A practical take on *independent range sampling* (Hu, Qiao & Tao,
+    PODS 2014), which the paper's related-work section describes as
+    "purely theoretical, too complicated to be implemented or used in
+    practice ... only for one-dimensional data".  This module implements
+    a simplified static 1-d structure with the property that matters —
+    every sample is independent across and within queries — as a
+    baseline to compare the paper's 2-d/3-d indexes against on 1-d
+    workloads.
+"""
+
+from repro.extensions.irs1d import IRS1D
+
+__all__ = ["IRS1D"]

@@ -1,0 +1,119 @@
+"""Independent range sampling on static 1-d data (simplified).
+
+Hu, Qiao & Tao (PODS 2014) ask for samples that are independent both
+within one query and across queries — stronger than Definition 1, which
+only needs per-query uniformity.  Their external-memory structure is
+intricate; on static in-memory 1-d data the essence is simple:
+
+* keep the points in a sorted array;
+* a range query ``[lo, hi]`` maps to a contiguous rank interval
+  ``[i, j)`` via two binary searches (O(log N));
+* a with-replacement sample is an independent uniform rank in
+  ``[i, j)`` — O(1) per sample, trivially independent across queries;
+* a without-replacement stream uses a *sparse* Fisher-Yates over the
+  virtual index range (a dict holding only displaced slots), O(1)
+  amortised per sample and O(k) memory for k samples — no O(q)
+  materialisation.
+
+Updates are not supported (the point the paper makes — "their external
+memory data structure is static"); ``IRS1D`` raises on mutation
+attempts so misuse is loud.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import EmptyRangeError, IndexError_
+
+__all__ = ["IRS1D"]
+
+
+class IRS1D:
+    """Static sorted-array index with independent range sampling."""
+
+    def __init__(self, items: Iterable[tuple[int, float]]):
+        pairs = sorted(((float(value), int(item_id))
+                        for item_id, value in items))
+        self._values = [v for v, _ in pairs]
+        self._ids = [i for _, i in pairs]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # ------------------------------------------------------------------
+
+    def rank_range(self, lo: float, hi: float) -> tuple[int, int]:
+        """Ranks [i, j) of points with value in the closed [lo, hi]."""
+        if lo > hi:
+            raise IndexError_("inverted 1-d range")
+        i = bisect.bisect_left(self._values, lo)
+        j = bisect.bisect_right(self._values, hi)
+        return i, j
+
+    def range_count(self, lo: float, hi: float) -> int:
+        i, j = self.rank_range(lo, hi)
+        return j - i
+
+    # ------------------------------------------------------------------
+
+    def sample_one(self, lo: float, hi: float, rng: random.Random
+                   ) -> tuple[int, float]:
+        """One independent uniform sample from the range: O(log N)."""
+        i, j = self.rank_range(lo, hi)
+        if i >= j:
+            raise EmptyRangeError("no points in the 1-d range")
+        rank = rng.randrange(i, j)
+        return self._ids[rank], self._values[rank]
+
+    def sample_stream_with_replacement(
+            self, lo: float, hi: float, rng: random.Random
+            ) -> Iterator[tuple[int, float]]:
+        """Independent draws forever (caller stops).  Yields nothing on
+        an empty range."""
+        i, j = self.rank_range(lo, hi)
+        if i >= j:
+            return
+        while True:
+            rank = rng.randrange(i, j)
+            yield self._ids[rank], self._values[rank]
+
+    def sample_stream(self, lo: float, hi: float, rng: random.Random
+                      ) -> Iterator[tuple[int, float]]:
+        """Uniform without-replacement stream via sparse Fisher-Yates.
+
+        Memory is O(samples consumed), not O(q): only swapped slots are
+        stored.  Every prefix is a uniform k-subset in uniform order.
+        """
+        i, j = self.rank_range(lo, hi)
+        displaced: dict[int, int] = {}
+        for cursor in range(i, j):
+            pick = rng.randrange(cursor, j)
+            chosen = displaced.get(pick, pick)
+            displaced[pick] = displaced.get(cursor, cursor)
+            yield self._ids[chosen], self._values[chosen]
+
+    # ------------------------------------------------------------------
+    # loud non-support of updates (the structure is static)
+    # ------------------------------------------------------------------
+
+    def insert(self, item_id: int, value: float) -> None:
+        """Unsupported: the structure is static; raises IndexError_."""
+        raise IndexError_(
+            "IRS1D is static (Hu et al.'s structure does not support "
+            "dynamic updates); rebuild instead")
+
+    def delete(self, item_id: int, value: float) -> None:
+        """Unsupported: the structure is static; raises IndexError_."""
+        raise IndexError_(
+            "IRS1D is static (Hu et al.'s structure does not support "
+            "dynamic updates); rebuild instead")
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "IRS1D":
+        """Build with sequential ids (convenience for benchmarks)."""
+        return cls(enumerate(values))

@@ -1,0 +1,174 @@
+"""d-dimensional Hilbert curve codec.
+
+Implements Skilling's transpose algorithm ("Programming the Hilbert curve",
+AIP Conf. Proc. 707, 2004), which maps between a point on the ``2^bits``
+integer grid in ``dim`` dimensions and its position along the Hilbert
+space-filling curve.  The Hilbert R-tree (and therefore the RS-tree) sorts
+points by this position: nearby curve positions are nearby in space, which
+is what gives the single-tree sampler its block locality.
+
+``hilbert_index``/``hilbert_point`` work on integer grid coordinates;
+:class:`HilbertEncoder` handles the float world, normalising points inside a
+bounding box onto the grid.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.geometry import Rect
+from repro.errors import GeometryError
+
+__all__ = ["hilbert_index", "hilbert_point", "HilbertEncoder"]
+
+
+def _axes_to_transpose(coords: Sequence[int], bits: int, dim: int
+                       ) -> list[int]:
+    """Convert grid axes to the 'transposed' Hilbert representation."""
+    x = list(coords)
+    m = 1 << (bits - 1)
+    # Inverse undo excess work.
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(dim):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+    # Gray encode.
+    for i in range(1, dim):
+        x[i] ^= x[i - 1]
+    t = 0
+    q = m
+    while q > 1:
+        if x[dim - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(dim):
+        x[i] ^= t
+    return x
+
+
+def _transpose_to_axes(transposed: Sequence[int], bits: int, dim: int
+                       ) -> list[int]:
+    """Inverse of :func:`_axes_to_transpose`."""
+    x = list(transposed)
+    n = 2 << (bits - 1)
+    # Gray decode by H ^ (H/2).
+    t = x[dim - 1] >> 1
+    for i in range(dim - 1, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+    # Undo excess work.
+    q = 2
+    while q != n:
+        p = q - 1
+        for i in range(dim - 1, -1, -1):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q <<= 1
+    return x
+
+
+def _interleave(transposed: Sequence[int], bits: int, dim: int) -> int:
+    """Pack the transposed representation into a single integer key."""
+    key = 0
+    for j in range(bits - 1, -1, -1):
+        for i in range(dim):
+            key = (key << 1) | ((transposed[i] >> j) & 1)
+    return key
+
+
+def _deinterleave(key: int, bits: int, dim: int) -> list[int]:
+    """Unpack a key into the transposed representation."""
+    x = [0] * dim
+    for j in range(bits - 1, -1, -1):
+        for i in range(dim):
+            shift = j * dim + (dim - 1 - i)
+            x[i] = (x[i] << 1) | ((key >> shift) & 1)
+    return x
+
+
+def hilbert_index(coords: Sequence[int], bits: int) -> int:
+    """Hilbert curve position of an integer grid point.
+
+    ``coords`` must all lie in ``[0, 2^bits)``.  The result lies in
+    ``[0, 2^(bits*dim))`` and adjacent results are adjacent grid cells.
+    """
+    dim = len(coords)
+    if dim < 1:
+        raise GeometryError("need at least one coordinate")
+    limit = 1 << bits
+    for c in coords:
+        if not 0 <= c < limit:
+            raise GeometryError(
+                f"coordinate {c} outside grid [0, {limit})")
+    if dim == 1:
+        return int(coords[0])
+    return _interleave(_axes_to_transpose(coords, bits, dim), bits, dim)
+
+
+def hilbert_point(index: int, bits: int, dim: int) -> tuple[int, ...]:
+    """Inverse of :func:`hilbert_index`."""
+    if not 0 <= index < (1 << (bits * dim)):
+        raise GeometryError("hilbert index out of range for grid")
+    if dim == 1:
+        return (index,)
+    return tuple(_transpose_to_axes(_deinterleave(index, bits, dim),
+                                    bits, dim))
+
+
+class HilbertEncoder:
+    """Maps float points inside a bounding box to Hilbert keys.
+
+    The encoder snaps each coordinate onto a ``2^bits`` grid over the
+    bounding box.  Points outside the box are clamped, so the encoder stays
+    usable when updates extend slightly beyond the original data extent.
+    """
+
+    __slots__ = ("bounds", "bits", "_scale")
+
+    def __init__(self, bounds: Rect, bits: int = 16):
+        if bits < 1 or bits * bounds.dim > 63 * 3:
+            raise GeometryError(f"unsupported bits per dimension: {bits}")
+        self.bounds = bounds
+        self.bits = bits
+        cells = (1 << bits) - 1
+        scale = []
+        for lo, hi in zip(bounds.lo, bounds.hi):
+            extent = hi - lo
+            scale.append(cells / extent if extent > 0 else 0.0)
+        self._scale = tuple(scale)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the encoder's grid."""
+        return self.bounds.dim
+
+    def grid(self, point: Sequence[float]) -> tuple[int, ...]:
+        """Snap a float point onto the integer grid (clamping)."""
+        if len(point) != self.dim:
+            raise GeometryError(
+                f"point has {len(point)} coords, encoder is {self.dim}-d")
+        cells = (1 << self.bits) - 1
+        out = []
+        for c, lo, s in zip(point, self.bounds.lo, self._scale):
+            g = int((c - lo) * s)
+            if g < 0:
+                g = 0
+            elif g > cells:
+                g = cells
+            out.append(g)
+        return tuple(out)
+
+    def key(self, point: Sequence[float]) -> int:
+        """Hilbert key of a float point."""
+        return hilbert_index(self.grid(point), self.bits)

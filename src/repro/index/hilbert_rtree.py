@@ -1,0 +1,186 @@
+"""Hilbert R-tree: an R-tree whose entries are ordered by Hilbert key.
+
+The RS-tree sampler (Section 3.1 of the paper) is built "based on a single
+Hilbert R-tree over P".  Ordering leaves along the Hilbert curve gives the
+tree two properties the sampler exploits:
+
+* leaves are laid out in curve order, so node ids (= block ids) of a range
+  scan are nearly consecutive — sequential I/O under the cost model;
+* insertion placement is decided by key comparison instead of the
+  enlargement heuristic, so updates keep the ordering (and the per-node
+  sample buffers stay attached to geographically coherent subtrees).
+
+Internal nodes carry ``lhv`` — the largest Hilbert value in their subtree —
+which guides insertions exactly as in Kamel & Faloutsos' original design.
+Splits divide members in key order (order-preserving 1-to-2 split).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.geometry import Rect
+from repro.errors import IndexError_
+from repro.index.hilbert import HilbertEncoder
+from repro.index.rtree import Entry, Node, RTree, _even_chunks
+
+__all__ = ["HilbertRTree"]
+
+
+class HilbertRTree(RTree):
+    """R-tree ordered by the Hilbert curve position of each point.
+
+    ``bounds`` fixes the grid the Hilbert encoder snaps points onto.  Points
+    inserted outside the bounds are clamped onto the boundary cells — fine
+    for sampling correctness (keys only affect placement), though heavy
+    out-of-bounds insertion degrades clustering.
+    """
+
+    def __init__(self, dims: int, bounds: Rect, bits: int = 16,
+                 leaf_capacity: int = 64, branch_capacity: int = 16,
+                 min_fill: float = 0.4):
+        super().__init__(dims, leaf_capacity=leaf_capacity,
+                         branch_capacity=branch_capacity, min_fill=min_fill)
+        if bounds.dim != dims:
+            raise IndexError_(
+                f"bounds are {bounds.dim}-d but the tree is {dims}-d")
+        self.encoder = HilbertEncoder(bounds, bits=bits)
+
+    # ------------------------------------------------------------------
+    # key helpers
+    # ------------------------------------------------------------------
+
+    def entry_key(self, entry: Entry) -> int:
+        """Hilbert key of a leaf entry's point."""
+        return self.encoder.key(entry.point)
+
+    # ------------------------------------------------------------------
+    # bulk load: chunk in key order instead of STR tiling
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[tuple[int, Sequence[float]]]) -> None:
+        """STR-free bulk load: sort by Hilbert key, chunk, set lhv."""
+        super().bulk_load(items)
+        if self.root is not None:
+            self._recompute_lhv(self.root)
+
+    def _partition_entries(self, entries: list[Entry]) -> list[list[Entry]]:
+        return _even_chunks(sorted(entries, key=self.entry_key),
+                            self.leaf_capacity)
+
+    def _partition_nodes(self, nodes: list[Node]) -> list[list[Node]]:
+        # Bulk loading creates nodes in key order already; preserve it.
+        return _even_chunks(nodes, self.branch_capacity)
+
+    def _recompute_lhv(self, node: Node) -> int:
+        if node.is_leaf:
+            node.lhv = max((self.entry_key(e) for e in node.entries or []),
+                           default=0)
+        else:
+            node.lhv = max(self._recompute_lhv(c)
+                           for c in node.children or [])
+        return node.lhv
+
+    # ------------------------------------------------------------------
+    # dynamic updates: key-guided placement, order-preserving splits
+    # ------------------------------------------------------------------
+
+    def insert(self, item_id: int, point: Sequence[float]) -> None:
+        """Key-guided insert (sets lhv on the empty-tree fast path)."""
+        was_empty = self.root is None
+        super().insert(item_id, point)
+        if was_empty and self.root is not None:
+            # The empty-tree fast path skips _choose_leaf, so set lhv here.
+            self.root.lhv = self.encoder.key(
+                tuple(float(c) for c in point))
+
+    def _choose_leaf(self, entry: Entry) -> Node:
+        """Descend to the child with the smallest ``lhv >= key``."""
+        key = self.entry_key(entry)
+        node = self.root
+        assert node is not None
+        while not node.is_leaf:
+            children = node.children or []
+            chosen = None
+            for child in children:
+                if child.lhv >= key:
+                    chosen = child
+                    break
+            node = chosen if chosen is not None else children[-1]
+        if node.lhv < key:
+            # The new maximum propagates on the way up in _adjust_upward;
+            # set it here for the leaf itself.
+            self._bump_lhv_upward(node, key)
+        return node
+
+    def _bump_lhv_upward(self, node: Node, key: int) -> None:
+        n: Node | None = node
+        while n is not None and n.lhv < key:
+            n.lhv = key
+            n = n.parent
+
+    def _split_members(self, node: Node) -> Node:
+        """Order-preserving split: first half stays, second half moves."""
+        if node.is_leaf:
+            members = sorted(node.entries or [], key=self.entry_key)
+            half = len(members) // 2
+            node.entries = members[:half]
+            sibling = self._new_leaf(members[half:])
+        else:
+            members = sorted(node.children or [], key=lambda c: c.lhv)
+            half = len(members) // 2
+            node.children = members[:half]
+            sibling = self._new_internal(members[half:])
+        node.recompute_mbr()
+        node.recompute_count()
+        sibling.recompute_count()
+        if node.is_leaf:
+            node.lhv = max((self.entry_key(e) for e in node.entries or []),
+                           default=0)
+            sibling.lhv = max(
+                (self.entry_key(e) for e in sibling.entries or []),
+                default=0)
+        else:
+            node.lhv = max((c.lhv for c in node.children or []), default=0)
+            sibling.lhv = max((c.lhv for c in sibling.children or []),
+                              default=0)
+        self._invalidate_buffer(node)
+        self._invalidate_buffer(sibling)
+        return sibling
+
+    def _split(self, node: Node) -> None:
+        sibling = self._split_members(node)
+        parent = node.parent
+        if parent is None:
+            new_root = self._new_internal([node, sibling])
+            new_root.lhv = max(node.lhv, sibling.lhv)
+            self.root = new_root
+            self.root.parent = None
+            self.height += 1
+            return
+        sibling.parent = parent
+        # Keep the parent's children in lhv order so descents stay correct.
+        children = parent.children or []
+        idx = children.index(node)
+        children.insert(idx + 1, sibling)
+        if parent.members() > self.branch_capacity:
+            self._split(parent)
+
+    def validate(self) -> None:
+        """Base R-tree invariants plus lhv domination."""
+        super().validate()
+        if self.root is not None:
+            self._validate_lhv(self.root)
+
+    def _validate_lhv(self, node: Node) -> int:
+        """lhv must dominate every key below (it may be stale-high after
+        deletions, which only affects insertion placement, not queries)."""
+        if node.is_leaf:
+            actual = max((self.entry_key(e) for e in node.entries or []),
+                         default=0)
+        else:
+            actual = max(self._validate_lhv(c) for c in node.children or [])
+        if node.lhv < actual:
+            raise IndexError_(
+                f"node {node.node_id} lhv {node.lhv} < max key {actual}")
+        return actual

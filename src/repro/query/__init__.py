@@ -1,0 +1,35 @@
+"""STORM's keyword query language and query interface.
+
+The paper: "its query interface supports a keyword based query language
+with a query parser, where predefined keywords are used to specify an
+aggregation or an analytical task ... a temporal range and a spatial
+region (on a map) are used to define a spatio-temporal query range."
+
+Examples the parser accepts::
+
+    ESTIMATE AVG(altitude) FROM osm
+        WHERE REGION(-114, 37, -109, 42) AND TIME(0, 86400)
+        WITHIN ERROR 2% CONFIDENCE 95%
+
+    ESTIMATE KDE GRID 32x24 FROM tweets
+        WHERE REGION(-112.3, 40.4, -111.5, 41.1)
+        BUDGET 200 MS
+
+    ESTIMATE TERMS OF text FROM tweets
+        WHERE REGION(-84.55, 33.6, -84.25, 33.9)
+          AND TIME('2014-02-10', '2014-02-13')
+        SAMPLES 500
+
+    EXPLAIN ESTIMATE COUNT FROM osm WHERE REGION(0, 0, 10, 10)
+
+``parse`` produces a :class:`~repro.query.ast.QuerySpec`;
+:class:`~repro.query.executor.QueryExecutor` runs it against a
+:class:`~repro.core.engine.StormEngine`.
+"""
+
+from repro.query.ast import QuerySpec, TaskSpec
+from repro.query.executor import QueryExecutor, QueryResult
+from repro.query.language import parse, tokenize
+
+__all__ = ["QueryExecutor", "QueryResult", "QuerySpec", "TaskSpec",
+           "parse", "tokenize"]

@@ -1,0 +1,100 @@
+"""AST for the keyword query language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.records import STRange
+from repro.errors import QueryParseError
+
+__all__ = ["TaskSpec", "QuerySpec", "FilterSpec"]
+
+TASK_KINDS = ("avg", "sum", "count", "std", "var", "median", "quantile",
+              "kde", "terms", "trajectory", "clusters", "timeseries")
+
+FILTER_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True, slots=True)
+class TaskSpec:
+    """What to estimate.
+
+    ``kind`` is one of :data:`TASK_KINDS`; ``attribute`` names the record
+    attribute for aggregates / the text field for TERMS / the key field
+    for TRAJECTORY; ``params`` holds task-specific extras (grid size,
+    quantile, cluster count, trajectory key value...).
+    """
+
+    kind: str
+    attribute: str | None = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in TASK_KINDS:
+            raise QueryParseError(f"unknown task kind {self.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class FilterSpec:
+    """A record predicate: ``FILTER(attr op value)``."""
+
+    attribute: str
+    op: str
+    value: object
+
+    def __post_init__(self):
+        if self.op not in FILTER_OPS:
+            raise QueryParseError(f"unknown filter operator {self.op!r}")
+
+    def matches(self, record) -> bool:
+        """Evaluate the predicate against one record (False on type/missi
+        ng)."""
+        try:
+            v = record.attrs[self.attribute]
+        except KeyError:
+            return False
+        try:
+            if self.op == "=":
+                return v == self.value
+            if self.op == "!=":
+                return v != self.value
+            if self.op == "<":
+                return v < self.value
+            if self.op == "<=":
+                return v <= self.value
+            if self.op == ">":
+                return v > self.value
+            return v >= self.value
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One parsed query."""
+
+    task: TaskSpec
+    dataset: str
+    region: tuple[float, float, float, float] | None = None
+    time: tuple[float, float] | None = None
+    record_filter: FilterSpec | None = None
+    group_by: str | None = None
+    target_error: float | None = None      # relative, e.g. 0.02
+    confidence: float = 0.95
+    budget_seconds: float | None = None
+    max_samples: int | None = None
+    method: str | None = None               # forced sampling method
+    with_replacement: bool = False
+    explain: bool = False
+
+    def st_range(self) -> STRange:
+        """The spatio-temporal range (whole world when no REGION)."""
+        if self.region is None:
+            if self.time is None:
+                return STRange.everywhere()
+            big = 1e18
+            return STRange(-big, -big, big, big, *self.time)
+        lon_lo, lat_lo, lon_hi, lat_hi = self.region
+        if self.time is None:
+            return STRange(lon_lo, lat_lo, lon_hi, lat_hi)
+        return STRange(lon_lo, lat_lo, lon_hi, lat_hi, *self.time)

@@ -1,0 +1,186 @@
+"""Executes parsed queries against a StormEngine.
+
+The executor builds the right estimator for the task, derives the stop
+condition from the query's options (accuracy target / time budget / sample
+budget), resolves the sampling method (forced via ``USING`` or chosen by
+the per-dataset optimizer) and drives an online session.  ``EXPLAIN``
+queries return the optimizer's scoring instead of running.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.engine import StormEngine
+from repro.core.estimators.aggregates import (AvgEstimator, CountEstimator,
+                                              QuantileEstimator,
+                                              SumEstimator,
+                                              VarianceEstimator)
+from repro.core.estimators.base import OnlineEstimator
+from repro.core.estimators.clustering import OnlineKMeans
+from repro.core.estimators.groupby import GroupByEstimator
+from repro.core.estimators.kde import GridSpec, OnlineKDE
+from repro.core.estimators.text import ShortTextEstimator
+from repro.core.estimators.timeseries import TimeHistogramEstimator
+from repro.core.estimators.trajectory import TrajectoryEstimator
+from repro.core.records import STRange, attribute_getter
+from repro.core.session import ProgressPoint, StopCondition
+from repro.errors import StormError
+from repro.index.cost import DEFAULT_COST_MODEL
+from repro.query.ast import QuerySpec
+from repro.query.language import parse
+
+__all__ = ["QueryExecutor", "QueryResult"]
+
+_DEFAULT_SAMPLE_CAP = 2000
+
+
+@dataclass(slots=True)
+class QueryResult:
+    """Outcome of one executed query."""
+
+    spec: QuerySpec
+    final: ProgressPoint | None
+    explanation: str | None = None
+
+    @property
+    def value(self):
+        """The final estimate's value (None for EXPLAIN)."""
+        return self.final.estimate.value if self.final else None
+
+    def summary(self) -> str:
+        """One-line result: value, k/q, interval, stop reason."""
+        if self.explanation is not None:
+            return self.explanation
+        assert self.final is not None
+        est = self.final.estimate
+        parts = [f"value={est.value!r}", f"k={est.k}", f"q={est.q}"]
+        if est.interval is not None:
+            parts.append(f"ci=[{est.interval.lo:.6g}, "
+                         f"{est.interval.hi:.6g}]@{est.interval.level:.0%}")
+        if est.exact:
+            parts.append("exact")
+        parts.append(f"stopped: {self.final.reason}")
+        return " ".join(parts)
+
+
+class QueryExecutor:
+    """Runs query strings / specs on an engine."""
+
+    def __init__(self, engine: StormEngine,
+                 rng: random.Random | None = None):
+        self.engine = engine
+        self.rng = rng if rng is not None else random.Random()
+
+    # ------------------------------------------------------------------
+
+    def _estimator(self, spec: QuerySpec, query: STRange
+                   ) -> OnlineEstimator:
+        task = spec.task
+        if spec.group_by is not None:
+            attribute = None
+            if task.kind in ("avg", "sum"):
+                attribute = attribute_getter(task.attribute)
+            return GroupByEstimator(spec.group_by, attribute=attribute)
+        if task.kind == "avg":
+            return AvgEstimator(attribute_getter(task.attribute))
+        if task.kind == "sum":
+            return SumEstimator(attribute_getter(task.attribute))
+        if task.kind == "count":
+            predicate = None
+            if spec.record_filter is not None:
+                predicate = spec.record_filter.matches
+            return CountEstimator(predicate)
+        if task.kind in ("std", "var"):
+            return VarianceEstimator(attribute_getter(task.attribute),
+                                     std=task.kind == "std")
+        if task.kind == "median":
+            return QuantileEstimator(attribute_getter(task.attribute),
+                                     0.5)
+        if task.kind == "quantile":
+            return QuantileEstimator(attribute_getter(task.attribute),
+                                     task.params["p"])
+        if task.kind == "kde":
+            if spec.region is None:
+                raise StormError("KDE needs a REGION to grid over")
+            lon_lo, lat_lo, lon_hi, lat_hi = spec.region
+            grid = GridSpec(lon_lo, lat_lo, lon_hi, lat_hi,
+                            nx=task.params.get("nx", 32),
+                            ny=task.params.get("ny", 32))
+            return OnlineKDE(grid,
+                             bandwidth=task.params.get("bandwidth"))
+        if task.kind == "terms":
+            return ShortTextEstimator(text_field=task.attribute or "text")
+        if task.kind == "trajectory":
+            return TrajectoryEstimator(key_field=task.attribute,
+                                       key_value=task.params["key"])
+        if task.kind == "timeseries":
+            if spec.time is None:
+                raise StormError(
+                    "TIMESERIES needs a TIME(...) range to bucket")
+            attribute = attribute_getter(task.attribute) \
+                if task.attribute else None
+            return TimeHistogramEstimator(
+                spec.time[0], spec.time[1],
+                buckets=task.params["buckets"], attribute=attribute)
+        if task.kind == "clusters":
+            return OnlineKMeans(task.params["k"],
+                                seed=self.rng.getrandbits(32))
+        raise StormError(f"unsupported task kind {task.kind!r}")
+
+    def _stop(self, spec: QuerySpec) -> StopCondition:
+        max_samples = spec.max_samples
+        if max_samples is None and spec.budget_seconds is None \
+                and spec.target_error is None:
+            # Batch API: cap so un-bounded queries still return.  The
+            # interactive path iterates the session directly instead.
+            max_samples = _DEFAULT_SAMPLE_CAP
+        return StopCondition(max_samples=max_samples,
+                             max_seconds=spec.budget_seconds,
+                             target_relative_error=spec.target_error,
+                             level=spec.confidence)
+
+    def execute(self, query: "str | QuerySpec") -> QueryResult:
+        """Parse (if needed) and run one query to its stop condition."""
+        spec = parse(query) if isinstance(query, str) else query
+        dataset = self.engine.dataset(spec.dataset)
+        st_range = spec.st_range()
+        rect = dataset.to_rect(st_range)
+        if spec.explain:
+            plan = dataset.optimizer.choose(
+                rect, expected_k=spec.max_samples)
+            return QueryResult(spec=spec, final=None,
+                               explanation=plan.explain())
+        estimator = self._estimator(spec, st_range)
+        method = spec.method
+        chosen_by_optimizer = method is None
+        if chosen_by_optimizer:
+            method = dataset.optimizer.choose(
+                rect, expected_k=spec.max_samples).method
+        session = dataset.session(
+            st_range, estimator, method=method, rng=self.rng,
+            expected_k=spec.max_samples,
+            with_replacement=spec.with_replacement)
+        final = session.run_to_stop(self._stop(spec))
+        if chosen_by_optimizer and final.k > 0:
+            # Close the loop: calibrate the optimizer with what the
+            # chosen method actually cost.
+            actual = DEFAULT_COST_MODEL.simulated_seconds(final.cost)
+            dataset.optimizer.record_outcome(method, rect, final.k,
+                                             actual)
+        return QueryResult(spec=spec, final=final)
+
+    def session(self, query: "str | QuerySpec"):
+        """The interactive path: an OnlineQuerySession the caller drives
+        (and may abandon at any time — the paper's exploration mode)."""
+        spec = parse(query) if isinstance(query, str) else query
+        if spec.explain:
+            raise StormError("EXPLAIN queries have no session")
+        dataset = self.engine.dataset(spec.dataset)
+        st_range = spec.st_range()
+        estimator = self._estimator(spec, st_range)
+        return dataset.session(
+            st_range, estimator, method=spec.method, rng=self.rng,
+            expected_k=spec.max_samples,
+            with_replacement=spec.with_replacement), self._stop(spec)

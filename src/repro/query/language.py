@@ -1,0 +1,390 @@
+"""Tokenizer and recursive-descent parser for the query language.
+
+The grammar (case-insensitive keywords)::
+
+    query   := [EXPLAIN] ESTIMATE task FROM ident [WHERE cond (AND cond)*]
+               option*
+    task    := AVG(attr) | SUM(attr) | STD(attr) | VAR(attr)
+             | MEDIAN(attr) | QUANTILE(attr, p) | COUNT
+             | KDE [GRID NxM] [BANDWIDTH num]
+             | TERMS [OF attr]
+             | TRAJECTORY OF value [BY attr]
+             | CLUSTERS(k)
+    cond    := REGION(lo_lon, lo_lat, hi_lon, hi_lat)
+             | TIME(t0, t1)            -- numbers or quoted timestamps
+             | FILTER(attr op value)   -- op in = != < <= > >=
+    option  := WITHIN ERROR num% [CONFIDENCE num%]
+             | BUDGET num (MS | S)
+             | SAMPLES n
+             | USING ident
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.connector.parsers import parse_timestamp
+from repro.errors import QueryParseError, SchemaError
+from repro.query.ast import FilterSpec, QuerySpec, TaskSpec
+
+__all__ = ["tokenize", "parse", "Token"]
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+\.?\d*(?:[eE][-+]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),%x\-])
+""", re.VERBOSE)
+
+_AGG_TASKS = {"avg", "sum", "std", "var", "median"}
+_METHODS = {"query-first", "sample-first", "random-path", "ls-tree",
+            "rs-tree"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexed token with its source position."""
+    kind: str       # 'string' | 'number' | 'ident' | 'op' | 'punct'
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        """Upper-cased text (keyword comparisons)."""
+        return self.text.upper()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex query text into tokens (QueryParseError on bad chars)."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise QueryParseError(
+                f"unexpected character {text[pos]!r}", position=pos)
+        kind = m.lastgroup
+        if kind != "ws":
+            tokens.append(Token(kind, m.group(), pos))  # type: ignore[arg-type]
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.i = 0
+
+    # -- primitives ---------------------------------------------------------
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise QueryParseError("unexpected end of query",
+                                  position=len(self.text))
+        self.i += 1
+        return tok
+
+    def expect_keyword(self, *words: str) -> Token:
+        tok = self.next()
+        if tok.kind != "ident" or tok.upper not in words:
+            raise QueryParseError(
+                f"expected {' or '.join(words)}, got {tok.text!r}",
+                position=tok.position)
+        return tok
+
+    def expect_punct(self, char: str) -> None:
+        tok = self.next()
+        if tok.kind != "punct" or tok.text != char:
+            raise QueryParseError(f"expected {char!r}, got {tok.text!r}",
+                                  position=tok.position)
+
+    def accept_keyword(self, *words: str) -> Token | None:
+        tok = self.peek()
+        if tok is not None and tok.kind == "ident" \
+                and tok.upper in words:
+            self.i += 1
+            return tok
+        return None
+
+    def accept_punct(self, char: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.kind == "punct" and tok.text == char:
+            self.i += 1
+            return True
+        return False
+
+    def ident(self) -> str:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise QueryParseError(
+                f"expected an identifier, got {tok.text!r}",
+                position=tok.position)
+        return tok.text
+
+    def number(self) -> float:
+        tok = self.next()
+        if tok.kind != "number":
+            raise QueryParseError(f"expected a number, got {tok.text!r}",
+                                  position=tok.position)
+        return float(tok.text)
+
+    def value(self):
+        """A number, quoted string, or bare identifier."""
+        tok = self.next()
+        if tok.kind == "number":
+            f = float(tok.text)
+            return int(f) if f.is_integer() and "." not in tok.text \
+                and "e" not in tok.text.lower() else f
+        if tok.kind == "string":
+            return tok.text[1:-1]
+        if tok.kind == "ident":
+            return tok.text
+        raise QueryParseError(f"expected a value, got {tok.text!r}",
+                              position=tok.position)
+
+    def time_value(self) -> float:
+        """A numeric epoch or a quoted date string."""
+        tok = self.next()
+        if tok.kind == "number":
+            return float(tok.text)
+        if tok.kind == "string":
+            try:
+                return parse_timestamp(tok.text[1:-1])
+            except SchemaError as exc:
+                raise QueryParseError(str(exc),
+                                      position=tok.position) from exc
+        raise QueryParseError(
+            f"expected a timestamp, got {tok.text!r}",
+            position=tok.position)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> QuerySpec:
+        explain = self.accept_keyword("EXPLAIN") is not None
+        self.expect_keyword("ESTIMATE")
+        task = self.task()
+        self.expect_keyword("FROM")
+        dataset = self.ident()
+        region = time_range = record_filter = None
+        if self.accept_keyword("WHERE"):
+            region, time_range, record_filter = self.conditions()
+        group_by = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = self.ident()
+            if task.kind not in ("avg", "sum", "count"):
+                raise QueryParseError(
+                    f"GROUP BY only supports AVG/SUM/COUNT, "
+                    f"not {task.kind.upper()}")
+        options = self.options()
+        if self.peek() is not None:
+            tok = self.peek()
+            raise QueryParseError(
+                f"trailing input starting at {tok.text!r}",  # type: ignore[union-attr]
+                position=tok.position)  # type: ignore[union-attr]
+        return QuerySpec(task=task, dataset=dataset, region=region,
+                         time=time_range, record_filter=record_filter,
+                         group_by=group_by, explain=explain, **options)
+
+    def task(self) -> TaskSpec:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise QueryParseError(f"expected a task, got {tok.text!r}",
+                                  position=tok.position)
+        kind = tok.text.lower()
+        if kind in _AGG_TASKS:
+            self.expect_punct("(")
+            attr = self.ident()
+            self.expect_punct(")")
+            return TaskSpec(kind=kind, attribute=attr)
+        if kind == "quantile":
+            self.expect_punct("(")
+            attr = self.ident()
+            self.expect_punct(",")
+            p = self.number()
+            self.expect_punct(")")
+            if not 0.0 < p < 1.0:
+                raise QueryParseError(
+                    f"quantile must be in (0,1), got {p}",
+                    position=tok.position)
+            return TaskSpec(kind=kind, attribute=attr, params={"p": p})
+        if kind == "count":
+            if self.accept_punct("("):
+                self.expect_punct(")")
+            return TaskSpec(kind=kind)
+        if kind == "kde":
+            params = {}
+            if self.accept_keyword("GRID"):
+                grid_pos = self.peek().position if self.peek() else None
+                nx = int(self.number())
+                # "32x24" lexes as number, then either punct 'x' + number
+                # or the single identifier "x24"; accept both shapes.
+                if self.accept_punct("x"):
+                    ny = int(self.number())
+                else:
+                    tok = self.next()
+                    if tok.kind == "ident" and tok.text.lower() == "x":
+                        ny = int(self.number())
+                    elif tok.kind == "ident" and re.fullmatch(
+                            r"[xX]\d+", tok.text):
+                        ny = int(tok.text[1:])
+                    else:
+                        raise QueryParseError(
+                            f"expected a grid like 32x24, got "
+                            f"{tok.text!r}", position=tok.position)
+                if nx < 1 or ny < 1:
+                    raise QueryParseError("grid must be at least 1x1",
+                                          position=grid_pos)
+                params["nx"], params["ny"] = nx, ny
+            if self.accept_keyword("BANDWIDTH"):
+                params["bandwidth"] = self.number()
+            return TaskSpec(kind=kind, params=params)
+        if kind == "terms":
+            attr = "text"
+            if self.accept_keyword("OF"):
+                attr = self.ident()
+            return TaskSpec(kind=kind, attribute=attr)
+        if kind == "trajectory":
+            self.expect_keyword("OF")
+            key_value = self.value()
+            key_field = "user"
+            if self.accept_keyword("BY"):
+                key_field = self.ident()
+            return TaskSpec(kind=kind, attribute=key_field,
+                            params={"key": key_value})
+        if kind == "timeseries":
+            # TIMESERIES(buckets) or TIMESERIES(attr, buckets)
+            self.expect_punct("(")
+            attr = None
+            tok2 = self.next()
+            if tok2.kind == "ident":
+                attr = tok2.text
+                self.expect_punct(",")
+                buckets = int(self.number())
+            elif tok2.kind == "number":
+                buckets = int(float(tok2.text))
+            else:
+                raise QueryParseError(
+                    f"expected an attribute or bucket count, got "
+                    f"{tok2.text!r}", position=tok2.position)
+            self.expect_punct(")")
+            if buckets < 1:
+                raise QueryParseError("bucket count must be >= 1",
+                                      position=tok.position)
+            return TaskSpec(kind=kind, attribute=attr,
+                            params={"buckets": buckets})
+        if kind == "clusters":
+            self.expect_punct("(")
+            k = int(self.number())
+            self.expect_punct(")")
+            if k < 1:
+                raise QueryParseError("cluster count must be >= 1",
+                                      position=tok.position)
+            return TaskSpec(kind=kind, params={"k": k})
+        raise QueryParseError(f"unknown task {tok.text!r}",
+                              position=tok.position)
+
+    def conditions(self):
+        region = time_range = record_filter = None
+        while True:
+            tok = self.expect_keyword("REGION", "TIME", "FILTER")
+            if tok.upper == "REGION":
+                if region is not None:
+                    raise QueryParseError("duplicate REGION",
+                                          position=tok.position)
+                self.expect_punct("(")
+                values = [self.number()]
+                for _ in range(3):
+                    self.expect_punct(",")
+                    values.append(self.number())
+                self.expect_punct(")")
+                if values[0] > values[2] or values[1] > values[3]:
+                    raise QueryParseError(
+                        "REGION must be (lon_lo, lat_lo, lon_hi, lat_hi)",
+                        position=tok.position)
+                region = tuple(values)
+            elif tok.upper == "TIME":
+                if time_range is not None:
+                    raise QueryParseError("duplicate TIME",
+                                          position=tok.position)
+                self.expect_punct("(")
+                t0 = self.time_value()
+                self.expect_punct(",")
+                t1 = self.time_value()
+                self.expect_punct(")")
+                if t0 > t1:
+                    raise QueryParseError("TIME range is inverted",
+                                          position=tok.position)
+                time_range = (t0, t1)
+            else:  # FILTER
+                if record_filter is not None:
+                    raise QueryParseError("duplicate FILTER",
+                                          position=tok.position)
+                self.expect_punct("(")
+                attr = self.ident()
+                op_tok = self.next()
+                if op_tok.kind != "op":
+                    raise QueryParseError(
+                        f"expected a comparison, got {op_tok.text!r}",
+                        position=op_tok.position)
+                value = self.value()
+                self.expect_punct(")")
+                record_filter = FilterSpec(attr, op_tok.text, value)
+            if not self.accept_keyword("AND"):
+                break
+        return region, time_range, record_filter
+
+    def options(self) -> dict:
+        out: dict = {}
+        while True:
+            if self.accept_keyword("WITHIN"):
+                self.expect_keyword("ERROR")
+                err = self.number()
+                self.expect_punct("%")
+                out["target_error"] = err / 100.0
+                if self.accept_keyword("CONFIDENCE"):
+                    conf = self.number()
+                    self.expect_punct("%")
+                    if not 0 < conf < 100:
+                        raise QueryParseError(
+                            "confidence must be in (0, 100)%")
+                    out["confidence"] = conf / 100.0
+            elif self.accept_keyword("BUDGET"):
+                amount = self.number()
+                unit = self.expect_keyword("MS", "S")
+                out["budget_seconds"] = amount / 1000.0 \
+                    if unit.upper == "MS" else amount
+            elif self.accept_keyword("SAMPLES"):
+                out["max_samples"] = int(self.number())
+            elif self.accept_keyword("WITH"):
+                self.expect_keyword("REPLACEMENT")
+                out["with_replacement"] = True
+            elif self.accept_keyword("USING"):
+                # Method names contain '-', which the lexer splits; accept
+                # ident ('-' ident)* and rejoin.
+                parts = [self.ident()]
+                while self.accept_punct("-"):
+                    parts.append(self.ident())
+                method = "-".join(parts).lower()
+                if method not in _METHODS:
+                    raise QueryParseError(
+                        f"unknown sampling method {method!r}")
+                out["method"] = method
+            else:
+                break
+        return out
+
+
+def parse(text: str) -> QuerySpec:
+    """Parse one query string into a :class:`QuerySpec`."""
+    if not text or not text.strip():
+        raise QueryParseError("empty query")
+    return _Parser(tokenize(text), text).parse()

@@ -1,0 +1,39 @@
+"""Storage engine substrate.
+
+The paper's STORM "builds on a cluster of commodity machines ... uses a DFS
+(distributed file system) as its storage engine" and keeps records as JSON
+documents in a distributed MongoDB.  This package reproduces that stack in
+simulation:
+
+``dfs``
+    A block-oriented simulated DFS: named files striped into fixed-size
+    blocks across simulated machines, with replication and per-machine I/O
+    accounting.  Optionally persists to a local directory.
+``document_store``
+    An embedded JSON document store with Mongo-style filter queries,
+    persisted as JSON-lines files on the DFS.
+``json_codec``
+    The paper's "free data module": conversion between arbitrary source
+    record formats and the JSON document format.
+``catalog``
+    Metadata about imported/indexed datasets, itself stored as documents.
+"""
+
+from repro.storage.catalog import Catalog, DatasetInfo
+from repro.storage.dfs import BlockStats, SimulatedDFS
+from repro.storage.document_store import Collection, DocumentStore
+from repro.storage.json_codec import (documents_to_records,
+                                      records_to_documents,
+                                      rows_to_documents)
+
+__all__ = [
+    "BlockStats",
+    "Catalog",
+    "Collection",
+    "DatasetInfo",
+    "DocumentStore",
+    "SimulatedDFS",
+    "documents_to_records",
+    "records_to_documents",
+    "rows_to_documents",
+]

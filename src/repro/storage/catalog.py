@@ -1,0 +1,90 @@
+"""Dataset catalog: metadata about what STORM has imported or indexed.
+
+The catalog records, per dataset: where it came from, how its fields map
+onto the spatio-temporal schema, whether the data was copied into the
+storage engine or merely indexed in place, and basic statistics.  It is
+itself stored as a document collection, so it survives restarts with the
+rest of the store.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.document_store import DocumentStore
+
+__all__ = ["DatasetInfo", "Catalog"]
+
+
+@dataclass(slots=True)
+class DatasetInfo:
+    """Catalog entry for one dataset."""
+
+    name: str
+    source: str                      # human-readable source description
+    mode: str                        # "import" or "index"
+    lon_field: str
+    lat_field: str
+    time_field: str | None
+    record_count: int
+    schema: dict[str, str] = field(default_factory=dict)
+    created_at: float = field(default_factory=time.time)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialise for the catalog collection."""
+        doc = asdict(self)
+        doc["_id"] = self.name
+        return doc
+
+    @classmethod
+    def from_document(cls, doc: dict[str, Any]) -> "DatasetInfo":
+        """Inverse of to_document."""
+        doc = dict(doc)
+        doc.pop("_id", None)
+        return cls(**doc)
+
+
+class Catalog:
+    """Catalog persisted in a document-store collection."""
+
+    COLLECTION = "_catalog"
+
+    def __init__(self, store: DocumentStore):
+        self.store = store
+        self._coll = store.collection(self.COLLECTION)
+
+    def register(self, info: DatasetInfo) -> None:
+        """Add a new dataset entry (error if the name exists)."""
+        if self._coll.find_one({"_id": info.name}) is not None:
+            raise StorageError(
+                f"dataset {info.name!r} already in catalog")
+        self._coll.insert_one(info.to_document())
+
+    def update(self, info: DatasetInfo) -> None:
+        if self._coll.find_one({"_id": info.name}) is None:
+            raise StorageError(f"dataset {info.name!r} not in catalog")
+        self._coll.replace_one(info.name, info.to_document())
+
+    def get(self, name: str) -> DatasetInfo:
+        """Fetch one entry by dataset name."""
+        doc = self._coll.find_one({"_id": name})
+        if doc is None:
+            raise StorageError(f"dataset {name!r} not in catalog")
+        return DatasetInfo.from_document(doc)
+
+    def remove(self, name: str) -> None:
+        """Delete one entry by dataset name."""
+        if not self._coll.delete_one(name):
+            raise StorageError(f"dataset {name!r} not in catalog")
+
+    def names(self) -> list[str]:
+        """All catalogued dataset names, sorted."""
+        return sorted(d["name"] for d in self._coll.find())
+
+    def flush(self) -> None:
+        """Persist the catalog collection to the DFS."""
+        self.store.flush(self.COLLECTION)

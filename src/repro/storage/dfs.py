@@ -1,0 +1,206 @@
+"""Simulated distributed file system.
+
+Files are byte sequences striped into fixed-size blocks; each block is
+placed (with replication) on simulated machines round-robin, mirroring an
+HDFS-style layout.  All reads and writes are tallied per machine, which is
+what the distributed experiments report.
+
+The DFS is in-memory by default; give it a root directory to also persist
+file contents to real disk (the document store uses this for durability
+tests).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+__all__ = ["BlockStats", "SimulatedDFS"]
+
+
+@dataclass
+class BlockStats:
+    """I/O tallies for one simulated machine."""
+
+    blocks_read: int = 0
+    blocks_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def reset(self) -> None:
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+
+@dataclass(slots=True)
+class _FileMeta:
+    data: bytes
+    # block index -> list of machine ids holding a replica
+    placement: list[list[int]] = field(default_factory=list)
+
+
+class SimulatedDFS:
+    """Block-oriented file store with replication and I/O accounting."""
+
+    def __init__(self, machines: int = 4, block_size: int = 8192,
+                 replication: int = 3, root: str | None = None):
+        if machines < 1:
+            raise StorageError("need at least one machine")
+        if block_size < 1:
+            raise StorageError("block size must be positive")
+        if not 1 <= replication <= machines:
+            raise StorageError(
+                "replication must be between 1 and the machine count")
+        self.machines = machines
+        self.block_size = block_size
+        self.replication = replication
+        self.root = root
+        self.stats = [BlockStats() for _ in range(machines)]
+        self._files: dict[str, _FileMeta] = {}
+        self._next_machine = 0
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+            self._load_from_root()
+
+    # -- placement ---------------------------------------------------------
+
+    def _place_block(self) -> list[int]:
+        replicas = []
+        for i in range(self.replication):
+            replicas.append((self._next_machine + i) % self.machines)
+        self._next_machine = (self._next_machine + 1) % self.machines
+        return replicas
+
+    def _disk_path(self, name: str) -> str:
+        assert self.root is not None
+        safe = name.replace("/", "__")
+        return os.path.join(self.root, safe)
+
+    def _load_from_root(self) -> None:
+        assert self.root is not None
+        for fname in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, fname)
+            if not os.path.isfile(path):
+                continue
+            with open(path, "rb") as f:
+                data = f.read()
+            name = fname.replace("__", "/")
+            meta = _FileMeta(data=data)
+            for _ in range(self._block_count(len(data))):
+                meta.placement.append(self._place_block())
+            self._files[name] = meta
+
+    def _block_count(self, size: int) -> int:
+        return max(1, -(-size // self.block_size))
+
+    # -- file operations -----------------------------------------------------
+
+    def write_file(self, name: str, data: bytes) -> None:
+        """Create or replace a file (charges writes on every replica)."""
+        if not name:
+            raise StorageError("file name cannot be empty")
+        meta = _FileMeta(data=data)
+        n_blocks = self._block_count(len(data))
+        for i in range(n_blocks):
+            replicas = self._place_block()
+            meta.placement.append(replicas)
+            chunk = len(data[i * self.block_size:(i + 1)
+                             * self.block_size])
+            for m in replicas:
+                self.stats[m].blocks_written += 1
+                self.stats[m].bytes_written += chunk
+        self._files[name] = meta
+        if self.root is not None:
+            with open(self._disk_path(name), "wb") as f:
+                f.write(data)
+
+    def append_file(self, name: str, data: bytes) -> None:
+        """Append bytes (new blocks placed fresh, existing untouched)."""
+        if name not in self._files:
+            self.write_file(name, data)
+            return
+        old = self._files[name].data
+        self.write_file(name, old + data)
+
+    def read_file(self, name: str) -> bytes:
+        """Read a whole file (charges one replica per block)."""
+        meta = self._get(name)
+        for i, replicas in enumerate(meta.placement):
+            m = replicas[0]
+            chunk = len(meta.data[i * self.block_size:(i + 1)
+                                  * self.block_size])
+            self.stats[m].blocks_read += 1
+            self.stats[m].bytes_read += chunk
+        return meta.data
+
+    def read_block(self, name: str, block: int) -> bytes:
+        """Read one block of a file (charges its primary replica)."""
+        meta = self._get(name)
+        if not 0 <= block < len(meta.placement):
+            raise StorageError(
+                f"block {block} out of range for {name!r}")
+        m = meta.placement[block][0]
+        data = meta.data[block * self.block_size:(block + 1)
+                         * self.block_size]
+        self.stats[m].blocks_read += 1
+        self.stats[m].bytes_read += len(data)
+        return data
+
+    def delete_file(self, name: str) -> None:
+        """Remove a file (error when absent)."""
+        self._get(name)
+        del self._files[name]
+        if self.root is not None:
+            path = self._disk_path(name)
+            if os.path.exists(path):
+                os.remove(path)
+
+    def exists(self, name: str) -> bool:
+        """Whether a file exists."""
+        return name in self._files
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        """Sorted file names with the given prefix."""
+        return sorted(n for n in self._files if n.startswith(prefix))
+
+    def file_size(self, name: str) -> int:
+        """File length in bytes."""
+        return len(self._get(name).data)
+
+    def block_count(self, name: str) -> int:
+        """Number of blocks a file occupies."""
+        return len(self._get(name).placement)
+
+    def _get(self, name: str) -> _FileMeta:
+        meta = self._files.get(name)
+        if meta is None:
+            raise StorageError(f"no such file: {name!r}")
+        return meta
+
+    # -- accounting ----------------------------------------------------------
+
+    def total_blocks_read(self) -> int:
+        """Blocks read across all machines."""
+        return sum(s.blocks_read for s in self.stats)
+
+    def total_blocks_written(self) -> int:
+        """Blocks written across all machines (replicas included)."""
+        return sum(s.blocks_written for s in self.stats)
+
+    def reset_stats(self) -> None:
+        """Zero every machine's I/O tallies."""
+        for s in self.stats:
+            s.reset()
+
+    def balance(self) -> float:
+        """Storage balance: max/mean blocks written per machine (1.0 is
+        perfectly balanced)."""
+        written = [s.blocks_written for s in self.stats]
+        mean = sum(written) / len(written)
+        if mean == 0:
+            return 1.0
+        return max(written) / mean

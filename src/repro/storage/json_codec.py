@@ -1,0 +1,88 @@
+"""The free data module: record format conversion.
+
+The paper: "the free data module is used to convert between different
+record formats and JSON format, as used by the storage engine of STORM."
+
+Three conversions live here:
+
+* source rows (possibly nested, stringly-typed) → flat JSON documents;
+* JSON documents → :class:`~repro.core.records.Record` (given a field
+  mapping that names the lon/lat/time fields);
+* records → documents (for persisting an indexed dataset).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.core.records import Record
+from repro.errors import SchemaError
+
+__all__ = ["flatten", "rows_to_documents", "documents_to_records",
+           "records_to_documents"]
+
+
+def flatten(doc: Mapping[str, Any], separator: str = ".",
+            prefix: str = "") -> dict[str, Any]:
+    """Flatten nested mappings into dotted keys (lists kept verbatim)."""
+    out: dict[str, Any] = {}
+    for key, value in doc.items():
+        full = f"{prefix}{separator}{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            out.update(flatten(value, separator, full))
+        else:
+            out[full] = value
+    return out
+
+
+def rows_to_documents(rows: Iterable[Mapping[str, Any]]
+                      ) -> Iterator[dict[str, Any]]:
+    """Normalise arbitrary source rows into flat JSON documents."""
+    for row in rows:
+        yield flatten(row)
+
+
+def documents_to_records(docs: Iterable[Mapping[str, Any]],
+                         lon_field: str, lat_field: str,
+                         time_field: str | None = None,
+                         id_field: str = "_id",
+                         start_id: int = 0) -> Iterator[Record]:
+    """Turn documents into records given the spatial/temporal mapping.
+
+    Documents missing a coordinate raise :class:`SchemaError` — the data
+    connector filters/flags such rows before calling this.  Ids come from
+    ``id_field`` when present and integral, otherwise sequentially.
+    """
+    next_id = start_id
+    for doc in docs:
+        if lon_field not in doc or lat_field not in doc:
+            raise SchemaError(
+                f"document missing {lon_field!r}/{lat_field!r}: "
+                f"{dict(doc)!r}")
+        raw_id = doc.get(id_field)
+        if isinstance(raw_id, int):
+            record_id = raw_id
+        else:
+            record_id = next_id
+            next_id += 1
+        t = 0.0
+        if time_field is not None and time_field in doc \
+                and doc[time_field] is not None:
+            t = float(doc[time_field])
+        attrs = {k: v for k, v in doc.items()
+                 if k not in (lon_field, lat_field, time_field, id_field)}
+        try:
+            yield Record(record_id=record_id,
+                         lon=float(doc[lon_field]),
+                         lat=float(doc[lat_field]), t=t, attrs=attrs)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"non-numeric coordinates in document "
+                f"{dict(doc)!r}") from exc
+
+
+def records_to_documents(records: Iterable[Record]
+                         ) -> Iterator[dict[str, Any]]:
+    """Serialise records back to the storage engine's document shape."""
+    for record in records:
+        yield record.to_document()

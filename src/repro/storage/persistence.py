@@ -1,0 +1,75 @@
+"""Persisting engine datasets through the storage engine.
+
+STORM's storage engine owns the records (JSON documents on the DFS); the
+in-memory indexes are derived state.  ``save_engine`` writes every
+dataset's records plus a manifest of its index parameters;
+``load_engine`` reads them back and rebuilds the indexes — the restart
+path of the system.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import Dataset, StormEngine
+from repro.core.records import Record
+from repro.errors import StorageError
+from repro.storage.document_store import DocumentStore
+
+__all__ = ["save_engine", "load_engine", "DATASET_PREFIX",
+           "MANIFEST_COLLECTION"]
+
+DATASET_PREFIX = "ds_"
+MANIFEST_COLLECTION = "_datasets"
+
+
+def save_engine(engine: StormEngine, store: DocumentStore) -> None:
+    """Write every dataset's records + manifest; flushes to the DFS."""
+    manifest = store.collection(MANIFEST_COLLECTION)
+    for name, dataset in engine.datasets.items():
+        coll_name = DATASET_PREFIX + name
+        if coll_name in store.collections:
+            store.drop(coll_name)
+        coll = store.collection(coll_name)
+        coll.insert_many(r.to_document()
+                         for r in dataset.records.values())
+        existing = manifest.find_one({"_id": name})
+        entry = {
+            "_id": name,
+            "name": name,
+            "dims": dataset.dims,
+            "record_count": len(dataset),
+            "leaf_capacity": dataset.tree.leaf_capacity,
+            "branch_capacity": dataset.tree.branch_capacity,
+            "has_ls": dataset.forest is not None,
+        }
+        if existing is None:
+            manifest.insert_one(entry)
+        else:
+            manifest.replace_one(name, entry)
+        store.flush(coll_name)
+    store.flush(MANIFEST_COLLECTION)
+
+
+def load_engine(store: DocumentStore, seed: int = 0) -> StormEngine:
+    """Rebuild an engine (datasets + indexes) from a saved store."""
+    engine = StormEngine(seed=seed)
+    manifest = store.collection(MANIFEST_COLLECTION)
+    for entry in manifest.find():
+        name = entry["name"]
+        coll_name = DATASET_PREFIX + name
+        if coll_name not in store.collections:
+            raise StorageError(
+                f"manifest lists {name!r} but collection "
+                f"{coll_name!r} is missing")
+        records = [Record.from_document(doc)
+                   for doc in store.collection(coll_name).find()]
+        if len(records) != entry.get("record_count", len(records)):
+            raise StorageError(
+                f"dataset {name!r}: manifest says "
+                f"{entry['record_count']} records, store has "
+                f"{len(records)}")
+        engine.create_dataset(
+            name, records, dims=int(entry.get("dims", 3)),
+            leaf_capacity=int(entry.get("leaf_capacity", 64)),
+            branch_capacity=int(entry.get("branch_capacity", 16)),
+            build_ls=bool(entry.get("has_ls", True)))
+    return engine

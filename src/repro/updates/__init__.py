@@ -1,0 +1,18 @@
+"""Update manager: ad-hoc inserts and deletes kept consistent everywhere.
+
+The paper's update demo requirement: "its novel spatial online sampling
+module is able to update its indexing structure to reflect the latest
+state of the underlying data sets, so that a correct set of online
+spatio-temporal samples can always be returned with respect to the latest
+records."
+
+:class:`~repro.updates.manager.UpdateManager` routes batches of inserts
+and deletes through a dataset — updating the record store, the Hilbert
+R-tree (which invalidates RS-tree sample buffers along the touched
+paths), the LS-tree forest, and optionally the document-store collection —
+atomically per batch, with validation up front.
+"""
+
+from repro.updates.manager import UpdateBatch, UpdateManager, UpdateResult
+
+__all__ = ["UpdateBatch", "UpdateManager", "UpdateResult"]

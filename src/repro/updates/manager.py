@@ -1,0 +1,155 @@
+"""Batch application of inserts/deletes across store and indexes."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.engine import Dataset
+from repro.core.records import Record
+from repro.errors import UpdateError
+from repro.storage.document_store import DocumentStore
+
+__all__ = ["UpdateBatch", "UpdateResult", "UpdateManager"]
+
+
+@dataclass(slots=True)
+class UpdateBatch:
+    """A set of changes applied together."""
+
+    inserts: list[Record] = field(default_factory=list)
+    deletes: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+    def validate(self, dataset: Dataset) -> None:
+        """Reject batches that cannot apply cleanly (before mutating)."""
+        insert_ids = [r.record_id for r in self.inserts]
+        if len(insert_ids) != len(set(insert_ids)):
+            raise UpdateError("batch inserts contain duplicate ids")
+        delete_ids = set(self.deletes)
+        if len(delete_ids) != len(self.deletes):
+            raise UpdateError("batch deletes contain duplicate ids")
+        for rid in insert_ids:
+            if rid in dataset.records and rid not in delete_ids:
+                raise UpdateError(
+                    f"insert id {rid} already exists in dataset")
+        for rid in self.deletes:
+            if rid not in dataset.records:
+                raise UpdateError(f"delete id {rid} not in dataset")
+
+
+@dataclass(slots=True)
+class UpdateResult:
+    """Outcome of one applied batch."""
+
+    inserted: int
+    deleted: int
+    seconds: float
+
+    def throughput(self) -> float:
+        """Applied operations per second."""
+        total = self.inserted + self.deleted
+        return total / self.seconds if self.seconds > 0 else float("inf")
+
+
+class UpdateManager:
+    """Applies updates to a dataset (and its backing collection).
+
+    Deletes are applied before inserts so a batch can atomically replace
+    a record (delete old id + insert the new version under the same id).
+    """
+
+    def __init__(self, dataset: Dataset,
+                 store: DocumentStore | None = None,
+                 collection: str | None = None,
+                 rebuild_churn_fraction: float | None = None):
+        if (store is None) != (collection is None):
+            raise UpdateError(
+                "provide both store and collection, or neither")
+        if rebuild_churn_fraction is not None \
+                and rebuild_churn_fraction <= 0:
+            raise UpdateError(
+                "rebuild_churn_fraction must be positive")
+        self.dataset = dataset
+        self.store = store
+        self.collection = collection
+        # Auto-rebuild policy: once applied churn (inserts + deletes)
+        # exceeds this fraction of the dataset size, bulk-rebuild the
+        # indexes to restore packing quality.  None disables it.
+        self.rebuild_churn_fraction = rebuild_churn_fraction
+        self._churn_since_rebuild = 0
+        self.rebuilds = 0
+        self.applied_batches = 0
+        self.total_inserted = 0
+        self.total_deleted = 0
+
+    def _coll(self):
+        assert self.store is not None and self.collection is not None
+        return self.store.collection(self.collection)
+
+    def apply(self, batch: UpdateBatch) -> UpdateResult:
+        """Validate then apply one batch everywhere."""
+        batch.validate(self.dataset)
+        start = time.perf_counter()
+        for rid in batch.deletes:
+            self.dataset.delete(rid)
+            if self.store is not None:
+                self._coll().delete_one(rid)
+        for record in batch.inserts:
+            self.dataset.insert(record)
+            if self.store is not None:
+                self._coll().insert_one(record.to_document())
+        self.applied_batches += 1
+        self.total_inserted += len(batch.inserts)
+        self.total_deleted += len(batch.deletes)
+        self._churn_since_rebuild += len(batch)
+        if self._maybe_rebuild():
+            self.rebuilds += 1
+        elapsed = time.perf_counter() - start
+        return UpdateResult(inserted=len(batch.inserts),
+                            deleted=len(batch.deletes), seconds=elapsed)
+
+    def _maybe_rebuild(self) -> bool:
+        if self.rebuild_churn_fraction is None:
+            return False
+        threshold = max(1.0, self.rebuild_churn_fraction
+                        * max(1, len(self.dataset.records)))
+        if self._churn_since_rebuild < threshold:
+            return False
+        self.dataset.rebuild()
+        self._churn_since_rebuild = 0
+        return True
+
+    # -- conveniences -----------------------------------------------------
+
+    def insert(self, record: Record) -> UpdateResult:
+        """Apply a single-record insert batch."""
+        return self.apply(UpdateBatch(inserts=[record]))
+
+    def delete(self, record_id: int) -> UpdateResult:
+        """Apply a single-id delete batch."""
+        return self.apply(UpdateBatch(deletes=[record_id]))
+
+    def insert_stream(self, records: Iterable[Record],
+                      batch_size: int = 256) -> list[UpdateResult]:
+        """Apply a long insert stream in batches (the live-tweets demo)."""
+        if batch_size < 1:
+            raise UpdateError("batch_size must be >= 1")
+        results = []
+        pending: list[Record] = []
+        for record in records:
+            pending.append(record)
+            if len(pending) >= batch_size:
+                results.append(self.apply(UpdateBatch(inserts=pending)))
+                pending = []
+        if pending:
+            results.append(self.apply(UpdateBatch(inserts=pending)))
+        return results
+
+    def flush(self) -> None:
+        """Persist the backing collection (if any) to the DFS."""
+        if self.store is not None and self.collection is not None:
+            self.store.flush(self.collection)

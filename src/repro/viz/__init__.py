@@ -1,0 +1,21 @@
+"""Visualizer: terminal renderings of online analytics results.
+
+The paper's visualizer draws density maps and query results in a map UI;
+offline we render to text — density fields as shaded character rasters,
+error-vs-time curves as ASCII charts, trajectories as plotted paths.
+The examples print these, and EXPERIMENTS.md embeds them.
+"""
+
+from repro.viz.density_map import render_density, render_density_with_ci
+from repro.viz.histogram import render_groups
+from repro.viz.series import render_series, render_table
+from repro.viz.trajectory_plot import render_trajectory
+
+__all__ = [
+    "render_density",
+    "render_density_with_ci",
+    "render_groups",
+    "render_series",
+    "render_table",
+    "render_trajectory",
+]

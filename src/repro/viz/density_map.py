@@ -1,0 +1,63 @@
+"""ASCII density-map rendering for the KDE demo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_density", "render_density_with_ci"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_density(field: np.ndarray, title: str | None = None,
+                   shades: str = _SHADES) -> str:
+    """Render a (ny, nx) density field as shaded characters.
+
+    Row 0 of the field is the *southern* edge (lowest latitude), so it
+    prints at the bottom like a map.
+    """
+    if field.ndim != 2:
+        raise ValueError("density field must be 2-d")
+    lo = float(np.min(field))
+    hi = float(np.max(field))
+    span = hi - lo
+    lines = []
+    if title:
+        lines.append(title)
+    for row in field[::-1]:  # north at the top
+        if span <= 0:
+            idx = np.zeros(len(row), dtype=int)
+        else:
+            idx = ((row - lo) / span * (len(shades) - 1)).astype(int)
+        lines.append("".join(shades[i] for i in idx))
+    lines.append(f"[min={lo:.4g} max={hi:.4g}]")
+    return "\n".join(lines)
+
+
+def render_density_with_ci(field: np.ndarray, lo_bound: np.ndarray,
+                           hi_bound: np.ndarray,
+                           title: str | None = None) -> str:
+    """Density map plus a per-cell uncertainty marker.
+
+    Cells whose interval is wider than half their estimate are rendered
+    with '?' — visually showing where the online estimate is still fuzzy
+    (these melt away as samples accumulate, like Figure 5's refinement).
+    """
+    if not (field.shape == lo_bound.shape == hi_bound.shape):
+        raise ValueError("field and bounds must have the same shape")
+    base = render_density(field, title=title).split("\n")
+    offset = 1 if title else 0
+    peak = float(np.max(field))
+    if peak <= 0:
+        return "\n".join(base)
+    uncertain = (hi_bound - lo_bound) / 2.0 > 0.5 * np.maximum(
+        field, 0.05 * peak)
+    rows = []
+    for i, line in enumerate(base):
+        row_idx = i - offset
+        if 0 <= row_idx < field.shape[0]:
+            mask = uncertain[::-1][row_idx]
+            line = "".join("?" if m else ch
+                           for ch, m in zip(line, mask))
+        rows.append(line)
+    return "\n".join(rows)

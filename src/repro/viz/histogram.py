@@ -1,0 +1,39 @@
+"""Bar-chart rendering for GROUP BY results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.estimators.groupby import GroupResult
+
+__all__ = ["render_groups"]
+
+
+def render_groups(groups: Sequence[GroupResult], width: int = 40,
+                  title: str | None = None,
+                  show_mean: bool = True) -> str:
+    """Render group shares as horizontal bars with intervals.
+
+    Low-support groups print a '?' marker, mirroring the online
+    group-by convention of flagging rather than hiding small groups.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not groups:
+        lines.append("(no groups)")
+        return "\n".join(lines)
+    key_width = max(len(str(g.key)) for g in groups)
+    peak = max(g.share for g in groups) or 1.0
+    for g in groups:
+        bar = "#" * max(1, int(g.share / peak * width))
+        mark = " ?" if g.low_support else ""
+        mean = ""
+        if show_mean and g.mean is not None:
+            half = (g.mean_interval.half_width
+                    if g.mean_interval is not None else float("nan"))
+            mean = f"  mean={g.mean:.4g}±{half:.2g}"
+        lines.append(f"{str(g.key):<{key_width}} "
+                     f"{g.share:6.1%} [{g.share_interval.lo:5.1%},"
+                     f"{g.share_interval.hi:5.1%}] {bar}{mean}{mark}")
+    return "\n".join(lines)

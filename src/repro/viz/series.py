@@ -1,0 +1,78 @@
+"""ASCII charts and result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["render_series", "render_table"]
+
+
+def render_series(series: dict[str, list[tuple[float, float]]],
+                  width: int = 64, height: int = 16,
+                  x_label: str = "x", y_label: str = "y",
+                  log_y: bool = False) -> str:
+    """Plot one or more (x, y) series as an ASCII scatter chart.
+
+    Each series gets a marker character; the legend maps them back.
+    ``log_y`` plots log10(y) — the scale Figure 3(a) uses.
+    """
+    markers = "ox+*#@%&"
+    points = []
+    for si, (name, pts) in enumerate(series.items()):
+        for x, y in pts:
+            if log_y:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            points.append((x, y, markers[si % len(markers)]))
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+    lines = ["".join(row) for row in grid]
+    y_name = f"log10({y_label})" if log_y else y_label
+    lines.append("-" * width)
+    lines.append(f"{y_name}: [{y_lo:.4g}, {y_hi:.4g}]  "
+                 f"{x_label}: [{x_lo:.4g}, {x_hi:.4g}]")
+    legend = "  ".join(f"{markers[i % len(markers)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width text table (the harness's standard output format)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

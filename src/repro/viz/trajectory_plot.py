@@ -1,0 +1,54 @@
+"""ASCII rendering of reconstructed trajectories (Figure 6a)."""
+
+from __future__ import annotations
+
+from repro.core.estimators.trajectory import Trajectory
+
+__all__ = ["render_trajectory"]
+
+
+def render_trajectory(trajectory: Trajectory, width: int = 60,
+                      height: int = 20, title: str | None = None) -> str:
+    """Plot a trajectory's path, sampling it densely in time.
+
+    Vertices print as 'o', interpolated path points as '.', the start as
+    'S' and the end as 'E'.
+    """
+    verts = trajectory.vertices
+    if not verts:
+        return "(empty trajectory)"
+    xs = [v[1] for v in verts]
+    ys = [v[2] for v in verts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        return height - 1 - row, col
+
+    grid = [[" "] * width for _ in range(height)]
+    # Interpolated path first, so vertices draw on top.
+    t_lo, t_hi = verts[0][0], verts[-1][0]
+    steps = max(2, width * 2)
+    for i in range(steps):
+        t = t_lo + (t_hi - t_lo) * i / (steps - 1)
+        r, c = cell(*trajectory.position_at(t))
+        grid[r][c] = "."
+    for _, x, y in verts:
+        r, c = cell(x, y)
+        grid[r][c] = "o"
+    r, c = cell(verts[0][1], verts[0][2])
+    grid[r][c] = "S"
+    r, c = cell(verts[-1][1], verts[-1][2])
+    grid[r][c] = "E"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"[{len(verts)} vertices, span "
+                 f"{trajectory.duration:.4g}s, "
+                 f"length {trajectory.length():.4g}]")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Synthetic workload generators standing in for the paper's data sets.
+
+The paper evaluates on the full OpenStreetMap planet file and demos on
+live Twitter and MesoWest feeds — none of which are available offline, so
+each generator here produces a statistically analogous synthetic data set
+(documented in DESIGN.md's substitution table):
+
+``osm``
+    City-clustered geographic points with a spatially-correlated
+    ``altitude`` attribute (drives Figure 3a/3b).
+``twitter``
+    Geo-tweets: users with home cities and mobility, Zipf vocabulary,
+    plus an "Atlanta snowstorm" anomaly window (drives the KDE,
+    trajectory and short-text demos of Figures 5–6).
+``mesowest``
+    A weather-station network with temperature/humidity/wind measurement
+    streams (drives the basic-aggregation demo).
+``electricity``
+    NYC-style electricity meter readings (the introduction's running
+    example).
+
+Everything is deterministic under a seed.
+"""
+
+from repro.workloads.electricity import ElectricityWorkload
+from repro.workloads.generators import (WorkloadRNG, gaussian_cluster_points,
+                                        uniform_points, zipf_weights)
+from repro.workloads.mesowest import MesoWestWorkload
+from repro.workloads.osm import OSMWorkload
+from repro.workloads.twitter import TwitterWorkload
+
+__all__ = [
+    "ElectricityWorkload",
+    "MesoWestWorkload",
+    "OSMWorkload",
+    "TwitterWorkload",
+    "WorkloadRNG",
+    "gaussian_cluster_points",
+    "uniform_points",
+    "zipf_weights",
+]

@@ -1,0 +1,64 @@
+"""Low-level deterministic random generation primitives.
+
+All workloads derive their randomness from :class:`WorkloadRNG`, a thin
+wrapper that hands out independent numpy generators per named purpose —
+so adding a new field to a generator never perturbs the values of
+existing ones (experiment stability across library versions).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["WorkloadRNG", "uniform_points", "gaussian_cluster_points",
+           "zipf_weights"]
+
+
+class WorkloadRNG:
+    """Named sub-streams of deterministic randomness."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def stream(self, purpose: str) -> np.random.Generator:
+        """An independent generator for one named purpose.
+
+        The purpose is hashed with crc32 — NOT Python's ``hash()``,
+        which is salted per process and would break run-to-run
+        determinism of the workloads.
+        """
+        seed_seq = np.random.SeedSequence(
+            [self.seed, zlib.crc32(purpose.encode())])
+        return np.random.default_rng(seed_seq)
+
+
+def uniform_points(rng: np.random.Generator, n: int,
+                   lon_range: tuple[float, float],
+                   lat_range: tuple[float, float]) -> np.ndarray:
+    """(n, 2) uniformly random lon/lat points."""
+    lon = rng.uniform(lon_range[0], lon_range[1], size=n)
+    lat = rng.uniform(lat_range[0], lat_range[1], size=n)
+    return np.column_stack([lon, lat])
+
+
+def gaussian_cluster_points(rng: np.random.Generator, n: int,
+                            centers: np.ndarray, weights: np.ndarray,
+                            spreads: np.ndarray) -> np.ndarray:
+    """(n, 2) points from a mixture of isotropic Gaussians.
+
+    ``centers`` is (c, 2); ``weights`` (c,) sums to 1; ``spreads`` (c,)
+    are per-cluster standard deviations.
+    """
+    assignments = rng.choice(len(centers), size=n, p=weights)
+    noise = rng.standard_normal((n, 2))
+    return centers[assignments] + noise * spreads[assignments, None]
+
+
+def zipf_weights(vocabulary_size: int, exponent: float = 1.1
+                 ) -> np.ndarray:
+    """Normalised Zipf rank weights (word-frequency model)."""
+    ranks = np.arange(1, vocabulary_size + 1, dtype=float)
+    w = ranks ** (-exponent)
+    return w / w.sum()

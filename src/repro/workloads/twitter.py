@@ -1,0 +1,184 @@
+"""Synthetic geo-tweet workload.
+
+Stands in for the paper's live Twitter feed (July 2013 onward).  Produces
+records with ``user``, ``text`` and a timestamp, with the structure the
+demos exercise:
+
+* users live in weighted city clusters (Salt Lake City is among them, so
+  the Figure 5 "zoom from SLC to the USA" KDE demo works);
+* each user moves on a smooth random walk, so per-user trajectories are
+  reconstructable (Figure 6a);
+* tweet text draws terms from a Zipf vocabulary; inside the **Atlanta
+  snowstorm window** (a configurable spatio-temporal box) the vocabulary
+  is spiked with storm terms — ``snow ice outage shit hell why`` — which
+  is what the short-text estimator should surface (Figure 6b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import Record, STRange
+from repro.workloads.generators import WorkloadRNG, zipf_weights
+
+__all__ = ["TwitterWorkload", "CITIES", "STORM_TERMS"]
+
+# (name, lon, lat, weight, spread_degrees)
+CITIES = (
+    ("nyc", -74.006, 40.713, 0.22, 0.25),
+    ("la", -118.243, 34.052, 0.16, 0.30),
+    ("chicago", -87.630, 41.878, 0.12, 0.22),
+    ("houston", -95.369, 29.760, 0.10, 0.25),
+    ("atlanta", -84.388, 33.749, 0.10, 0.20),
+    ("slc", -111.891, 40.761, 0.08, 0.15),
+    ("seattle", -122.332, 47.606, 0.08, 0.18),
+    ("miami", -80.192, 25.762, 0.07, 0.15),
+    ("denver", -104.990, 39.739, 0.07, 0.18),
+)
+
+STORM_TERMS = ("snow", "ice", "outage", "shit", "hell", "why", "stuck",
+               "cold", "storm", "power")
+
+_BASE_VOCAB_SIZE = 600
+
+
+def _base_vocabulary() -> list[str]:
+    """A deterministic everyday vocabulary (word0..wordN plus a few real
+    anchors so output reads plausibly)."""
+    anchors = ["coffee", "lunch", "game", "work", "traffic", "music",
+               "friday", "weekend", "love", "food", "movie", "gym",
+               "school", "rain", "sun", "party", "happy", "tired"]
+    return anchors + [f"word{i}" for i in range(_BASE_VOCAB_SIZE
+                                                - len(anchors))]
+
+
+@dataclass(frozen=True)
+class _Anomaly:
+    """A spatio-temporal event window with spiked vocabulary."""
+
+    lon_lo: float
+    lat_lo: float
+    lon_hi: float
+    lat_hi: float
+    t_lo: float
+    t_hi: float
+    terms: tuple[str, ...]
+    intensity: float  # probability a tweet in-window uses event terms
+
+    def contains(self, lon: float, lat: float, t: float) -> bool:
+        """Whether a (lon, lat, t) point lies inside the event window."""
+        return (self.lon_lo <= lon <= self.lon_hi
+                and self.lat_lo <= lat <= self.lat_hi
+                and self.t_lo <= t <= self.t_hi)
+
+
+class TwitterWorkload:
+    """Generator for synthetic geo-tweets over a time window.
+
+    ``time_span`` is the covered duration in seconds (default 30 days).
+    The Atlanta snowstorm occupies days 10–13 of the window around
+    downtown Atlanta, mirroring February 10–13, 2014.
+    """
+
+    DAY = 86_400.0
+
+    def __init__(self, n: int = 50_000, users: int = 2_000, seed: int = 23,
+                 time_span: float = 30 * 86_400.0,
+                 words_per_tweet: int = 8):
+        if n < 1 or users < 1:
+            raise ValueError("n and users must be >= 1")
+        self.n = n
+        self.users = users
+        self.seed = seed
+        self.time_span = time_span
+        self.words_per_tweet = words_per_tweet
+        self.vocabulary = _base_vocabulary()
+        self.anomaly = _Anomaly(
+            lon_lo=-84.55, lat_lo=33.60, lon_hi=-84.25, lat_hi=33.90,
+            t_lo=10 * self.DAY, t_hi=13 * self.DAY,
+            terms=STORM_TERMS, intensity=0.8)
+
+    # -- helpers ----------------------------------------------------------
+
+    def snowstorm_range(self) -> STRange:
+        """The Figure 6b query window (downtown Atlanta, storm days)."""
+        a = self.anomaly
+        return STRange(a.lon_lo, a.lat_lo, a.lon_hi, a.lat_hi,
+                       a.t_lo, a.t_hi)
+
+    def slc_range(self, days: float = 30.0) -> STRange:
+        """Salt Lake City over the last ``days`` (Figure 5 zoom-in)."""
+        return STRange(-112.3, 40.4, -111.5, 41.1,
+                       max(0.0, self.time_span - days * self.DAY),
+                       self.time_span)
+
+    def usa_range(self) -> STRange:
+        """Continental-scale window (Figure 5 zoom-out)."""
+        return STRange(-125.0, 24.0, -66.0, 50.0, 0.0, self.time_span)
+
+    def background_frequencies(self) -> dict[str, float]:
+        """Expected everyday document frequency per term (for lift)."""
+        weights = zipf_weights(len(self.vocabulary))
+        # P(term appears in a tweet of w words) ≈ 1 - (1-p)^w.
+        w = self.words_per_tweet
+        return {term: float(1.0 - (1.0 - p) ** w)
+                for term, p in zip(self.vocabulary, weights)}
+
+    # -- generation ----------------------------------------------------------
+
+    def generate(self) -> list[Record]:
+        """The full record list, deterministic per seed."""
+        rng = WorkloadRNG(self.seed)
+        city_idx = rng.stream("homes").choice(
+            len(CITIES), size=self.users,
+            p=np.array([c[3] for c in CITIES])
+            / sum(c[3] for c in CITIES))
+        user_city = np.array(city_idx)
+        tweet_user = rng.stream("authors").integers(0, self.users,
+                                                    size=self.n)
+        times = np.sort(rng.stream("times").uniform(0.0, self.time_span,
+                                                    size=self.n))
+        # Per-user smooth random walk around the home city.
+        walk_rng = rng.stream("walk")
+        user_pos = np.empty((self.users, 2))
+        for u in range(self.users):
+            _, lon, lat, _, spread = CITIES[user_city[u]]
+            user_pos[u] = (lon + walk_rng.normal(0, spread),
+                           lat + walk_rng.normal(0, spread))
+        step_rng = rng.stream("steps")
+        word_rng = rng.stream("words")
+        vocab = self.vocabulary
+        zipf = zipf_weights(len(vocab))
+        records: list[Record] = []
+        for i in range(self.n):
+            u = int(tweet_user[i])
+            # Drift toward home + noise: an Ornstein-Uhlenbeck-ish walk.
+            _, home_lon, home_lat, _, spread = CITIES[user_city[u]]
+            pull = 0.15
+            user_pos[u, 0] += (pull * (home_lon - user_pos[u, 0])
+                               + step_rng.normal(0, spread * 0.2))
+            user_pos[u, 1] += (pull * (home_lat - user_pos[u, 1])
+                               + step_rng.normal(0, spread * 0.2))
+            lon = float(user_pos[u, 0])
+            lat = float(user_pos[u, 1])
+            t = float(times[i])
+            words = list(word_rng.choice(len(vocab),
+                                         size=self.words_per_tweet,
+                                         p=zipf))
+            text_terms = [vocab[w] for w in words]
+            if self.anomaly.contains(lon, lat, t) \
+                    and word_rng.random() < self.anomaly.intensity:
+                spikes = word_rng.choice(len(self.anomaly.terms),
+                                         size=3, replace=False)
+                for slot, spike in enumerate(spikes):
+                    text_terms[slot] = self.anomaly.terms[spike]
+            records.append(Record(
+                record_id=i, lon=lon, lat=lat, t=t,
+                attrs={"user": f"user{u}", "text": " ".join(text_terms)}))
+        return records
+
+    def user_name(self, index: int) -> str:
+        """Canonical user attribute value for a user index."""
+        return f"user{index}"

@@ -1,0 +1,53 @@
+"""Shared fixtures for the STORM reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.geometry import Rect
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def make_points(n: int, seed: int = 7, dims: int = 2,
+                lo: float = 0.0, hi: float = 100.0
+                ) -> list[tuple[int, tuple[float, ...]]]:
+    """Deterministic uniform random points with sequential ids."""
+    r = random.Random(seed)
+    return [(i, tuple(r.uniform(lo, hi) for _ in range(dims)))
+            for i in range(n)]
+
+
+def make_clustered_points(n: int, seed: int = 11, dims: int = 2,
+                          clusters: int = 5, spread: float = 3.0
+                          ) -> list[tuple[int, tuple[float, ...]]]:
+    """Gaussian-cluster points (stress for MBR quality)."""
+    r = random.Random(seed)
+    centers = [tuple(r.uniform(10, 90) for _ in range(dims))
+               for _ in range(clusters)]
+    points = []
+    for i in range(n):
+        c = centers[r.randrange(clusters)]
+        points.append(
+            (i, tuple(r.gauss(cc, spread) for cc in c)))
+    return points
+
+
+def brute_force_range(points, rect: Rect) -> set[int]:
+    """Ids of points inside the rect, by linear scan."""
+    return {pid for pid, pt in points if rect.contains_point(pt)}
+
+
+@pytest.fixture
+def uniform_points():
+    return make_points(2000)
+
+
+@pytest.fixture
+def clustered_points():
+    return make_clustered_points(2000)

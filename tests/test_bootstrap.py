@@ -1,0 +1,129 @@
+"""Tests for the bootstrap customized-estimator machinery."""
+
+import random
+
+import pytest
+
+from repro.core.estimators.bootstrap import (BootstrapEstimator,
+                                             bootstrap_interval)
+from repro.core.records import Record
+from repro.errors import EstimatorError
+
+
+def value_records(values):
+    return [Record(i, lon=0.0, lat=0.0, attrs={"v": v})
+            for i, v in enumerate(values)]
+
+
+def mean_stat(records):
+    return sum(r.attrs["v"] for r in records) / len(records)
+
+
+class TestBootstrapInterval:
+    def test_percentiles(self):
+        values = list(range(100))
+        ci = bootstrap_interval(values, level=0.90)
+        assert ci.lo in (4, 5)   # float alpha rounding either way
+        assert ci.hi in (95, 96)
+        assert ci.contains(50)
+
+    def test_single_value(self):
+        ci = bootstrap_interval([7.0])
+        assert ci.lo == ci.hi == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(EstimatorError):
+            bootstrap_interval([])
+
+    def test_bad_level(self):
+        with pytest.raises(EstimatorError):
+            bootstrap_interval([1.0], level=2.0)
+
+
+class TestBootstrapEstimator:
+    def test_value_is_plugin_statistic(self):
+        est = BootstrapEstimator(mean_stat, seed=1)
+        for r in value_records([1.0, 2.0, 3.0, 4.0] * 4):
+            est.absorb(r)
+        e = est.estimate()
+        assert e.value == pytest.approx(2.5)
+        assert e.interval.lo <= 2.5 <= e.interval.hi
+
+    def test_interval_tightens_with_samples(self):
+        rng = random.Random(2)
+        values = [rng.gauss(0, 1) for _ in range(800)]
+        est = BootstrapEstimator(mean_stat, seed=3)
+        for r in value_records(values[:30]):
+            est.absorb(r)
+        wide = est.estimate().interval.width
+        for r in value_records(values[30:]):
+            est.absorb(r)
+        narrow = est.estimate().interval.width
+        assert narrow < wide
+
+    def test_coverage_reasonable(self):
+        """Percentile bootstrap on the mean: ~90%+ coverage at 95%."""
+        rng = random.Random(4)
+        population = [rng.gauss(10, 3) for _ in range(5000)]
+        mu = sum(population) / len(population)
+        hits = 0
+        trials = 60
+        for t in range(trials):
+            est = BootstrapEstimator(mean_stat, replicates=150, seed=t)
+            sample = random.Random(100 + t).sample(population, 60)
+            for r in value_records(sample):
+                est.absorb(r)
+            if est.estimate().interval.contains(mu):
+                hits += 1
+        assert hits / trials > 0.8
+
+    def test_min_samples_enforced(self):
+        est = BootstrapEstimator(mean_stat, min_samples=10)
+        for r in value_records([1.0] * 5):
+            est.absorb(r)
+        with pytest.raises(EstimatorError):
+            est.estimate()
+
+    def test_reset(self):
+        est = BootstrapEstimator(mean_stat)
+        for r in value_records([1.0] * 20):
+            est.absorb(r)
+        est.reset()
+        assert est.k == 0
+        with pytest.raises(EstimatorError):
+            est.estimate()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(EstimatorError):
+            BootstrapEstimator(mean_stat, replicates=5)
+        with pytest.raises(EstimatorError):
+            BootstrapEstimator(mean_stat, min_samples=1)
+
+    def test_deterministic_under_seed(self):
+        def run():
+            est = BootstrapEstimator(mean_stat, seed=9)
+            for r in value_records([1.0, 5.0, 2.0, 8.0] * 5):
+                est.absorb(r)
+            e = est.estimate()
+            return e.interval.lo, e.interval.hi
+        assert run() == run()
+
+    def test_works_in_a_session(self):
+        """End to end through the sampler machinery."""
+        from repro.core.engine import Dataset
+        from repro.core.records import STRange
+        from repro.core.session import StopCondition
+        rng = random.Random(11)
+        records = [Record(i, lon=rng.uniform(0, 100),
+                          lat=rng.uniform(0, 100),
+                          attrs={"v": rng.gauss(50, 5)})
+                   for i in range(1500)]
+        ds = Dataset("boot", records, dims=2, build_ls=False,
+                     rs_buffer_size=16)
+        est = BootstrapEstimator(mean_stat, seed=12)
+        session = ds.session(STRange(0, 0, 100, 100), est,
+                             method="rs-tree", rng=random.Random(13),
+                             report_every=64)
+        final = session.run_to_stop(StopCondition(max_samples=256))
+        assert final.estimate.interval.contains(50.0) or \
+            abs(final.estimate.value - 50.0) < 2.0

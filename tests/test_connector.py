@@ -1,0 +1,293 @@
+"""Unit tests for the data connector (schema discovery, parsers, sources,
+importer)."""
+
+import sqlite3
+
+import pytest
+
+from repro.connector.importer import Importer
+from repro.connector.parsers import (coerce, looks_like, parse_bool,
+                                     parse_timestamp)
+from repro.connector.schema import (FieldMapping, FieldType,
+                                    SchemaDiscovery)
+from repro.connector.sources import (CSVSource, DocumentStoreSource,
+                                     JSONLinesSource, KeyValueSource,
+                                     KeyValueStore, SQLSource)
+from repro.core.engine import StormEngine
+from repro.core.records import STRange
+from repro.errors import ConnectorError, SchemaError
+from repro.storage.document_store import DocumentStore
+
+
+class TestParsers:
+    def test_parse_bool(self):
+        assert parse_bool("Yes") and parse_bool("1") and parse_bool("t")
+        assert not parse_bool("no") and not parse_bool("False")
+        with pytest.raises(SchemaError):
+            parse_bool("maybe")
+
+    def test_parse_timestamp_epoch(self):
+        assert parse_timestamp(1_000.5) == 1_000.5
+        assert parse_timestamp("1000") == 1000.0
+
+    def test_parse_timestamp_iso(self):
+        t = parse_timestamp("2014-02-10T12:00:00")
+        assert parse_timestamp("2014-02-10 12:00:00") == t
+        assert parse_timestamp("2014-02-10") < t
+
+    def test_parse_timestamp_us_format(self):
+        assert parse_timestamp("02/10/2014") \
+            == parse_timestamp("2014-02-10")
+
+    def test_parse_timestamp_bad(self):
+        with pytest.raises(SchemaError):
+            parse_timestamp("not a date")
+        with pytest.raises(SchemaError):
+            parse_timestamp("")
+
+    def test_looks_like(self):
+        assert looks_like("42") == "int"
+        assert looks_like("4.2") == "float"
+        assert looks_like("true") == "bool"
+        assert looks_like("2014-02-10") == "timestamp"
+        assert looks_like("hello") == "str"
+        assert looks_like("") == "str"
+
+    def test_coerce(self):
+        assert coerce("42", "int") == 42
+        assert coerce("4.5", "float") == 4.5
+        assert coerce("yes", "bool") is True
+        assert coerce(None, "int") is None
+        assert coerce(7, "str") == "7"
+        with pytest.raises(SchemaError):
+            coerce("x", "mystery")
+
+
+class TestSchemaDiscovery:
+    ROWS = [
+        {"lon": "1.5", "lat": "2.5", "time": "100", "name": "a",
+         "flag": "true"},
+        {"lon": "3.5", "lat": "4.5", "time": "200", "name": "b",
+         "flag": "false"},
+    ]
+
+    def test_types_inferred(self):
+        schema = SchemaDiscovery().discover(self.ROWS)
+        assert schema.type_of("lon") == FieldType.FLOAT
+        assert schema.type_of("time") == FieldType.INT
+        assert schema.type_of("name") == FieldType.STR
+        assert schema.type_of("flag") == FieldType.BOOL
+
+    def test_widening_int_float(self):
+        schema = SchemaDiscovery().discover(
+            [{"v": "1"}, {"v": "1.5"}])
+        assert schema.type_of("v") == FieldType.FLOAT
+
+    def test_widening_to_str(self):
+        schema = SchemaDiscovery().discover(
+            [{"v": "1"}, {"v": "hello"}])
+        assert schema.type_of("v") == FieldType.STR
+
+    def test_mapping_by_name(self):
+        schema = SchemaDiscovery().discover(self.ROWS)
+        mapping = SchemaDiscovery().detect_mapping(schema, self.ROWS)
+        assert mapping == FieldMapping("lon", "lat", "time")
+
+    def test_mapping_by_range(self):
+        rows = [{"a": -100.0 + i, "b": 40.0 + i / 10, "v": "x"}
+                for i in range(5)]
+        schema = SchemaDiscovery().discover(rows)
+        mapping = SchemaDiscovery().detect_mapping(schema, rows)
+        assert mapping.lon_field == "a"
+        assert mapping.lat_field == "b"
+
+    def test_mapping_failure(self):
+        rows = [{"name": "x"}]
+        schema = SchemaDiscovery().discover(rows)
+        with pytest.raises(SchemaError):
+            SchemaDiscovery().detect_mapping(schema, rows)
+
+    def test_zero_rows(self):
+        with pytest.raises(SchemaError):
+            SchemaDiscovery().discover([])
+
+    def test_typed_rows(self):
+        schema = SchemaDiscovery().discover(
+            [{"lon": 1.0, "lat": 2, "ok": True}])
+        assert schema.type_of("lon") == FieldType.FLOAT
+        assert schema.type_of("lat") == FieldType.INT
+        assert schema.type_of("ok") == FieldType.BOOL
+
+
+class TestSources:
+    def test_csv_source(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("lon,lat,v\n1.0,2.0,a\n3.0,4.0,b\n")
+        source = CSVSource(str(path))
+        rows = list(source.scan())
+        assert rows == [{"lon": "1.0", "lat": "2.0", "v": "a"},
+                        {"lon": "3.0", "lat": "4.0", "v": "b"}]
+        assert source.count() == 2
+
+    def test_csv_missing_file(self):
+        with pytest.raises(ConnectorError):
+            list(CSVSource("/nope/missing.csv").scan())
+
+    def test_jsonl_source(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"lon": 1, "lat": 2}\n\n{"lon": 3, "lat": 4}\n')
+        rows = list(JSONLinesSource(str(path)).scan())
+        assert len(rows) == 2
+
+    def test_jsonl_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{oops}\n")
+        with pytest.raises(ConnectorError):
+            list(JSONLinesSource(str(path)).scan())
+
+    def test_jsonl_non_object(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ConnectorError):
+            list(JSONLinesSource(str(path)).scan())
+
+    def _make_db(self, tmp_path):
+        db = str(tmp_path / "my.db")
+        conn = sqlite3.connect(db)
+        conn.execute("CREATE TABLE pts (lon REAL, lat REAL, v TEXT)")
+        conn.executemany("INSERT INTO pts VALUES (?, ?, ?)",
+                         [(1.0, 2.0, "a"), (3.0, 4.0, "b")])
+        conn.commit()
+        conn.close()
+        return db
+
+    def test_sql_source_table(self, tmp_path):
+        source = SQLSource(self._make_db(tmp_path), table="pts")
+        rows = list(source.scan())
+        assert rows[0] == {"lon": 1.0, "lat": 2.0, "v": "a"}
+        assert source.count() == 2
+
+    def test_sql_source_query(self, tmp_path):
+        source = SQLSource(self._make_db(tmp_path),
+                           query="SELECT lon, lat FROM pts WHERE lon > 2")
+        assert list(source.scan()) == [{"lon": 3.0, "lat": 4.0}]
+
+    def test_sql_requires_exactly_one(self, tmp_path):
+        with pytest.raises(ConnectorError):
+            SQLSource("x.db")
+        with pytest.raises(ConnectorError):
+            SQLSource("x.db", table="t", query="SELECT 1")
+
+    def test_sql_rejects_weird_table(self):
+        with pytest.raises(ConnectorError):
+            SQLSource("x.db", table="pts; DROP TABLE pts")
+
+    def test_kv_store_and_source(self):
+        kv = KeyValueStore(partitions=4)
+        kv.put("users", "u1", {"lon": 1.0, "lat": 2.0})
+        kv.put("users", "u2", {"lon": 3.0, "lat": 4.0})
+        assert kv.get("users", "u1")["lon"] == 1.0
+        assert kv.get("users", "zz") is None
+        assert len(kv) == 2
+        rows = list(KeyValueSource(kv).scan())
+        assert {r["row_key"] for r in rows} == {"u1", "u2"}
+        assert kv.delete("users", "u1")
+        assert not kv.delete("users", "u1")
+
+    def test_document_store_source(self):
+        store = DocumentStore()
+        store.collection("c").insert_many(
+            [{"lon": 1.0, "lat": 2.0}, {"lon": 3.0, "lat": 4.0}])
+        source = DocumentStoreSource(store, "c")
+        assert source.count() == 2
+        with pytest.raises(ConnectorError):
+            DocumentStoreSource(store, "missing")
+
+
+class TestImporter:
+    def _csv(self, tmp_path, rows="lon,lat,t,kwh\n"
+             "1.0,2.0,100,950\n3.0,4.0,200,1010\n5.0,6.0,300,870\n"):
+        path = tmp_path / "meters.csv"
+        path.write_text(rows)
+        return CSVSource(str(path))
+
+    def test_import_mode(self, tmp_path):
+        engine = StormEngine()
+        importer = Importer(engine)
+        dataset, report = importer.run(self._csv(tmp_path), "meters")
+        assert report.imported == 3
+        assert report.mode == "import"
+        assert len(dataset) == 3
+        # Documents were copied into the store.
+        assert importer.store.collection("meters").count() == 3
+        # Catalog knows about it.
+        assert importer.catalog.get("meters").record_count == 3
+        # And the data is queryable.
+        q = STRange(0, 0, 10, 10)
+        assert dataset.tree.range_count(q.to_rect(3)) == 3
+
+    def test_index_mode_copies_nothing(self, tmp_path):
+        engine = StormEngine()
+        importer = Importer(engine)
+        _, report = importer.run(self._csv(tmp_path), "meters",
+                                 mode="index")
+        assert report.mode == "index"
+        assert "meters" not in importer.store.list_collections()
+        assert importer.catalog.get("meters").mode == "index"
+
+    def test_attributes_typed(self, tmp_path):
+        engine = StormEngine()
+        importer = Importer(engine)
+        dataset, _ = importer.run(self._csv(tmp_path), "meters")
+        record = dataset.lookup(0)
+        assert record.attrs["kwh"] == 950
+
+    def test_dirty_rows_skipped(self, tmp_path):
+        engine = StormEngine()
+        importer = Importer(engine)
+        source = self._csv(tmp_path, "lon,lat,v\n1.0,2.0,a\n"
+                                     "oops,4.0,b\n5.0,6.0,c\n")
+        _, report = importer.run(source, "dirty")
+        assert report.imported == 2
+        assert report.skipped == 1
+        assert report.errors
+
+    def test_no_importable_rows(self, tmp_path):
+        engine = StormEngine()
+        importer = Importer(engine)
+        source = self._csv(tmp_path, "lon,lat\nx,y\n")
+        with pytest.raises(ConnectorError):
+            importer.run(source, "junk",
+                         mapping=FieldMapping("lon", "lat"))
+
+    def test_duplicate_dataset_rejected(self, tmp_path):
+        engine = StormEngine()
+        importer = Importer(engine)
+        importer.run(self._csv(tmp_path), "meters")
+        with pytest.raises(ConnectorError):
+            importer.run(self._csv(tmp_path), "meters")
+
+    def test_bad_mode_rejected(self, tmp_path):
+        engine = StormEngine()
+        importer = Importer(engine)
+        with pytest.raises(ConnectorError):
+            importer.run(self._csv(tmp_path), "meters", mode="copy")
+
+    def test_sql_end_to_end(self, tmp_path):
+        db = str(tmp_path / "geo.db")
+        conn = sqlite3.connect(db)
+        conn.execute(
+            "CREATE TABLE obs (longitude REAL, latitude REAL, "
+            "ts REAL, temp REAL)")
+        conn.executemany("INSERT INTO obs VALUES (?, ?, ?, ?)",
+                         [(i * 1.0, i * 1.0, i * 10.0, 20.0 + i)
+                          for i in range(20)])
+        conn.commit()
+        conn.close()
+        engine = StormEngine()
+        importer = Importer(engine)
+        dataset, report = importer.run(SQLSource(db, table="obs"), "obs")
+        assert report.imported == 20
+        assert report.mapping.lon_field == "longitude"
+        point = engine.avg("obs", "temp", STRange(0, 0, 100, 100))
+        assert point.estimate.exact

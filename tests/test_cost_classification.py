@@ -1,0 +1,115 @@
+"""The I/O classifications the paper's figure shapes depend on.
+
+Figure 3(a)'s story is a *block locality* story: RandomPath pays one
+random root-to-leaf walk per sample, while LS/RS/RangeReport stream
+consecutive blocks.  These tests pin the cost-model behaviours that
+encode it, so a refactor that silently breaks the locality modelling
+fails here rather than bending the figure.
+"""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.core.sampling.base import take
+from repro.index.cost import CostCounter
+from repro.index.hilbert_rtree import HilbertRTree
+
+from tests.conftest import make_points
+
+BOUNDS = Rect((0, 0), (100, 100))
+POINTS = make_points(20_000, seed=191)
+BOX = Rect((20, 20), (80, 80))
+
+
+@pytest.fixture(scope="module")
+def tree():
+    t = HilbertRTree(2, BOUNDS, leaf_capacity=32, branch_capacity=8)
+    t.bulk_load(POINTS)
+    return t
+
+
+def sequential_fraction(cost: CostCounter) -> float:
+    return cost.sequential_reads / max(1, cost.node_reads)
+
+
+class TestLocalityModel:
+    def test_range_scan_mostly_sequential(self, tree):
+        cost = CostCounter()
+        tree.range_query(BOX, cost)
+        assert sequential_fraction(cost) > 0.5
+
+    def test_random_path_mostly_random(self, tree):
+        from repro.core.sampling.random_path import RandomPathSampler
+        sampler = RandomPathSampler(tree)
+        cost = CostCounter()
+        take(sampler.sample_stream(BOX, random.Random(1), cost=cost),
+             200)
+        assert sequential_fraction(cost) < 0.3
+
+    def test_random_path_reads_scale_with_k(self, tree):
+        from repro.core.sampling.random_path import RandomPathSampler
+        sampler = RandomPathSampler(tree)
+
+        def reads(k):
+            cost = CostCounter()
+            take(sampler.sample_stream(BOX, random.Random(2),
+                                       cost=cost), k)
+            return cost.node_reads
+
+        assert reads(400) > 3 * reads(50)
+
+    def test_rs_tree_reads_sublinear_in_k(self, tree):
+        from repro.core.sampling.rs_tree import RSTreeSampler
+        sampler = RSTreeSampler(tree, buffer_size=32,
+                                rng=random.Random(3))
+        sampler.prepare()
+
+        def reads(k):
+            cost = CostCounter()
+            take(sampler.sample_stream(BOX, random.Random(4),
+                                       cost=cost), k)
+            return cost.node_reads
+
+        r_small, r_big = reads(50), reads(800)
+        assert r_big < 16 * r_small  # far below linear scaling (16x k)
+
+    def test_query_first_reads_flat_in_k(self, tree):
+        from repro.core.sampling.query_first import QueryFirstSampler
+        sampler = QueryFirstSampler(tree)
+
+        def reads(k):
+            cost = CostCounter()
+            take(sampler.sample_stream(BOX, random.Random(5),
+                                       cost=cost), k)
+            return cost.node_reads
+
+        assert reads(1000) == reads(10)
+
+    def test_ls_tree_reads_grow_with_levels_visited(self, tree):
+        """Few samples touch only the small top trees; many samples
+        descend and pay more."""
+        from repro.core.sampling.ls_tree import LSTree, LSTreeSampler
+        forest = LSTree(2, rng=random.Random(6), leaf_capacity=32,
+                        branch_capacity=8)
+        forest.bulk_load(POINTS)
+        sampler = LSTreeSampler(forest)
+
+        def reads(k):
+            cost = CostCounter()
+            take(sampler.sample_stream(BOX, random.Random(7),
+                                       cost=cost), k)
+            return cost.node_reads
+
+        assert reads(2000) > reads(10)
+
+    def test_sample_first_charges_random_fetches(self, tree):
+        from repro.core.sampling.sample_first import SampleFirstSampler
+        sampler = SampleFirstSampler(tree)
+        cost = CostCounter()
+        take(sampler.sample_stream(BOX, random.Random(8), cost=cost),
+             100)
+        assert sequential_fraction(cost) < 0.1
+        # Rejections happen (the box covers a minority of the area).
+        assert cost.rejections > 0

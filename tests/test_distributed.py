@@ -1,0 +1,223 @@
+"""Tests for the simulated distributed substrate."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.core.records import Record, STRange
+from repro.distributed.cluster import NetworkModel, NetworkStats, \
+    SimulatedCluster
+from repro.distributed.dist_index import DistributedSTIndex
+from repro.distributed.dist_sampler import DistributedSampler
+from repro.distributed.partitioner import HilbertRangePartitioner
+from repro.errors import ClusterError
+
+
+def make_records(n, seed=71):
+    rng = random.Random(seed)
+    return [Record(record_id=i, lon=rng.uniform(0, 100),
+                   lat=rng.uniform(0, 100), t=rng.uniform(0, 1000),
+                   attrs={"v": rng.random()})
+            for i in range(n)]
+
+
+RECORDS = make_records(4000)
+BOUNDS = Rect((0, 0, 0), (100, 100, 1000))
+QUERY = STRange(20, 20, 80, 80, 100, 900)
+
+
+def truth_ids(query=QUERY):
+    return {r.record_id for r in RECORDS if query.contains(r)}
+
+
+class TestPartitioner:
+    def test_balanced(self):
+        part = HilbertRangePartitioner(BOUNDS, shards=5)
+        shards = part.split(RECORDS)
+        assert sum(len(s) for s in shards) == len(RECORDS)
+        assert part.balance(shards) < 1.01
+
+    def test_covers_everything_once(self):
+        part = HilbertRangePartitioner(BOUNDS, shards=4)
+        shards = part.split(RECORDS)
+        ids = [r.record_id for shard in shards for r in shard]
+        assert sorted(ids) == list(range(len(RECORDS)))
+
+    def test_spatial_coherence(self):
+        """Each shard's bounding box should be far smaller than the
+        whole domain (contiguous curve ranges are compact)."""
+        part = HilbertRangePartitioner(BOUNDS, shards=8)
+        shards = part.split(RECORDS)
+        domain_area = 100.0 * 100.0
+        areas = []
+        for shard in shards:
+            box = Rect.bounding([(r.lon, r.lat) for r in shard])
+            areas.append(box.area())
+        assert sum(areas) / len(areas) < 0.6 * domain_area
+
+    def test_routing_matches_split(self):
+        part = HilbertRangePartitioner(BOUNDS, shards=4)
+        shards = part.split(RECORDS)
+        for i, shard in enumerate(shards):
+            for r in shard[:50]:
+                assert part.shard_of(r) == i
+
+    def test_routing_before_split_rejected(self):
+        part = HilbertRangePartitioner(BOUNDS, shards=4)
+        with pytest.raises(ClusterError):
+            part.shard_of(RECORDS[0])
+
+    def test_empty_split(self):
+        part = HilbertRangePartitioner(BOUNDS, shards=3)
+        assert part.split([]) == [[], [], []]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ClusterError):
+            HilbertRangePartitioner(BOUNDS, shards=0)
+        with pytest.raises(ClusterError):
+            HilbertRangePartitioner(Rect((0, 0), (1, 1)), shards=2)
+
+
+class TestCluster:
+    def test_network_model(self):
+        model = NetworkModel(latency_seconds=1e-3,
+                             bandwidth_bytes_per_second=1e6)
+        assert model.seconds(2, 1_000_000) == pytest.approx(1.002)
+
+    def test_network_stats_delta(self):
+        stats = NetworkStats()
+        stats.charge(messages=3, payload_bytes=100)
+        snap = stats.snapshot()
+        stats.charge(messages=1, payload_bytes=50)
+        delta = stats.delta_from(snap)
+        assert delta.messages == 1 and delta.payload_bytes == 50
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ClusterError):
+            SimulatedCluster(0, BOUNDS)
+
+
+class TestDistributedIndex:
+    INDEX = DistributedSTIndex(RECORDS, n_workers=4)
+
+    def test_all_records_placed(self):
+        assert len(self.INDEX) == len(RECORDS)
+        sizes = [len(w) for w in self.INDEX.cluster.workers]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_distributed_count_exact(self):
+        assert self.INDEX.range_count(QUERY) == len(truth_ids())
+
+    def test_lookup(self):
+        record = self.INDEX.lookup(17)
+        assert record.record_id == 17
+        with pytest.raises(ClusterError):
+            self.INDEX.lookup(10**9)
+
+    def test_insert_and_delete(self):
+        index = DistributedSTIndex(make_records(500, seed=72),
+                                   n_workers=3)
+        index.insert(Record(9_000, lon=50, lat=50, t=500))
+        assert index.range_count(
+            STRange(49, 49, 51, 51, 499, 501)) == \
+            1 + sum(1 for r in make_records(500, seed=72)
+                    if STRange(49, 49, 51, 51, 499, 501).contains(r))
+        assert index.delete(9_000)
+        assert not index.delete(9_000)
+
+    def test_network_charged(self):
+        index = DistributedSTIndex(make_records(200, seed=73),
+                                   n_workers=2)
+        before = index.cluster.network.messages
+        index.range_count(QUERY)
+        assert index.cluster.network.messages > before
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusterError):
+            DistributedSTIndex([], n_workers=2)
+
+
+class TestDistributedSampler:
+    def test_stream_is_complete_and_unique(self):
+        index = DistributedSTIndex(RECORDS, n_workers=4, seed=5)
+        sampler = DistributedSampler(index, batch_size=16)
+        rng = random.Random(74)
+        got = [e.item_id for e in sampler.sample_stream(QUERY, rng)]
+        assert len(got) == len(set(got))
+        assert set(got) == truth_ids()
+
+    def test_prefix_sampling(self):
+        index = DistributedSTIndex(RECORDS, n_workers=4, seed=6)
+        sampler = DistributedSampler(index)
+        samples = sampler.sample(QUERY, 50, random.Random(75))
+        assert len(samples) == 50
+        assert sampler.last_query_seconds() > 0
+
+    def test_first_sample_uniform_across_workers(self):
+        """Worker choice must be count-proportional: over many draws the
+        per-worker share of first samples ~ its in-range share."""
+        index = DistributedSTIndex(RECORDS, n_workers=4, seed=7)
+        sampler = DistributedSampler(index, batch_size=4)
+        owner = {}
+        for w in index.cluster.workers:
+            for rid in w.records:
+                owner[rid] = w.worker_id
+        shares = {w.worker_id: w.range_count(QUERY.to_rect(3))
+                  for w in index.cluster.workers}
+        total = sum(shares.values())
+        counts = {w: 0 for w in shares}
+        trials = 2000
+        for t in range(trials):
+            (entry,) = sampler.sample(QUERY, 1, random.Random(1000 + t))
+            counts[owner[entry.item_id]] += 1
+        for w, share in shares.items():
+            expected = trials * share / total
+            assert abs(counts[w] - expected) < 5 * (expected ** 0.5) + 5
+
+    def test_more_workers_cut_simulated_time(self):
+        """The scaling property: simulated per-query time shrinks as
+        workers are added (parallel I/O), for a fixed k."""
+        times = {}
+        for workers in (1, 4):
+            index = DistributedSTIndex(RECORDS, n_workers=workers,
+                                       seed=8)
+            sampler = DistributedSampler(index, batch_size=32)
+            sampler.sample(QUERY, 512, random.Random(76))
+            times[workers] = sampler.last_query_seconds()
+        assert times[4] < times[1]
+
+    def test_ls_workers_complete_and_unique(self):
+        """The paper's distributed LS-tree variant: per-shard forests."""
+        index = DistributedSTIndex(RECORDS, n_workers=4, seed=10,
+                                   sampler_kind="ls")
+        sampler = DistributedSampler(index, batch_size=16)
+        got = [e.item_id for e in
+               sampler.sample_stream(QUERY, random.Random(79))]
+        assert len(got) == len(set(got))
+        assert set(got) == truth_ids()
+
+    def test_ls_workers_support_updates(self):
+        index = DistributedSTIndex(make_records(300, seed=80),
+                                   n_workers=2, sampler_kind="ls")
+        from repro.core.records import Record as R
+        index.insert(R(9_999, lon=50, lat=50, t=500))
+        assert index.delete(9_999)
+
+    def test_bad_sampler_kind_rejected(self):
+        with pytest.raises(ClusterError):
+            DistributedSTIndex(make_records(50, seed=81), n_workers=2,
+                               sampler_kind="quantum")
+
+    def test_rejects_bad_batch(self):
+        index = DistributedSTIndex(make_records(100, seed=77),
+                                   n_workers=2)
+        with pytest.raises(ClusterError):
+            DistributedSampler(index, batch_size=0)
+
+    def test_timing_requires_a_query(self):
+        index = DistributedSTIndex(make_records(100, seed=78),
+                                   n_workers=2)
+        sampler = DistributedSampler(index)
+        with pytest.raises(ClusterError):
+            sampler.last_query_seconds()

@@ -1,0 +1,112 @@
+"""Edge cases across the stack: empty datasets, degenerate queries,
+cost model arithmetic."""
+
+import random
+
+import pytest
+
+from repro.core.engine import Dataset, StormEngine
+from repro.core.records import Record, STRange
+from repro.core.session import StopCondition
+from repro.index.cost import CostCounter, CostModel
+
+
+class TestEmptyDataset:
+    def test_builds_and_answers_empty(self):
+        engine = StormEngine(seed=1)
+        engine.create_dataset("empty", [])
+        point = engine.avg("empty", "v", STRange(0, 0, 10, 10),
+                           rng=random.Random(2))
+        assert point.reason == "empty range"
+        assert point.estimate.exact
+        assert point.estimate.value is None
+
+    def test_all_samplers_yield_nothing(self, rng):
+        ds = Dataset("void", [], build_ls=True)
+        box = STRange(0, 0, 10, 10).to_rect(3)
+        for name, sampler in ds.samplers.items():
+            assert sampler.range_count(box) == 0
+            if name == "sample-first":
+                continue  # raises on empty range by design
+            assert list(sampler.sample_stream(box, rng)) == []
+
+    def test_grows_from_empty(self):
+        ds = Dataset("seed", [], build_ls=True, rs_buffer_size=8)
+        for i in range(50):
+            ds.insert(Record(i, lon=float(i % 10), lat=float(i // 10),
+                             t=0.0, attrs={"v": float(i)}))
+        ds.tree.validate()
+        box = STRange(0, 0, 10, 10).to_rect(3)
+        assert ds.tree.range_count(box) == 50
+        got = {e.item_id for e in
+               ds.samplers["rs-tree"].sample_stream(
+                   box, random.Random(3))}
+        assert got == set(range(50))
+
+
+class TestDegenerateQueries:
+    @pytest.fixture()
+    def ds(self):
+        rng = random.Random(4)
+        return Dataset("pts", [
+            Record(i, lon=rng.uniform(0, 10), lat=rng.uniform(0, 10),
+                   t=rng.uniform(0, 10), attrs={"v": 1.0})
+            for i in range(300)], rs_buffer_size=8)
+
+    def test_point_query(self, ds):
+        record = ds.lookup(0)
+        window = STRange(record.lon, record.lat, record.lon,
+                         record.lat, record.t, record.t)
+        assert ds.tree.range_count(window.to_rect(3)) >= 1
+
+    def test_zero_duration_time_window(self, ds):
+        window = STRange(0, 0, 10, 10, 5.0, 5.0)
+        q = ds.tree.range_count(window.to_rect(3))
+        assert q >= 0  # no crash; almost surely 0 points
+
+    def test_single_record_dataset_session(self):
+        ds = Dataset("one", [Record(0, lon=1.0, lat=1.0, t=1.0,
+                                    attrs={"v": 42.0})])
+        from repro.core.estimators.aggregates import AvgEstimator
+        from repro.core.records import attribute_getter
+        session = ds.session(STRange(0, 0, 2, 2),
+                             AvgEstimator(attribute_getter("v")),
+                             method="rs-tree", rng=random.Random(5),
+                             report_every=1)
+        final = session.run_to_stop(StopCondition())
+        assert final.estimate.exact
+        assert final.estimate.value == 42.0
+
+
+class TestCostModelArithmetic:
+    def test_simulated_seconds_formula(self):
+        model = CostModel(random_read_seconds=1.0,
+                          sequential_read_seconds=0.1,
+                          entry_scan_seconds=0.01,
+                          per_sample_cpu_seconds=0.001)
+        cost = CostCounter()
+        cost.charge_node(100)     # random
+        cost.charge_node(101)     # sequential
+        cost.charge_entries(10)
+        cost.charge_sample(5)
+        assert model.simulated_seconds(cost) == pytest.approx(
+            1.0 + 0.1 + 0.1 + 0.005)
+
+    def test_reset_clears_everything(self):
+        cost = CostCounter()
+        cost.charge_node(1)
+        cost.charge_rejection()
+        cost.charge_report(3)
+        cost.reset()
+        assert cost.node_reads == 0
+        assert cost.rejections == 0
+        assert cost.points_reported == 0
+        # After reset the next read is random again (no stale block).
+        cost.charge_node(2)
+        assert cost.random_reads == 1
+
+    def test_first_read_is_random(self):
+        cost = CostCounter()
+        cost.charge_node(0)
+        assert cost.random_reads == 1
+        assert cost.sequential_reads == 0

@@ -1,0 +1,96 @@
+"""Protocol conformance tests across every estimator.
+
+All estimators must honour the OnlineEstimator contract: k counts
+absorbed records, reset() clears state, estimates exist once the
+estimator's minimum support is met, exactness tracks k >= q.
+"""
+
+import random
+
+import pytest
+
+from repro.core.estimators import (AvgEstimator, BootstrapEstimator,
+                                   CountEstimator, GridSpec,
+                                   GroupByEstimator, OnlineKDE,
+                                   OnlineKMeans, ProportionEstimator,
+                                   QuantileEstimator, ShortTextEstimator,
+                                   SumEstimator, TimeHistogramEstimator,
+                                   TrajectoryEstimator,
+                                   VarianceEstimator)
+from repro.core.records import Record, attribute_getter
+from repro.errors import EstimatorError
+
+
+def make_records(n=40, seed=5):
+    rng = random.Random(seed)
+    return [Record(i, lon=rng.uniform(0, 10), lat=rng.uniform(0, 10),
+                   t=float(i),
+                   attrs={"v": rng.gauss(10, 2),
+                          "g": rng.choice(["a", "b"]),
+                          "user": "alice",
+                          "text": rng.choice(["snow day", "hot sun"])})
+            for i in range(n)]
+
+
+RECORDS = make_records()
+
+
+def all_estimators():
+    return [
+        ("avg", AvgEstimator(attribute_getter("v")), 1),
+        ("sum", SumEstimator(attribute_getter("v")), 1),
+        ("count", CountEstimator(lambda r: True), 1),
+        ("proportion", ProportionEstimator(lambda r: True), 1),
+        ("variance", VarianceEstimator(attribute_getter("v")), 2),
+        ("quantile", QuantileEstimator(attribute_getter("v")), 1),
+        ("kde", OnlineKDE(GridSpec(0, 0, 10, 10, nx=4, ny=4)), 1),
+        ("kmeans", OnlineKMeans(2, seed=1), 2),
+        ("trajectory", TrajectoryEstimator(), 1),
+        ("text", ShortTextEstimator(min_hits=1), 1),
+        ("groupby", GroupByEstimator("g",
+                                     attribute_getter("v")), 1),
+        ("bootstrap", BootstrapEstimator(
+            lambda rs: sum(r.attrs["v"] for r in rs) / len(rs),
+            min_samples=8, seed=2), 8),
+        ("timeseries", TimeHistogramEstimator(
+            0.0, 40.0, buckets=4,
+            attribute=attribute_getter("v")), 1),
+    ]
+
+
+@pytest.mark.parametrize("name,estimator,min_k",
+                         all_estimators(), ids=lambda p: str(p)[:12])
+class TestProtocol:
+    def test_k_counts_absorbed(self, name, estimator, min_k):
+        for r in RECORDS[:10]:
+            estimator.absorb(r)
+        assert estimator.k == 10
+
+    def test_estimate_available_after_min_support(self, name,
+                                                  estimator, min_k):
+        estimator.set_population_size(len(RECORDS))
+        for r in RECORDS[:max(min_k, 8)]:
+            estimator.absorb(r)
+        e = estimator.estimate()
+        assert e.k == estimator.k
+        assert e.q == len(RECORDS)
+
+    def test_reset_clears_everything(self, name, estimator, min_k):
+        estimator.set_population_size(len(RECORDS))
+        for r in RECORDS:
+            estimator.absorb(r)
+        estimator.estimate()
+        estimator.reset()
+        assert estimator.k == 0
+
+    def test_exactness_tracks_population(self, name, estimator, min_k):
+        estimator.set_population_size(len(RECORDS))
+        for r in RECORDS:
+            estimator.absorb(r)
+        assert estimator.is_exact
+        assert estimator.estimate().exact
+
+    def test_negative_population_rejected(self, name, estimator,
+                                          min_k):
+        with pytest.raises(EstimatorError):
+            estimator.set_population_size(-1)

@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.geometry."""
+
+import math
+
+import pytest
+
+from repro.core.geometry import Rect, euclidean, point_in_rect, \
+    squared_distance
+from repro.errors import GeometryError
+
+
+class TestRectConstruction:
+    def test_basic(self):
+        r = Rect((0, 0), (2, 3))
+        assert r.dim == 2
+        assert r.lo == (0.0, 0.0)
+        assert r.hi == (2.0, 3.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(GeometryError):
+            Rect((1, 0), (0, 1))
+
+    def test_rejects_mismatched_dims(self):
+        with pytest.raises(GeometryError):
+            Rect((0,), (1, 1))
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            Rect((), ())
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            Rect((float("nan"),), (1.0,))
+
+    def test_degenerate_point_box_ok(self):
+        r = Rect.from_point((5, 5))
+        assert r.area() == 0.0
+        assert r.contains_point((5, 5))
+
+    def test_immutable(self):
+        r = Rect((0,), (1,))
+        with pytest.raises(AttributeError):
+            r.lo = (2,)
+
+    def test_bounding(self):
+        r = Rect.bounding([(0, 5), (2, 1), (-1, 3)])
+        assert r == Rect((-1, 1), (2, 5))
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.bounding([])
+
+    def test_bounding_mixed_dims_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.bounding([(0, 0), (1,)])
+
+    def test_union_all(self):
+        r = Rect.union_all([Rect((0, 0), (1, 1)), Rect((2, -1), (3, 0))])
+        assert r == Rect((0, -1), (3, 1))
+
+    def test_universe(self):
+        r = Rect.universe(3, bound=10)
+        assert r.contains_point((9, -9, 0))
+
+
+class TestRectPredicates:
+    def test_intersects_overlap(self):
+        assert Rect((0, 0), (2, 2)).intersects(Rect((1, 1), (3, 3)))
+
+    def test_intersects_touching_edge(self):
+        # Closed boxes: touching counts as intersecting.
+        assert Rect((0, 0), (1, 1)).intersects(Rect((1, 1), (2, 2)))
+
+    def test_intersects_disjoint(self):
+        assert not Rect((0, 0), (1, 1)).intersects(Rect((2, 2), (3, 3)))
+
+    def test_contains(self):
+        outer = Rect((0, 0), (10, 10))
+        assert outer.contains(Rect((1, 1), (9, 9)))
+        assert outer.contains(outer)
+        assert not outer.contains(Rect((5, 5), (11, 9)))
+
+    def test_contains_point_boundary(self):
+        r = Rect((0, 0), (1, 1))
+        assert r.contains_point((0, 0))
+        assert r.contains_point((1, 1))
+        assert not r.contains_point((1.0001, 0.5))
+
+    def test_contains_point_wrong_dim(self):
+        with pytest.raises(GeometryError):
+            Rect((0, 0), (1, 1)).contains_point((0.5,))
+
+
+class TestRectCombinations:
+    def test_union(self):
+        u = Rect((0, 0), (1, 1)).union(Rect((2, 2), (3, 3)))
+        assert u == Rect((0, 0), (3, 3))
+
+    def test_union_point(self):
+        u = Rect((0, 0), (1, 1)).union_point((5, -1))
+        assert u == Rect((0, -1), (5, 1))
+
+    def test_intersection(self):
+        inter = Rect((0, 0), (2, 2)).intersection(Rect((1, 1), (3, 3)))
+        assert inter == Rect((1, 1), (2, 2))
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect((0, 0), (1, 1)).intersection(
+            Rect((5, 5), (6, 6))) is None
+
+    def test_enlargement(self):
+        base = Rect((0, 0), (1, 1))
+        assert base.enlargement(Rect((0, 0), (1, 1))) == 0.0
+        assert base.enlargement(Rect((0, 0), (2, 1))) == pytest.approx(1.0)
+
+    def test_area_margin_center(self):
+        r = Rect((0, 0), (2, 4))
+        assert r.area() == 8.0
+        assert r.margin() == 6.0
+        assert r.center == (1.0, 2.0)
+
+    def test_extent(self):
+        r = Rect((0, 1), (2, 4))
+        assert r.extent(0) == 2.0
+        assert r.extent(1) == 3.0
+
+    def test_min_distance(self):
+        r = Rect((0, 0), (1, 1))
+        assert r.min_distance((0.5, 0.5)) == 0.0
+        assert r.min_distance((2, 1)) == pytest.approx(1.0)
+        assert r.min_distance((2, 2)) == pytest.approx(math.sqrt(2))
+
+
+class TestDistances:
+    def test_euclidean(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_squared(self):
+        assert squared_distance((0, 0), (3, 4)) == pytest.approx(25.0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(GeometryError):
+            euclidean((0,), (1, 2))
+
+    def test_point_in_rect_helper(self):
+        assert point_in_rect((1, 1), (0, 0), (2, 2))
+        assert not point_in_rect((3, 1), (0, 0), (2, 2))
+
+
+class TestHashEq:
+    def test_equal_rects_hash_alike(self):
+        assert hash(Rect((0, 0), (1, 1))) == hash(Rect((0.0, 0), (1, 1.0)))
+
+    def test_usable_as_dict_key(self):
+        d = {Rect((0,), (1,)): "a"}
+        assert d[Rect((0,), (1,))] == "a"

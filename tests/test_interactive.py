@@ -1,0 +1,121 @@
+"""Interactive exploration: the paper's headline interaction pattern.
+
+"User may change to a different area ... while the first query is still
+being executed."  Sessions are cooperative generators, so many queries
+can be in flight at once; abandoning one costs nothing further.  These
+tests pin down that contract.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import Dataset
+from repro.core.estimators.aggregates import AvgEstimator
+from repro.core.records import Record, STRange, attribute_getter
+from repro.core.session import StopCondition
+from repro.index.cost import CostCounter
+
+
+def build_dataset(n=4000, seed=111):
+    rng = random.Random(seed)
+    records = [Record(i, lon=rng.uniform(0, 100),
+                      lat=rng.uniform(0, 100), t=rng.uniform(0, 1000),
+                      attrs={"v": rng.gauss(100, 10)})
+               for i in range(n)]
+    return Dataset("inter", records, rs_buffer_size=32)
+
+
+DATASET = build_dataset()
+AREA_1 = STRange(10, 10, 50, 50)
+AREA_2 = STRange(55, 55, 95, 95)
+
+
+def truth(area):
+    vals = [r.attrs["v"] for r in DATASET.records.values()
+            if area.contains(r)]
+    return sum(vals) / len(vals)
+
+
+class TestInterleavedSessions:
+    def test_two_sessions_interleave_correctly(self):
+        s1 = DATASET.session(AREA_1,
+                             AvgEstimator(attribute_getter("v")),
+                             method="rs-tree", rng=random.Random(1),
+                             report_every=8)
+        s2 = DATASET.session(AREA_2,
+                             AvgEstimator(attribute_getter("v")),
+                             method="rs-tree", rng=random.Random(2),
+                             report_every=8)
+        run1 = s1.run(StopCondition(max_samples=400))
+        run2 = s2.run(StopCondition(max_samples=400))
+        finals = {}
+        # Strict alternation: one progress step each, until both stop.
+        live = {"a": run1, "b": run2}
+        while live:
+            for name, it in list(live.items()):
+                point = next(it, None)
+                if point is None or point.done:
+                    finals[name] = point
+                    del live[name]
+        assert finals["a"].estimate.value == pytest.approx(
+            truth(AREA_1), rel=0.05)
+        assert finals["b"].estimate.value == pytest.approx(
+            truth(AREA_2), rel=0.05)
+
+    def test_abandoning_a_query_draws_no_more_samples(self):
+        cost = CostCounter()
+        est = AvgEstimator(attribute_getter("v"))
+        sampler = DATASET.samplers["rs-tree"]
+        from repro.core.session import OnlineQuerySession
+        session = OnlineQuerySession(sampler, est,
+                                     DATASET.to_rect(AREA_1),
+                                     DATASET.lookup,
+                                     rng=random.Random(3),
+                                     report_every=4)
+        session.cost = cost
+        gen = session.run(StopCondition())
+        next(gen)
+        gen.close()  # the user clicked elsewhere
+        emitted_at_close = cost.samples_emitted
+        assert cost.samples_emitted == emitted_at_close  # no background work
+
+    def test_restart_after_refinement(self):
+        """The dilemma the paper solves: user stops query 1 early, issues
+        query 2 immediately, and query 2 is unaffected."""
+        est1 = AvgEstimator(attribute_getter("v"))
+        s1 = DATASET.session(AREA_1, est1, method="ls-tree",
+                             rng=random.Random(4), report_every=4)
+        for point in s1.run(StopCondition()):
+            if point.k >= 12:
+                break  # satisfied with a rough answer
+        final2 = DATASET.session(
+            AREA_2, AvgEstimator(attribute_getter("v")),
+            method="ls-tree", rng=random.Random(5),
+            report_every=16).run_to_stop(
+                StopCondition(target_relative_error=0.02))
+        assert final2.estimate.interval.relative_half_width() <= 0.02
+
+    def test_many_concurrent_sessions(self):
+        sessions = []
+        for i in range(8):
+            area = STRange(5 + i * 5, 5, 60 + i * 4, 90)
+            est = AvgEstimator(attribute_getter("v"))
+            sessions.append(DATASET.session(
+                area, est, method="rs-tree",
+                rng=random.Random(10 + i),
+                report_every=8).run(StopCondition(max_samples=64)))
+        results = []
+        while sessions:
+            still = []
+            for gen in sessions:
+                point = next(gen, None)
+                if point is None or point.done:
+                    if point is not None:
+                        results.append(point)
+                else:
+                    still.append(gen)
+            sessions = still
+        assert len(results) == 8
+        assert all(p.estimate.k >= 64 or p.estimate.exact
+                   for p in results)

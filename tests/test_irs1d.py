@@ -1,0 +1,124 @@
+"""Tests for the 1-d independent range sampling extension."""
+
+import random
+from collections import Counter
+
+import pytest
+from scipy import stats
+
+from repro.core.sampling.base import take
+from repro.errors import EmptyRangeError, IndexError_
+from repro.extensions.irs1d import IRS1D
+
+
+def build(n=500, seed=7):
+    rng = random.Random(seed)
+    values = [rng.uniform(0, 1000) for _ in range(n)]
+    return IRS1D(enumerate(values)), values
+
+
+class TestRankRange:
+    def test_counts_match_brute_force(self):
+        irs, values = build()
+        for lo, hi in [(0, 1000), (100, 300), (999, 1000), (5, 5)]:
+            want = sum(1 for v in values if lo <= v <= hi)
+            assert irs.range_count(lo, hi) == want
+
+    def test_inverted_rejected(self):
+        irs, _ = build()
+        with pytest.raises(IndexError_):
+            irs.rank_range(10, 5)
+
+    def test_len(self):
+        irs, values = build()
+        assert len(irs) == len(values)
+
+
+class TestSampling:
+    def test_drain_matches_brute_force(self, rng):
+        irs, values = build()
+        lo, hi = 200, 700
+        got = [i for i, _ in irs.sample_stream(lo, hi, rng)]
+        want = {i for i, v in enumerate(values) if lo <= v <= hi}
+        assert len(got) == len(set(got))
+        assert set(got) == want
+
+    def test_prefix_memory_is_sparse(self, rng):
+        """Only consumed slots are tracked: taking 5 of 100k must not
+        allocate 100k entries."""
+        irs = IRS1D.from_values(list(range(100_000)))
+        stream = irs.sample_stream(0, 99_999, rng)
+        got = take(stream, 5)
+        assert len(got) == 5
+
+    def test_sample_one_empty_raises(self, rng):
+        irs, _ = build()
+        with pytest.raises(EmptyRangeError):
+            irs.sample_one(2000, 3000, rng)
+
+    def test_with_replacement_repeats(self, rng):
+        irs, values = build(n=50)
+        got = take(irs.sample_stream_with_replacement(0, 1000, rng),
+                   200)
+        ids = [i for i, _ in got]
+        assert len(set(ids)) < len(ids)
+
+    def test_with_replacement_empty_silent(self, rng):
+        irs, _ = build()
+        assert take(irs.sample_stream_with_replacement(2000, 3000, rng),
+                    3) == []
+
+    def test_values_in_range(self, rng):
+        irs, _ = build()
+        for _, v in take(irs.sample_stream(100, 200, rng), 20):
+            assert 100 <= v <= 200
+
+
+class TestIndependence:
+    def test_first_sample_uniform(self):
+        irs, values = build(n=120, seed=9)
+        lo, hi = 100, 900
+        in_range = [i for i, v in enumerate(values) if lo <= v <= hi]
+        trials = 4000
+        counts = Counter()
+        for t in range(trials):
+            i, _ = irs.sample_one(lo, hi, random.Random(t))
+            counts[i] += 1
+        expected = trials / len(in_range)
+        chi2 = sum((counts.get(i, 0) - expected) ** 2 / expected
+                   for i in in_range)
+        assert stats.chi2.sf(chi2, df=len(in_range) - 1) > 1e-3
+
+    def test_across_query_independence(self):
+        """Unlike buffered samplers, repeated identical queries with the
+        same fresh rng state produce independent draws — correlation of
+        consecutive queries' first samples ~ uniform over pairs."""
+        irs, values = build(n=60, seed=10)
+        lo, hi = 0, 1000
+        rng = random.Random(42)
+        pairs = Counter()
+        trials = 3000
+        for _ in range(trials):
+            a, _ = irs.sample_one(lo, hi, rng)
+            b, _ = irs.sample_one(lo, hi, rng)
+            pairs[a == b] += 1
+        # P(a == b) should be ~1/n, not 0 (which buffered
+        # without-replacement reuse would produce).
+        expected_collisions = trials / len(values)
+        assert pairs[True] == pytest.approx(expected_collisions,
+                                            abs=4 * expected_collisions
+                                            ** 0.5 + 2)
+
+
+class TestStatic:
+    def test_updates_rejected(self):
+        irs, _ = build()
+        with pytest.raises(IndexError_):
+            irs.insert(1, 2.0)
+        with pytest.raises(IndexError_):
+            irs.delete(1, 2.0)
+
+    def test_duplicate_values_fine(self, rng):
+        irs = IRS1D([(0, 5.0), (1, 5.0), (2, 5.0)])
+        got = {i for i, _ in irs.sample_stream(5, 5, rng)}
+        assert got == {0, 1, 2}

@@ -1,0 +1,174 @@
+"""Unit tests for the KDE and clustering estimators."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.clustering import OnlineKMeans, kmeans
+from repro.core.estimators.kde import (GridSpec, OnlineKDE,
+                                       epanechnikov_kernel,
+                                       gaussian_kernel)
+from repro.core.records import Record
+from repro.errors import EstimatorError
+
+
+def record_at(i, lon, lat):
+    return Record(record_id=i, lon=lon, lat=lat)
+
+
+class TestGridSpec:
+    def test_centers_shape_and_range(self):
+        grid = GridSpec(0, 0, 10, 10, nx=4, ny=5)
+        centers = grid.centers()
+        assert centers.shape == (20, 2)
+        assert centers[:, 0].min() > 0 and centers[:, 0].max() < 10
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(EstimatorError):
+            GridSpec(0, 0, 0, 10)
+        with pytest.raises(EstimatorError):
+            GridSpec(0, 0, 10, 10, nx=0)
+
+    def test_default_bandwidth_positive(self):
+        assert GridSpec(0, 0, 10, 10).default_bandwidth() > 0
+
+
+class TestKernels:
+    def test_gaussian_decreasing(self):
+        d2 = np.array([0.0, 1.0, 4.0])
+        k = gaussian_kernel(d2, 1.0)
+        assert k[0] == 1.0
+        assert np.all(np.diff(k) < 0)
+
+    def test_epanechnikov_compact_support(self):
+        d2 = np.array([0.0, 0.5, 1.0, 2.0])
+        k = epanechnikov_kernel(d2, 1.0)
+        assert k[0] == 0.75
+        assert k[-1] == 0.0
+
+
+class TestOnlineKDE:
+    def test_density_peaks_where_points_are(self):
+        grid = GridSpec(0, 0, 10, 10, nx=10, ny=10)
+        kde = OnlineKDE(grid, bandwidth=1.0)
+        rng = random.Random(7)
+        # A tight cluster near (2, 2).
+        for i in range(300):
+            kde.absorb(record_at(i, rng.gauss(2, 0.5), rng.gauss(2, 0.5)))
+        field = kde.estimate().value
+        peak = np.unravel_index(np.argmax(field), field.shape)
+        # Row-major (ny, nx); (2,2) is near cell (2, 2).
+        assert abs(peak[0] - 2) <= 1 and abs(peak[1] - 2) <= 1
+
+    def test_error_shrinks_with_samples(self):
+        grid = GridSpec(0, 0, 10, 10, nx=8, ny=8)
+        kde = OnlineKDE(grid, bandwidth=2.0)
+        rng = random.Random(8)
+        points = [(rng.uniform(0, 10), rng.uniform(0, 10))
+                  for _ in range(3000)]
+        for i, (x, y) in enumerate(points[:50]):
+            kde.absorb(record_at(i, x, y))
+        early = kde.max_relative_error()
+        for i, (x, y) in enumerate(points[50:], start=50):
+            kde.absorb(record_at(i, x, y))
+        late = kde.max_relative_error()
+        assert late < early
+
+    def test_estimate_matches_full_population_mean(self):
+        """Feeding the entire population gives the exact density field."""
+        grid = GridSpec(0, 0, 10, 10, nx=4, ny=4)
+        kde = OnlineKDE(grid, bandwidth=3.0)
+        pts = [(1.0, 1.0), (9.0, 9.0), (5.0, 5.0)]
+        for i, (x, y) in enumerate(pts):
+            kde.absorb(record_at(i, x, y))
+        field = kde.estimate().value
+        centers = grid.centers()
+        expected = np.zeros(len(centers))
+        for x, y in pts:
+            d2 = (centers[:, 0] - x) ** 2 + (centers[:, 1] - y) ** 2
+            expected += np.exp(-d2 / (2 * 9.0))
+        expected /= len(pts)
+        assert np.allclose(field.ravel(), expected)
+
+    def test_cell_intervals_bracket_field(self):
+        grid = GridSpec(0, 0, 10, 10, nx=4, ny=4)
+        kde = OnlineKDE(grid, bandwidth=2.0)
+        rng = random.Random(9)
+        for i in range(100):
+            kde.absorb(record_at(i, rng.uniform(0, 10),
+                                 rng.uniform(0, 10)))
+        lo, hi = kde.cell_intervals()
+        field = kde.estimate().value
+        assert np.all(lo <= field + 1e-12)
+        assert np.all(field <= hi + 1e-12)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(EstimatorError):
+            OnlineKDE(GridSpec(0, 0, 1, 1), kernel="box")
+
+    def test_no_samples_raises(self):
+        with pytest.raises(EstimatorError):
+            OnlineKDE(GridSpec(0, 0, 1, 1)).estimate()
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self):
+        rng = random.Random(10)
+        pts = []
+        truth = [(0.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+        for cx, cy in truth:
+            pts.extend((rng.gauss(cx, 0.5), rng.gauss(cy, 0.5))
+                       for _ in range(100))
+        result = kmeans(np.array(pts), 3, random.Random(1))
+        found = sorted(tuple(np.round(c)) for c in result.centers)
+        assert found == sorted(truth)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        rng = random.Random(11)
+        pts = np.array([(rng.uniform(0, 10), rng.uniform(0, 10))
+                        for _ in range(200)])
+        i2 = kmeans(pts, 2, random.Random(2)).inertia_per_point
+        i8 = kmeans(pts, 8, random.Random(2)).inertia_per_point
+        assert i8 < i2
+
+    def test_too_few_points(self):
+        with pytest.raises(EstimatorError):
+            kmeans(np.array([[0.0, 0.0]]), 3, random.Random(0))
+
+    def test_online_kmeans_improves(self):
+        """Inertia of the fitted centers against the full population
+        should drop (or hold) as the sample grows."""
+        rng = random.Random(12)
+        centers = [(0, 0), (20, 0), (10, 18)]
+        population = []
+        for i in range(1200):
+            cx, cy = centers[i % 3]
+            population.append((rng.gauss(cx, 1.5), rng.gauss(cy, 1.5)))
+        pop = np.array(population)
+
+        def population_inertia(fit_centers):
+            d2 = np.sum((pop[:, None, :]
+                         - fit_centers[None, :, :]) ** 2, axis=2)
+            return float(np.min(d2, axis=1).mean())
+
+        est = OnlineKMeans(3, seed=3)
+        order = random.Random(4).sample(range(len(population)),
+                                        len(population))
+        for idx in order[:10]:
+            est.absorb(record_at(idx, *population[idx]))
+        early = population_inertia(est.estimate().value.centers)
+        for idx in order[10:400]:
+            est.absorb(record_at(idx, *population[idx]))
+        late = population_inertia(est.estimate().value.centers)
+        assert late <= early * 1.05
+
+    def test_online_kmeans_needs_enough_points(self):
+        est = OnlineKMeans(5)
+        est.absorb(record_at(0, 1, 1))
+        with pytest.raises(EstimatorError):
+            est.estimate()
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(EstimatorError):
+            OnlineKMeans(0)

@@ -1,0 +1,94 @@
+"""Tests for the optimizer's calibration feedback loop."""
+
+import random
+
+import pytest
+
+from repro.core.engine import Dataset
+from repro.core.records import Record, STRange
+from repro.errors import OptimizerError
+from repro.query.executor import QueryExecutor
+
+
+def make_dataset(n=1500, seed=91):
+    rng = random.Random(seed)
+    records = [Record(i, lon=rng.uniform(0, 100),
+                      lat=rng.uniform(0, 100), t=rng.uniform(0, 100),
+                      attrs={"v": rng.gauss(0, 1)})
+               for i in range(n)]
+    return Dataset("fb", records, rs_buffer_size=16)
+
+
+QUERY = STRange(20, 20, 80, 80).to_rect(3)
+
+
+class TestCalibration:
+    def test_starts_neutral(self):
+        ds = make_dataset()
+        assert all(c == 1.0 for c in ds.optimizer.calibration.values())
+
+    def test_feedback_shifts_choice(self):
+        """Repeatedly observing the chosen method being 10x slower than
+        predicted must eventually flip the choice."""
+        ds = make_dataset()
+        first = ds.optimizer.choose(QUERY, expected_k=64)
+        predicted = first.scores[first.method]
+        for _ in range(25):
+            ds.optimizer.record_outcome(first.method, QUERY, 64,
+                                        predicted * 50)
+        second = ds.optimizer.choose(QUERY, expected_k=64)
+        assert second.method != first.method
+        assert ds.optimizer.calibration[first.method] > 1.5
+
+    def test_feedback_clamped(self):
+        ds = make_dataset()
+        method = next(iter(ds.samplers))
+        for _ in range(100):
+            ds.optimizer.record_outcome(method, QUERY, 64, 1e9)
+        assert ds.optimizer.calibration[method] \
+            <= ds.optimizer.FEEDBACK_CLAMP[1]
+
+    def test_good_outcomes_lower_factor(self):
+        ds = make_dataset()
+        plan = ds.optimizer.choose(QUERY, expected_k=64)
+        for _ in range(10):
+            ds.optimizer.record_outcome(plan.method, QUERY, 64,
+                                        plan.scores[plan.method] / 100)
+        assert ds.optimizer.calibration[plan.method] < 1.0
+
+    def test_unknown_method_rejected(self):
+        ds = make_dataset()
+        with pytest.raises(OptimizerError):
+            ds.optimizer.record_outcome("warp", QUERY, 10, 1.0)
+
+    def test_degenerate_inputs_ignored(self):
+        ds = make_dataset()
+        method = next(iter(ds.samplers))
+        ds.optimizer.record_outcome(method, QUERY, 0, 1.0)
+        ds.optimizer.record_outcome(method, QUERY, 10, -1.0)
+        assert ds.optimizer.calibration[method] == 1.0
+
+
+class TestExecutorFeedsBack:
+    def test_executed_queries_update_calibration(self):
+        ds = make_dataset()
+        from repro.core.engine import StormEngine
+        engine = StormEngine(seed=4)
+        engine.register(ds)
+        executor = QueryExecutor(engine, rng=random.Random(5))
+        before = dict(ds.optimizer.calibration)
+        executor.execute("ESTIMATE AVG(v) FROM fb "
+                         "WHERE REGION(20, 20, 80, 80) SAMPLES 64")
+        assert ds.optimizer.calibration != before
+
+    def test_forced_method_does_not_calibrate(self):
+        ds = make_dataset()
+        from repro.core.engine import StormEngine
+        engine = StormEngine(seed=6)
+        engine.register(ds)
+        executor = QueryExecutor(engine, rng=random.Random(7))
+        before = dict(ds.optimizer.calibration)
+        executor.execute("ESTIMATE AVG(v) FROM fb "
+                         "WHERE REGION(20, 20, 80, 80) SAMPLES 64 "
+                         "USING random-path")
+        assert ds.optimizer.calibration == before

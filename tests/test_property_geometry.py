@@ -1,0 +1,120 @@
+"""Property-based tests for geometry and the Hilbert codec."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Rect
+from repro.index.hilbert import hilbert_index, hilbert_point
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def rects(draw, dims=2):
+    lo = [draw(finite) for _ in range(dims)]
+    hi = [l + draw(st.floats(min_value=0, max_value=1e6)) for l in lo]
+    return Rect(lo, hi)
+
+
+@st.composite
+def points_in(draw, rect: Rect):
+    return tuple(draw(st.floats(min_value=l, max_value=h))
+                 for l, h in zip(rect.lo, rect.hi))
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_intersection_consistent_with_intersects(self, a, b):
+        inter = a.intersection(b)
+        if a.intersects(b):
+            assert inter is not None
+            assert a.contains(inter) and b.contains(inter)
+        else:
+            assert inter is None
+
+    @given(rects(), rects())
+    def test_containment_implies_intersection(self, a, b):
+        if a.contains(b):
+            assert a.intersects(b)
+            assert a.union(b) == a
+
+    @given(rects())
+    def test_contains_self_and_center(self, r):
+        assert r.contains(r)
+        assert r.contains_point(r.center)
+
+    @given(rects(), rects())
+    def test_enlargement_nonnegative(self, a, b):
+        assert a.enlargement(b) >= -1e-6
+
+    @given(st.data())
+    def test_bounding_covers_points(self, data):
+        pts = data.draw(st.lists(
+            st.tuples(finite, finite), min_size=1, max_size=30))
+        box = Rect.bounding(pts)
+        assert all(box.contains_point(p) for p in pts)
+
+    @given(st.data())
+    def test_min_distance_zero_iff_inside(self, data):
+        r = data.draw(rects())
+        inside = data.draw(points_in(r))
+        assert r.min_distance(inside) == 0.0
+
+    @given(rects())
+    def test_area_margin_nonnegative(self, r):
+        assert r.area() >= 0.0
+        assert r.margin() >= 0.0
+
+
+class TestHilbertProperties:
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=2, max_value=4), st.data())
+    @settings(max_examples=200)
+    def test_roundtrip(self, bits, dims, data):
+        coords = tuple(
+            data.draw(st.integers(0, (1 << bits) - 1))
+            for _ in range(dims))
+        key = hilbert_index(coords, bits)
+        assert hilbert_point(key, bits, dims) == coords
+        assert 0 <= key < (1 << (bits * dims))
+
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    @settings(max_examples=100)
+    def test_consecutive_keys_adjacent_2d(self, bits, data):
+        top = (1 << (2 * bits)) - 1
+        key = data.draw(st.integers(0, top - 1))
+        a = hilbert_point(key, bits, 2)
+        b = hilbert_point(key + 1, bits, 2)
+        assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    @given(st.integers(min_value=1, max_value=4), st.data())
+    @settings(max_examples=60)
+    def test_consecutive_keys_adjacent_3d(self, bits, data):
+        top = (1 << (3 * bits)) - 1
+        key = data.draw(st.integers(0, top - 1))
+        a = hilbert_point(key, bits, 3)
+        b = hilbert_point(key + 1, bits, 3)
+        assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    @settings(max_examples=50)
+    def test_distinct_points_distinct_keys(self, bits, data):
+        p1 = (data.draw(st.integers(0, (1 << bits) - 1)),
+              data.draw(st.integers(0, (1 << bits) - 1)))
+        p2 = (data.draw(st.integers(0, (1 << bits) - 1)),
+              data.draw(st.integers(0, (1 << bits) - 1)))
+        k1 = hilbert_index(p1, bits)
+        k2 = hilbert_index(p2, bits)
+        assert (p1 == p2) == (k1 == k2)

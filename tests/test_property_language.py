@@ -1,0 +1,114 @@
+"""Property-based tests for the query language.
+
+Two guarantees: (1) the parser never raises anything but
+QueryParseError, on *any* input text; (2) structurally valid queries
+assembled from random components always parse back to their parts.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryParseError
+from repro.query.ast import QuerySpec
+from repro.query.language import parse, tokenize
+
+
+class TestParserTotality:
+    @given(st.text(max_size=120))
+    @settings(max_examples=300)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            spec = parse(text)
+        except QueryParseError:
+            return
+        assert isinstance(spec, QuerySpec)
+
+    @given(st.text(alphabet="ESTIMAE AVG()x,%<>=-'\"0123456789 ",
+                   max_size=80))
+    @settings(max_examples=300)
+    def test_near_miss_text_never_crashes(self, text):
+        try:
+            parse(text)
+        except QueryParseError:
+            pass
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=200)
+    def test_tokenizer_total(self, text):
+        try:
+            tokens = tokenize(text)
+        except QueryParseError:
+            return
+        # Tokens must cover only real positions.
+        for tok in tokens:
+            assert 0 <= tok.position < max(1, len(text))
+
+
+@st.composite
+def valid_queries(draw):
+    """Assemble a structurally valid query and its expected fields."""
+    rng = random.Random(draw(st.integers(0, 2**31)))
+    attr = draw(st.sampled_from(["altitude", "kwh", "temp_c", "v2"]))
+    task = draw(st.sampled_from(
+        ["COUNT", f"AVG({attr})", f"SUM({attr})", f"STD({attr})",
+         f"MEDIAN({attr})", f"QUANTILE({attr}, 0.75)",
+         "CLUSTERS(3)", "KDE GRID 8x8", f"TERMS OF {attr}"]))
+    dataset = draw(st.sampled_from(["osm", "tweets", "d_1"]))
+    parts = [f"ESTIMATE {task} FROM {dataset}"]
+    expected = {"dataset": dataset}
+    conds = []
+    if draw(st.booleans()):
+        lon_lo = rng.uniform(-180, 179)
+        lat_lo = rng.uniform(-90, 89)
+        lon_hi = lon_lo + rng.uniform(0, 1)
+        lat_hi = lat_lo + rng.uniform(0, 1)
+        conds.append(f"REGION({lon_lo:.4f}, {lat_lo:.4f}, "
+                     f"{lon_hi:.4f}, {lat_hi:.4f})")
+        expected["has_region"] = True
+    if draw(st.booleans()):
+        t0 = rng.uniform(0, 1000)
+        t1 = t0 + rng.uniform(0, 1000)
+        conds.append(f"TIME({t0:.3f}, {t1:.3f})")
+        expected["has_time"] = True
+    if conds:
+        parts.append("WHERE " + " AND ".join(conds))
+    if draw(st.booleans()):
+        samples = draw(st.integers(1, 100_000))
+        parts.append(f"SAMPLES {samples}")
+        expected["max_samples"] = samples
+    if draw(st.booleans()):
+        err = draw(st.integers(1, 50))
+        parts.append(f"WITHIN ERROR {err}%")
+        expected["target_error"] = err / 100.0
+    if draw(st.booleans()):
+        parts.append("USING rs-tree")
+        expected["method"] = "rs-tree"
+    return " ".join(parts), expected
+
+
+class TestRoundTrip:
+    @given(valid_queries())
+    @settings(max_examples=200)
+    def test_valid_queries_parse(self, query_expected):
+        text, expected = query_expected
+        spec = parse(text)
+        assert spec.dataset == expected["dataset"]
+        if "max_samples" in expected:
+            assert spec.max_samples == expected["max_samples"]
+        if "target_error" in expected:
+            assert abs(spec.target_error
+                       - expected["target_error"]) < 1e-9
+        if "method" in expected:
+            assert spec.method == expected["method"]
+        if expected.get("has_region"):
+            assert spec.region is not None
+        if expected.get("has_time"):
+            assert spec.time is not None
+
+    @given(valid_queries())
+    @settings(max_examples=50)
+    def test_parse_is_deterministic(self, query_expected):
+        text, _ = query_expected
+        assert parse(text) == parse(text)

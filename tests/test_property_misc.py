@@ -1,0 +1,171 @@
+"""Property-based tests: shuffles, intervals, document filters, codec."""
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators.base import RunningStats
+from repro.core.estimators.intervals import (hoeffding_interval,
+                                             mean_interval,
+                                             proportion_interval)
+from repro.core.records import Record
+from repro.core.sampling.permutation import (sample_without_replacement,
+                                             streaming_shuffle)
+from repro.storage.document_store import Collection, matches_filter
+from repro.storage.json_codec import flatten
+
+
+class TestShuffleProperties:
+    @given(st.lists(st.integers(), max_size=200), st.integers(0, 2**32))
+    def test_streaming_shuffle_is_permutation(self, items, seed):
+        out = list(streaming_shuffle(items, random.Random(seed)))
+        assert sorted(out) == sorted(items)
+
+    @given(st.lists(st.integers(), max_size=100),
+           st.integers(0, 300), st.integers(0, 2**32))
+    def test_sample_without_replacement_size(self, items, k, seed):
+        out = sample_without_replacement(items, k, random.Random(seed))
+        assert len(out) == min(k, len(items))
+
+    @given(st.lists(st.integers(), min_size=1, max_size=50),
+           st.integers(0, 2**32))
+    def test_shuffle_does_not_mutate_input(self, items, seed):
+        original = list(items)
+        list(streaming_shuffle(items, random.Random(seed)))
+        assert items == original
+
+
+class TestIntervalProperties:
+    variance = st.floats(min_value=0.0, max_value=1e6,
+                         allow_nan=False)
+    mean = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+    @given(mean, variance, st.integers(2, 10_000))
+    def test_mean_interval_contains_mean(self, mu, var, k):
+        ci = mean_interval(mu, var, k)
+        assert ci.lo <= mu <= ci.hi
+
+    @given(mean, variance, st.integers(2, 1000))
+    def test_more_samples_never_widen(self, mu, var, k):
+        a = mean_interval(mu, var, k)
+        b = mean_interval(mu, var, 4 * k)
+        assert b.width <= a.width + 1e-9
+
+    @given(mean, variance, st.integers(2, 1000),
+           st.integers(2, 100_000))
+    def test_fpc_never_widens(self, mu, var, k, q):
+        plain = mean_interval(mu, var, k)
+        fpc = mean_interval(mu, var, k, q=max(k, q))
+        assert fpc.width <= plain.width + 1e-9
+
+    @given(st.integers(1, 500), st.data())
+    def test_proportion_interval_valid(self, k, data):
+        successes = data.draw(st.integers(0, k))
+        ci = proportion_interval(successes, k)
+        assert 0.0 <= ci.lo <= ci.hi <= 1.0 + 1e-12
+        assert ci.lo - 1e-9 <= successes / k <= ci.hi + 1e-9
+
+    @given(st.floats(0, 1), st.integers(1, 10_000))
+    def test_hoeffding_symmetric(self, mu, k):
+        ci = hoeffding_interval(mu, k, 0.0, 1.0)
+        assert math.isclose(ci.center, mu, abs_tol=1e-9)
+
+
+class TestRunningStatsProperties:
+    values = st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                allow_nan=False),
+                      min_size=2, max_size=200)
+
+    @given(values)
+    def test_matches_two_pass(self, xs):
+        stats = RunningStats()
+        for x in xs:
+            stats.add(x)
+        mean = sum(xs) / len(xs)
+        var = sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+        assert math.isclose(stats.mean, mean, rel_tol=1e-6,
+                            abs_tol=1e-6)
+        assert math.isclose(stats.variance, var, rel_tol=1e-4,
+                            abs_tol=1e-4)
+
+    @given(values, st.integers(1, 100))
+    def test_merge_equals_sequential(self, xs, cut):
+        cut = min(cut, len(xs) - 1)
+        a, b = RunningStats(), RunningStats()
+        for x in xs[:cut]:
+            a.add(x)
+        for x in xs[cut:]:
+            b.add(x)
+        whole = RunningStats()
+        for x in xs:
+            whole.add(x)
+        merged = a.merge(b)
+        assert merged.n == whole.n
+        assert math.isclose(merged.mean, whole.mean, rel_tol=1e-6,
+                            abs_tol=1e-6)
+
+
+json_scalars = st.one_of(st.none(), st.booleans(),
+                         st.integers(-1000, 1000),
+                         st.floats(-100, 100, allow_nan=False),
+                         st.text(max_size=8))
+
+
+class TestDocumentStoreProperties:
+    @given(st.lists(st.dictionaries(
+        st.sampled_from(["a", "b", "c"]), json_scalars, max_size=3),
+        max_size=15), st.integers(-1000, 1000))
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_filter_matches_brute_force(self, docs, threshold):
+        coll = Collection("t")
+        coll.insert_many(docs)
+        got = sorted(d["_id"] for d in coll.find(
+            {"a": {"$gte": threshold}}))
+
+        def brute(doc):
+            value = doc.get("a")
+            if value is None:
+                return False
+            try:
+                return value >= threshold
+            except TypeError:
+                return False
+
+        want = sorted(d["_id"] for d in coll.find() if brute(d))
+        assert got == want
+
+    @given(st.lists(st.dictionaries(
+        st.text(st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1, max_size=4),
+        json_scalars, max_size=4), max_size=20))
+    def test_jsonl_roundtrip_preserves_documents(self, docs):
+        coll = Collection("t")
+        coll.insert_many(docs)
+        again = Collection.from_jsonl("t", coll.to_jsonl())
+        assert sorted((d["_id"] for d in coll.find()), key=repr) \
+            == sorted((d["_id"] for d in again.find()), key=repr)
+        assert len(coll) == len(again)
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=4),
+                           json_scalars, max_size=5))
+    def test_flatten_flat_dict_is_identity(self, doc):
+        assert flatten(doc) == {str(k): v for k, v in doc.items()}
+
+    @given(st.dictionaries(st.sampled_from(["x", "y"]),
+                           json_scalars, max_size=2))
+    def test_equality_filter_matches_itself(self, doc):
+        assert matches_filter(doc, dict(doc))
+
+
+class TestRecordProperties:
+    @given(st.integers(0, 10**9),
+           st.floats(-180, 180, allow_nan=False),
+           st.floats(-90, 90, allow_nan=False),
+           st.floats(0, 10**9, allow_nan=False))
+    def test_document_roundtrip(self, rid, lon, lat, t):
+        record = Record(rid, lon=lon, lat=lat, t=t,
+                        attrs={"v": 1})
+        assert Record.from_document(record.to_document()) == record

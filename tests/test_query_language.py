@@ -1,0 +1,222 @@
+"""Unit tests for the keyword query language parser and executor."""
+
+import random
+
+import pytest
+
+from repro.connector.parsers import parse_timestamp
+from repro.core.engine import StormEngine
+from repro.core.estimators.clustering import KMeansResult
+from repro.core.estimators.trajectory import Trajectory
+from repro.core.records import Record
+from repro.errors import QueryParseError, StormError
+from repro.query.ast import FilterSpec
+from repro.query.executor import QueryExecutor
+from repro.query.language import parse, tokenize
+
+from tests.test_session_engine import RECORDS  # reuse the shared dataset
+
+
+class TestTokenizer:
+    def test_basic(self):
+        tokens = tokenize("ESTIMATE AVG(altitude) FROM osm")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["ident", "ident", "punct", "ident", "punct",
+                         "ident", "ident"]
+
+    def test_numbers_and_negatives(self):
+        tokens = tokenize("REGION(-114, 37.5)")
+        numbers = [t.text for t in tokens if t.kind == "number"]
+        assert numbers == ["-114", "37.5"]
+
+    def test_strings(self):
+        tokens = tokenize("TIME('2014-02-10', \"2014-02-13\")")
+        strings = [t.text for t in tokens if t.kind == "string"]
+        assert len(strings) == 2
+
+    def test_bad_character(self):
+        with pytest.raises(QueryParseError):
+            tokenize("ESTIMATE @ FROM x")
+
+
+class TestParser:
+    def test_avg_with_everything(self):
+        spec = parse(
+            "ESTIMATE AVG(altitude) FROM osm "
+            "WHERE REGION(-114, 37, -109, 42) AND TIME(0, 86400) "
+            "WITHIN ERROR 2% CONFIDENCE 99% USING rs-tree")
+        assert spec.task.kind == "avg"
+        assert spec.task.attribute == "altitude"
+        assert spec.dataset == "osm"
+        assert spec.region == (-114.0, 37.0, -109.0, 42.0)
+        assert spec.time == (0.0, 86400.0)
+        assert spec.target_error == pytest.approx(0.02)
+        assert spec.confidence == pytest.approx(0.99)
+        assert spec.method == "rs-tree"
+
+    def test_keywords_case_insensitive(self):
+        spec = parse("estimate count from osm where region(0,0,1,1)")
+        assert spec.task.kind == "count"
+
+    def test_time_with_quoted_dates(self):
+        spec = parse("ESTIMATE COUNT FROM t WHERE "
+                     "TIME('2014-02-10', '2014-02-13')")
+        assert spec.time == (parse_timestamp("2014-02-10"),
+                             parse_timestamp("2014-02-13"))
+
+    def test_kde_grid(self):
+        spec = parse("ESTIMATE KDE GRID 32x24 BANDWIDTH 0.5 FROM t")
+        assert spec.task.params == {"nx": 32, "ny": 24,
+                                    "bandwidth": 0.5}
+
+    def test_kde_grid_spaced(self):
+        spec = parse("ESTIMATE KDE GRID 8 x 4 FROM t")
+        assert spec.task.params == {"nx": 8, "ny": 4}
+
+    def test_terms(self):
+        spec = parse("ESTIMATE TERMS OF body FROM tweets SAMPLES 100")
+        assert spec.task.attribute == "body"
+        assert spec.max_samples == 100
+
+    def test_trajectory(self):
+        spec = parse("ESTIMATE TRAJECTORY OF 'user42' BY author FROM t")
+        assert spec.task.params["key"] == "user42"
+        assert spec.task.attribute == "author"
+
+    def test_clusters(self):
+        spec = parse("ESTIMATE CLUSTERS(5) FROM t")
+        assert spec.task.params["k"] == 5
+
+    def test_quantile(self):
+        spec = parse("ESTIMATE QUANTILE(altitude, 0.9) FROM t")
+        assert spec.task.params["p"] == pytest.approx(0.9)
+
+    def test_filter_condition(self):
+        spec = parse("ESTIMATE COUNT FROM t WHERE "
+                     "FILTER(altitude > 500)")
+        assert spec.record_filter == FilterSpec("altitude", ">", 500)
+
+    def test_budget_ms_and_s(self):
+        assert parse("ESTIMATE COUNT FROM t BUDGET 250 MS"
+                     ).budget_seconds == pytest.approx(0.25)
+        assert parse("ESTIMATE COUNT FROM t BUDGET 2 S"
+                     ).budget_seconds == pytest.approx(2.0)
+
+    def test_explain(self):
+        assert parse("EXPLAIN ESTIMATE COUNT FROM t").explain
+
+    def test_st_range_defaults(self):
+        spec = parse("ESTIMATE COUNT FROM t")
+        rng = spec.st_range()
+        assert rng.contains(Record(0, lon=50.0, lat=50.0, t=123.0))
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "SELECT * FROM t",
+        "ESTIMATE AVG FROM t",                        # missing parens
+        "ESTIMATE AVG(x) WHERE REGION(0,0,1,1)",      # missing FROM
+        "ESTIMATE AVG(x) FROM t WHERE REGION(1,0,0,1)",  # inverted
+        "ESTIMATE AVG(x) FROM t WHERE TIME(5, 1)",       # inverted
+        "ESTIMATE AVG(x) FROM t trailing junk",
+        "ESTIMATE QUANTILE(x, 1.5) FROM t",
+        "ESTIMATE CLUSTERS(0) FROM t",
+        "ESTIMATE KDE GRID 0x4 FROM t",
+        "ESTIMATE AVG(x) FROM t USING warp-drive",
+        "ESTIMATE AVG(x) FROM t WITHIN ERROR 2% CONFIDENCE 200%",
+        "ESTIMATE MYSTERY(x) FROM t",
+        "ESTIMATE AVG(x) FROM t WHERE REGION(0,0,1,1) "
+        "AND REGION(0,0,1,1)",
+    ])
+    def test_rejects_bad_queries(self, bad):
+        with pytest.raises(QueryParseError):
+            parse(bad)
+
+    def test_filter_spec_matching(self):
+        record = Record(0, 0.0, 0.0, attrs={"v": 10})
+        assert FilterSpec("v", ">=", 10).matches(record)
+        assert not FilterSpec("v", "<", 10).matches(record)
+        assert not FilterSpec("missing", "=", 1).matches(record)
+        assert not FilterSpec("v", "<", "text").matches(record)
+
+
+class TestExecutor:
+    @pytest.fixture()
+    def executor(self):
+        engine = StormEngine(seed=2)
+        engine.create_dataset("osm", RECORDS, rs_buffer_size=32)
+        return QueryExecutor(engine, rng=random.Random(3))
+
+    def test_avg_query(self, executor):
+        result = executor.execute(
+            "ESTIMATE AVG(altitude) FROM osm "
+            "WHERE REGION(20, 20, 80, 80) SAMPLES 300")
+        assert result.final.estimate.k <= 320
+        assert 400 < result.value < 600
+        assert "value=" in result.summary()
+
+    def test_count_exact(self, executor):
+        result = executor.execute(
+            "ESTIMATE COUNT FROM osm WHERE REGION(20, 20, 80, 80)")
+        truth = sum(1 for r in RECORDS
+                    if 20 <= r.lon <= 80 and 20 <= r.lat <= 80)
+        assert result.value == truth
+
+    def test_count_with_filter(self, executor):
+        result = executor.execute(
+            "ESTIMATE COUNT FROM osm WHERE REGION(0, 0, 100, 100) "
+            "AND FILTER(altitude > 500) SAMPLES 400")
+        truth = sum(1 for r in RECORDS if r.attrs["altitude"] > 500)
+        est = result.final.estimate
+        assert est.interval.lo <= truth <= est.interval.hi
+
+    def test_accuracy_query(self, executor):
+        result = executor.execute(
+            "ESTIMATE AVG(altitude) FROM osm "
+            "WHERE REGION(10, 10, 90, 90) WITHIN ERROR 3%")
+        assert result.final.reason in (
+            "target relative error reached", "exhausted (exact result)")
+
+    def test_kde_query(self, executor):
+        result = executor.execute(
+            "ESTIMATE KDE GRID 8x8 FROM osm "
+            "WHERE REGION(20, 20, 80, 80) SAMPLES 200")
+        assert result.value.shape == (8, 8)
+
+    def test_kde_requires_region(self, executor):
+        with pytest.raises(StormError):
+            executor.execute("ESTIMATE KDE FROM osm SAMPLES 10")
+
+    def test_clusters_query(self, executor):
+        result = executor.execute(
+            "ESTIMATE CLUSTERS(3) FROM osm "
+            "WHERE REGION(0, 0, 100, 100) SAMPLES 200")
+        assert isinstance(result.value, KMeansResult)
+        assert len(result.value.centers) == 3
+
+    def test_explain_query(self, executor):
+        result = executor.execute(
+            "EXPLAIN ESTIMATE AVG(altitude) FROM osm "
+            "WHERE REGION(20, 20, 80, 80)")
+        assert result.final is None
+        assert "chosen" in result.explanation
+
+    def test_forced_method(self, executor):
+        result = executor.execute(
+            "ESTIMATE AVG(altitude) FROM osm "
+            "WHERE REGION(20, 20, 80, 80) SAMPLES 50 USING random-path")
+        assert result.final.estimate.k >= 50
+
+    def test_unknown_dataset(self, executor):
+        with pytest.raises(StormError):
+            executor.execute("ESTIMATE COUNT FROM nope")
+
+    def test_session_path(self, executor):
+        session, stop = executor.session(
+            "ESTIMATE AVG(altitude) FROM osm "
+            "WHERE REGION(20, 20, 80, 80) SAMPLES 100")
+        final = session.run_to_stop(stop)
+        assert final.done
+
+    def test_explain_has_no_session(self, executor):
+        with pytest.raises(StormError):
+            executor.session("EXPLAIN ESTIMATE COUNT FROM osm")

@@ -1,0 +1,113 @@
+"""Direct unit tests for the record model and STRange."""
+
+import pytest
+
+from repro.core.records import (Record, STRange, attribute_getter,
+                                iter_in_range)
+from repro.errors import GeometryError
+
+
+class TestRecord:
+    def test_key_dims(self):
+        r = Record(1, lon=10.0, lat=20.0, t=30.0)
+        assert r.key(2) == (10.0, 20.0)
+        assert r.key(3) == (10.0, 20.0, 30.0)
+        with pytest.raises(GeometryError):
+            r.key(4)
+
+    def test_location(self):
+        assert Record(1, lon=1.0, lat=2.0).location == (1.0, 2.0)
+
+    def test_document_roundtrip_preserves_attrs(self):
+        r = Record(7, lon=1.0, lat=2.0, t=3.0,
+                   attrs={"text": "hi", "n": 4})
+        doc = r.to_document()
+        assert doc["_id"] == 7
+        assert doc["text"] == "hi"
+        assert Record.from_document(doc) == r
+
+    def test_from_document_defaults_time(self):
+        r = Record.from_document({"_id": 1, "lon": 1, "lat": 2})
+        assert r.t == 0.0
+
+    def test_frozen(self):
+        r = Record(1, lon=1.0, lat=2.0)
+        with pytest.raises(AttributeError):
+            r.lon = 5.0
+
+
+class TestSTRange:
+    def test_contains_spatial_only(self):
+        window = STRange(0, 0, 10, 10)
+        assert window.contains(Record(1, lon=5, lat=5, t=10**9))
+        assert not window.contains(Record(2, lon=15, lat=5))
+
+    def test_contains_with_time(self):
+        window = STRange(0, 0, 10, 10, 100, 200)
+        assert window.contains(Record(1, lon=5, lat=5, t=150))
+        assert not window.contains(Record(2, lon=5, lat=5, t=250))
+
+    def test_boundaries_inclusive(self):
+        window = STRange(0, 0, 10, 10, 100, 200)
+        assert window.contains(Record(1, lon=0, lat=10, t=100))
+        assert window.contains(Record(2, lon=10, lat=0, t=200))
+
+    def test_to_rect_dims(self):
+        window = STRange(0, 1, 2, 3, 4, 5)
+        assert window.to_rect(2).lo == (0.0, 1.0)
+        assert window.to_rect(3).lo == (0.0, 1.0, 4.0)
+        with pytest.raises(GeometryError):
+            window.to_rect(4)
+
+    def test_to_rect_unbounded_time(self):
+        rect = STRange(0, 0, 1, 1).to_rect(3)
+        assert rect.lo[2] < -1e17 and rect.hi[2] > 1e17
+
+    def test_rejects_inverted(self):
+        with pytest.raises(GeometryError):
+            STRange(1, 0, 0, 1)
+        with pytest.raises(GeometryError):
+            STRange(0, 0, 1, 1, 5, 4)
+
+    def test_rejects_half_open_time(self):
+        with pytest.raises(GeometryError):
+            STRange(0, 0, 1, 1, t_lo=5, t_hi=None)
+
+    def test_everywhere(self):
+        assert STRange.everywhere().contains(
+            Record(1, lon=1e6, lat=-1e6, t=1e12))
+
+    def test_eq_hash(self):
+        a = STRange(0, 0, 1, 1, 2, 3)
+        b = STRange(0, 0, 1, 1, 2, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != STRange(0, 0, 1, 1)
+
+    def test_repr_mentions_time(self):
+        assert ", t=[" in repr(STRange(0, 0, 1, 1, 2, 3))
+        assert ", t=[" not in repr(STRange(0, 0, 1, 1))
+
+
+class TestAttributeGetter:
+    def test_reads_attrs_and_builtins(self):
+        r = Record(1, lon=1.0, lat=2.0, t=3.0, attrs={"v": 4})
+        assert attribute_getter("v")(r) == 4.0
+        assert attribute_getter("lon")(r) == 1.0
+        assert attribute_getter("lat")(r) == 2.0
+        assert attribute_getter("t")(r) == 3.0
+
+    def test_default(self):
+        r = Record(1, lon=1.0, lat=2.0)
+        assert attribute_getter("missing", default=9.0)(r) == 9.0
+
+    def test_missing_raises(self):
+        r = Record(1, lon=1.0, lat=2.0)
+        with pytest.raises(KeyError):
+            attribute_getter("missing")(r)
+
+    def test_iter_in_range(self):
+        records = [Record(i, lon=float(i), lat=0.0) for i in range(10)]
+        window = STRange(2, -1, 5, 1)
+        got = [r.record_id for r in iter_in_range(iter(records), window)]
+        assert got == [2, 3, 4, 5]

@@ -1,0 +1,136 @@
+"""Tests for the R*-tree variant."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.index.cost import CostCounter
+from repro.index.rstar import RStarTree
+from repro.index.rtree import RTree
+
+from tests.conftest import brute_force_range, make_clustered_points, \
+    make_points
+
+
+def insert_all(tree, points):
+    for pid, pt in points:
+        tree.insert(pid, pt)
+    return tree
+
+
+class TestRStarCorrectness:
+    def test_incremental_build_valid(self):
+        pts = make_points(800, seed=171)
+        tree = insert_all(RStarTree(2, leaf_capacity=8,
+                                    branch_capacity=4), pts)
+        tree.validate()
+        assert len(tree) == len(pts)
+
+    def test_queries_match_brute_force(self):
+        pts = make_clustered_points(1200, seed=172)
+        tree = insert_all(RStarTree(2, leaf_capacity=8,
+                                    branch_capacity=4), pts)
+        for box in [Rect((20, 20), (70, 70)), Rect((0, 0), (100, 100)),
+                    Rect((48, 48), (52, 52))]:
+            got = {e.item_id for e in tree.range_query(box)}
+            assert got == brute_force_range(pts, box)
+
+    def test_deletes_work(self):
+        pts = make_points(500, seed=173)
+        tree = insert_all(RStarTree(2, leaf_capacity=8,
+                                    branch_capacity=4), pts)
+        r = random.Random(1)
+        removed = set()
+        for pid, pt in r.sample(pts, 200):
+            assert tree.delete(pid, pt)
+            removed.add(pid)
+        tree.validate()
+        got = {e.item_id for e in tree.iter_entries()}
+        assert got == {pid for pid, _ in pts} - removed
+
+    def test_mixed_workload(self):
+        tree = RStarTree(2, leaf_capacity=8, branch_capacity=4)
+        r = random.Random(2)
+        live = {}
+        next_id = 0
+        for step in range(1200):
+            if live and r.random() < 0.35:
+                pid = r.choice(list(live))
+                assert tree.delete(pid, live.pop(pid))
+            else:
+                pt = (r.uniform(0, 100), r.uniform(0, 100))
+                tree.insert(next_id, pt)
+                live[next_id] = pt
+                next_id += 1
+            if step % 300 == 0:
+                tree.validate()
+        tree.validate()
+        assert len(tree) == len(live)
+
+    def test_bulk_load_inherited(self):
+        pts = make_points(600, seed=174)
+        tree = RStarTree(2)
+        tree.bulk_load(pts)
+        tree.validate()
+        box = Rect((10, 10), (60, 60))
+        got = {e.item_id for e in tree.range_query(box)}
+        assert got == brute_force_range(pts, box)
+
+    def test_3d(self):
+        pts = make_points(400, seed=175, dims=3)
+        tree = insert_all(RStarTree(3, leaf_capacity=8,
+                                    branch_capacity=4), pts)
+        tree.validate()
+        box = Rect((10, 10, 10), (80, 80, 80))
+        got = {e.item_id for e in tree.range_query(box)}
+        assert got == brute_force_range(pts, box)
+
+
+class TestRStarQuality:
+    def test_less_overlap_than_guttman(self):
+        """The point of R*: dynamically built trees have tighter leaves.
+        Measured as total pairwise leaf-MBR overlap area."""
+        pts = make_clustered_points(3000, seed=176)
+        shuffled = list(pts)
+        random.Random(3).shuffle(shuffled)
+        guttman = insert_all(RTree(2, leaf_capacity=16,
+                                   branch_capacity=8), shuffled)
+        rstar = insert_all(RStarTree(2, leaf_capacity=16,
+                                     branch_capacity=8), shuffled)
+
+        def leaf_overlap(tree):
+            leaves = []
+            stack = [tree.root]
+            while stack:
+                n = stack.pop()
+                if n.is_leaf:
+                    leaves.append(n.mbr)
+                else:
+                    stack.extend(n.children)
+            total = 0.0
+            for i, a in enumerate(leaves):
+                for b in leaves[i + 1:]:
+                    inter = a.intersection(b)
+                    if inter is not None:
+                        total += inter.area()
+            return total
+
+        assert leaf_overlap(rstar) < leaf_overlap(guttman)
+
+    def test_cheaper_range_queries(self):
+        """Tighter MBRs → fewer node reads for the same query mix."""
+        pts = make_clustered_points(3000, seed=177)
+        shuffled = list(pts)
+        random.Random(4).shuffle(shuffled)
+        guttman = insert_all(RTree(2, leaf_capacity=16,
+                                   branch_capacity=8), shuffled)
+        rstar = insert_all(RStarTree(2, leaf_capacity=16,
+                                     branch_capacity=8), shuffled)
+        boxes = [Rect((i, j), (i + 15, j + 15))
+                 for i in range(0, 80, 20) for j in range(0, 80, 20)]
+        c_g, c_r = CostCounter(), CostCounter()
+        for box in boxes:
+            guttman.range_query(box, c_g)
+            rstar.range_query(box, c_r)
+        assert c_r.node_reads <= c_g.node_reads

@@ -1,0 +1,138 @@
+"""Statistical uniformity tests for the samplers.
+
+Definition 1 demands *uniform* random samples of ``P ∩ Q``.  We check this
+with chi-square goodness-of-fit tests: draw the first sample (and k-sample
+prefixes) many times and verify every in-range point appears equally often.
+
+Randomness scope matters: QueryFirst/SampleFirst/RandomPath are uniform
+over per-query randomness alone, but the LS-tree's guarantee is over the
+*index build* coin flips (a fixed forest always serves level-ℓ points
+first), so its trials rebuild the forest.  The RS-tree's buffers refill
+with fresh randomness as they are consumed, so a single shared index is
+uniform across repeated queries — which is what we assert.
+
+Seeds are fixed, so these tests are deterministic; thresholds use the 0.001
+quantile to keep false failures out.
+"""
+
+import random
+
+from scipy import stats
+
+from repro.core.geometry import Rect
+from repro.core.sampling import (LSTree, LSTreeSampler, QueryFirstSampler,
+                                 RandomPathSampler, RSTreeSampler,
+                                 SampleFirstSampler)
+from repro.core.sampling.base import take
+from repro.index.hilbert_rtree import HilbertRTree
+from repro.index.rtree import RTree
+
+from tests.conftest import brute_force_range, make_points
+
+BOUNDS = Rect((0, 0), (100, 100))
+POINTS = make_points(400, seed=77)
+BOX = Rect((25, 25), (75, 75))
+IN_RANGE = sorted(brute_force_range(POINTS, BOX))
+
+
+def chi_square_pvalue(counts: dict[int, int], total_draws: int) -> float:
+    expected = total_draws / len(IN_RANGE)
+    observed = [counts.get(pid, 0) for pid in IN_RANGE]
+    chi2 = sum((o - expected) ** 2 / expected for o in observed)
+    return stats.chi2.sf(chi2, df=len(IN_RANGE) - 1)
+
+
+def run_trials(make_sampler, k: int, seed: int, trials: int = 3000,
+               rebuild: bool = False) -> float:
+    """p-value for 'first k samples hit every point equally often'.
+
+    ``make_sampler(build_seed)`` constructs the sampler; with
+    ``rebuild=True`` it is called once per trial so index-construction
+    randomness is part of each draw.
+    """
+    counts: dict[int, int] = {}
+    sampler = make_sampler(seed)
+    for trial in range(trials):
+        if rebuild and trial > 0:
+            sampler = make_sampler(seed * 7_777_777 + trial)
+        rng = random.Random(seed * 1_000_003 + trial)
+        for entry in take(sampler.sample_stream(BOX, rng), k):
+            counts[entry.item_id] = counts.get(entry.item_id, 0) + 1
+    return chi_square_pvalue(counts, trials * k)
+
+
+def plain_tree() -> RTree:
+    tree = RTree(2, leaf_capacity=16, branch_capacity=8)
+    tree.bulk_load(POINTS)
+    return tree
+
+
+def make_ls(build_seed: int) -> LSTreeSampler:
+    forest = LSTree(2, rng=random.Random(build_seed), leaf_capacity=16,
+                    branch_capacity=8)
+    forest.bulk_load(POINTS)
+    return LSTreeSampler(forest)
+
+
+def make_rs(build_seed: int) -> RSTreeSampler:
+    tree = HilbertRTree(2, BOUNDS, leaf_capacity=16, branch_capacity=8)
+    tree.bulk_load(POINTS)
+    sampler = RSTreeSampler(tree, buffer_size=16,
+                            rng=random.Random(build_seed))
+    sampler.prepare()
+    return sampler
+
+
+class TestFirstSampleUniform:
+    """The very first emitted sample must be uniform on P ∩ Q."""
+
+    def test_query_first(self):
+        assert run_trials(lambda s: QueryFirstSampler(plain_tree()),
+                          k=1, seed=1) > 1e-3
+
+    def test_sample_first(self):
+        assert run_trials(lambda s: SampleFirstSampler(plain_tree()),
+                          k=1, seed=2) > 1e-3
+
+    def test_random_path(self):
+        assert run_trials(lambda s: RandomPathSampler(plain_tree()),
+                          k=1, seed=3) > 1e-3
+
+    def test_ls_tree(self):
+        assert run_trials(make_ls, k=1, seed=4, trials=1500,
+                          rebuild=True) > 1e-3
+
+    def test_rs_tree(self):
+        # One shared index: refills keep repeated queries uniform.
+        assert run_trials(make_rs, k=1, seed=5) > 1e-3
+
+
+class TestPrefixUniform:
+    """k-prefixes must cover in-range points equally often (the prefix of
+    the stream is a uniform k-subset)."""
+
+    K = 8
+
+    def test_random_path_prefix(self):
+        assert run_trials(lambda s: RandomPathSampler(plain_tree()),
+                          k=self.K, seed=6) > 1e-3
+
+    def test_ls_tree_prefix(self):
+        assert run_trials(make_ls, k=self.K, seed=7, trials=1000,
+                          rebuild=True) > 1e-3
+
+    def test_rs_tree_prefix(self):
+        assert run_trials(make_rs, k=self.K, seed=8) > 1e-3
+
+
+class TestLevelAssignment:
+    def test_ls_levels_are_geometric(self):
+        """Fraction surviving to level i should be ~2^-i."""
+        forest = LSTree(2, rng=random.Random(21))
+        pts = make_points(20_000, seed=99)
+        forest.bulk_load(pts)
+        n = len(pts)
+        level1 = sum(1 for lvl in forest.levels.values() if lvl >= 1)
+        level2 = sum(1 for lvl in forest.levels.values() if lvl >= 2)
+        assert abs(level1 / n - 0.5) < 0.02
+        assert abs(level2 / n - 0.25) < 0.02

@@ -1,0 +1,104 @@
+"""Resumable sessions: "s/he could also wait a bit longer"."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.engine import Dataset
+from repro.core.estimators.aggregates import AvgEstimator
+from repro.core.records import Record, STRange, attribute_getter
+from repro.core.session import OnlineQuerySession, StopCondition
+
+
+def make_dataset(n=2500, seed=161):
+    rng = random.Random(seed)
+    records = [Record(i, lon=rng.uniform(0, 100),
+                      lat=rng.uniform(0, 100), t=rng.uniform(0, 100),
+                      attrs={"v": rng.gauss(20.0, 4.0)})
+               for i in range(n)]
+    return Dataset("resume", records, rs_buffer_size=32)
+
+
+DATASET = make_dataset()
+AREA = STRange(10, 10, 90, 90)
+
+
+class TestResume:
+    def test_wait_a_bit_longer_tightens_the_interval(self):
+        """The paper's example: stop at 1s-quality, then resume for
+        better quality — same session, same stream, k keeps growing."""
+        est = AvgEstimator(attribute_getter("v"))
+        session = DATASET.session(AREA, est, method="rs-tree",
+                                  rng=random.Random(1), report_every=16)
+        first = session.run_to_stop(StopCondition(max_samples=100))
+        assert first.reason == "sample budget reached"
+        width_1 = first.estimate.interval.width
+        k_1 = first.k
+        second = session.run_to_stop(StopCondition(max_samples=800))
+        assert second.k > k_1, "resume must continue, not restart"
+        assert second.estimate.interval.width < width_1
+        assert est.k == second.k  # one estimator, accumulated
+
+    def test_resume_with_accuracy_target(self):
+        est = AvgEstimator(attribute_getter("v"))
+        session = DATASET.session(AREA, est, method="ls-tree",
+                                  rng=random.Random(2), report_every=16)
+        session.run_to_stop(StopCondition(max_samples=64))
+        final = session.run_to_stop(
+            StopCondition(target_relative_error=0.01))
+        assert final.estimate.interval.relative_half_width() <= 0.01
+
+    def test_resume_already_satisfied_returns_immediately(self):
+        est = AvgEstimator(attribute_getter("v"))
+        session = DATASET.session(AREA, est, method="rs-tree",
+                                  rng=random.Random(3), report_every=16)
+        session.run_to_stop(StopCondition(max_samples=320))
+        again = session.run_to_stop(StopCondition(max_samples=100))
+        assert again.done
+        assert again.k == 320  # no extra samples were drawn
+
+    def test_resume_to_exhaustion_is_exact(self):
+        est = AvgEstimator(attribute_getter("v"))
+        session = DATASET.session(AREA, est, method="query-first",
+                                  rng=random.Random(4), report_every=32)
+        session.run_to_stop(StopCondition(max_samples=50))
+        final = session.run_to_stop(StopCondition())
+        assert final.estimate.exact
+        truth = [r.attrs["v"] for r in DATASET.records.values()
+                 if AREA.contains(r)]
+        assert final.estimate.value == pytest.approx(
+            sum(truth) / len(truth))
+
+    def test_resume_after_exhaustion_stays_exact(self):
+        est = AvgEstimator(attribute_getter("v"))
+        small = STRange(45, 45, 55, 55)
+        session = DATASET.session(small, est, method="query-first",
+                                  rng=random.Random(5), report_every=8)
+        first = session.run_to_stop(StopCondition())
+        again = session.run_to_stop(StopCondition(max_samples=10**6))
+        assert again.reason == "exhausted (exact result)"
+        assert again.k == first.k
+
+    def test_clock_spans_resumes(self):
+        ticker = itertools.count()
+        clock = lambda: next(ticker) * 1.0  # noqa: E731
+        est = AvgEstimator(attribute_getter("v"))
+        session = OnlineQuerySession(
+            DATASET.samplers["rs-tree"], est, DATASET.to_rect(AREA),
+            DATASET.lookup, rng=random.Random(6), clock=clock,
+            report_every=4)
+        a = session.run_to_stop(StopCondition(max_samples=8))
+        b = session.run_to_stop(StopCondition(max_samples=16))
+        assert b.elapsed > a.elapsed
+
+    def test_user_break_then_resume(self):
+        """Breaking out of run() (user stop) and coming back later."""
+        est = AvgEstimator(attribute_getter("v"))
+        session = DATASET.session(AREA, est, method="rs-tree",
+                                  rng=random.Random(7), report_every=8)
+        for point in session.run(StopCondition()):
+            if point.k >= 24:
+                break
+        final = session.run_to_stop(StopCondition(max_samples=48))
+        assert final.k >= 48

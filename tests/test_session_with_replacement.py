@@ -1,0 +1,99 @@
+"""Sessions and queries in with-replacement mode."""
+
+import random
+
+import pytest
+
+from repro.core.engine import Dataset, StormEngine
+from repro.core.estimators.aggregates import AvgEstimator, SumEstimator
+from repro.core.records import Record, STRange, attribute_getter
+from repro.core.session import StopCondition
+from repro.errors import StormError
+from repro.query.executor import QueryExecutor
+from repro.query.language import parse
+
+
+def make_dataset(n=800, seed=141):
+    rng = random.Random(seed)
+    records = [Record(i, lon=rng.uniform(0, 100),
+                      lat=rng.uniform(0, 100), t=rng.uniform(0, 100),
+                      attrs={"v": rng.gauss(7.0, 1.5)})
+               for i in range(n)]
+    return Dataset("wr", records, rs_buffer_size=16)
+
+
+DATASET = make_dataset()
+AREA = STRange(10, 10, 90, 90)
+
+
+def truth():
+    vals = [r.attrs["v"] for r in DATASET.records.values()
+            if AREA.contains(r)]
+    return sum(vals) / len(vals)
+
+
+class TestWithReplacementSession:
+    def test_can_exceed_q(self):
+        q = DATASET.tree.range_count(AREA.to_rect(3))
+        est = AvgEstimator(attribute_getter("v"))
+        session = DATASET.session(AREA, est, method="random-path",
+                                  rng=random.Random(1),
+                                  with_replacement=True,
+                                  report_every=64)
+        final = session.run_to_stop(
+            StopCondition(max_samples=2 * q))
+        assert final.k >= 2 * q
+        assert not final.estimate.exact
+        assert final.estimate.value == pytest.approx(truth(), rel=0.05)
+
+    def test_requires_a_stop_bound(self):
+        est = AvgEstimator(attribute_getter("v"))
+        session = DATASET.session(AREA, est, method="rs-tree",
+                                  rng=random.Random(2),
+                                  with_replacement=True)
+        with pytest.raises(StormError):
+            next(session.run(StopCondition()))
+
+    def test_no_fpc_collapse(self):
+        """At k = q the with-replacement interval stays open (no FPC)."""
+        q = DATASET.tree.range_count(AREA.to_rect(3))
+        est = AvgEstimator(attribute_getter("v"))
+        session = DATASET.session(AREA, est, method="rs-tree",
+                                  rng=random.Random(3),
+                                  with_replacement=True,
+                                  report_every=32)
+        final = session.run_to_stop(StopCondition(max_samples=q))
+        assert final.estimate.interval.width > 0
+
+    def test_sum_still_scales_by_q(self):
+        est = SumEstimator(attribute_getter("v"))
+        session = DATASET.session(AREA, est, method="rs-tree",
+                                  rng=random.Random(4),
+                                  with_replacement=True,
+                                  report_every=64)
+        final = session.run_to_stop(StopCondition(max_samples=400))
+        q = DATASET.tree.range_count(AREA.to_rect(3))
+        assert final.estimate.value == pytest.approx(truth() * q,
+                                                     rel=0.05)
+
+
+class TestWithReplacementLanguage:
+    def test_parses(self):
+        spec = parse("ESTIMATE AVG(v) FROM wr "
+                     "WHERE REGION(10, 10, 90, 90) "
+                     "SAMPLES 100 WITH REPLACEMENT")
+        assert spec.with_replacement
+
+    def test_executes(self):
+        engine = StormEngine(seed=5)
+        engine.register(DATASET)
+        result = QueryExecutor(engine, rng=random.Random(6)).execute(
+            "ESTIMATE AVG(v) FROM wr WHERE REGION(10, 10, 90, 90) "
+            "SAMPLES 300 WITH REPLACEMENT")
+        assert result.value == pytest.approx(truth(), rel=0.05)
+        assert not result.final.estimate.exact
+
+    def test_with_alone_is_an_error(self):
+        from repro.errors import QueryParseError
+        with pytest.raises(QueryParseError):
+            parse("ESTIMATE AVG(v) FROM wr WITH SAMPLES 5")

@@ -1,0 +1,133 @@
+"""Tests for the online time-histogram estimator."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.estimators.timeseries import TimeHistogramEstimator
+from repro.core.records import Record, attribute_getter
+from repro.errors import EstimatorError
+
+
+def diurnal_records(n=3000, seed=151):
+    """Traffic peaks mid-window; attribute follows a sine."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        # Rejection-shape the time distribution to peak at t=50.
+        while True:
+            t = rng.uniform(0, 100)
+            if rng.random() < 0.25 + 0.75 * math.exp(
+                    -((t - 50) / 20) ** 2):
+                break
+        out.append(Record(i, lon=rng.uniform(0, 10),
+                          lat=rng.uniform(0, 10), t=t,
+                          attrs={"v": math.sin(t / 16.0)
+                                 + rng.gauss(0, 0.1)}))
+    return out
+
+
+RECORDS = diurnal_records()
+
+
+def fed(buckets=10, attribute=True):
+    est = TimeHistogramEstimator(
+        0.0, 100.0, buckets=buckets,
+        attribute=attribute_getter("v") if attribute else None)
+    est.set_population_size(len(RECORDS))
+    for r in RECORDS:
+        est.absorb(r)
+    return est
+
+
+class TestTimeHistogram:
+    def test_series_is_time_ordered_and_complete(self):
+        est = fed()
+        series = est.series()
+        assert [g.key for g in series] == list(range(10))
+        assert sum(g.share for g in series) == pytest.approx(1.0)
+
+    def test_traffic_peak_detected(self):
+        est = fed()
+        series = est.series()
+        peak = max(series, key=lambda g: g.share)
+        assert peak.key in (4, 5)  # mid-window
+
+    def test_per_bucket_means_follow_signal(self):
+        est = fed()
+        series = est.series()
+        # sin(t/16): rising early, negative near t ≈ 80.
+        assert series[1].mean > series[8].mean
+
+    def test_bucket_bounds(self):
+        est = fed(buckets=4)
+        assert est.bucket_bounds(0) == (0.0, 25.0)
+        assert est.bucket_bounds(3) == (75.0, 100.0)
+        with pytest.raises(EstimatorError):
+            est.bucket_bounds(4)
+
+    def test_clamping_edges(self):
+        est = TimeHistogramEstimator(0.0, 10.0, buckets=2)
+        est.absorb(Record(0, 0, 0, t=-5.0))
+        est.absorb(Record(1, 0, 0, t=15.0))
+        series = est.series()
+        assert series[0].samples == 1
+        assert series[1].samples == 1
+
+    def test_estimate_returns_ordered_series(self):
+        est = fed(buckets=5)
+        value = est.estimate().value
+        assert [g.key for g in value] == list(range(5))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(EstimatorError):
+            TimeHistogramEstimator(10.0, 10.0)
+        with pytest.raises(EstimatorError):
+            TimeHistogramEstimator(0.0, 1.0, buckets=0)
+
+    def test_empty_raises(self):
+        est = TimeHistogramEstimator(0.0, 1.0)
+        with pytest.raises(EstimatorError):
+            est.series()
+
+
+class TestTimeseriesThroughLanguage:
+    @pytest.fixture()
+    def engine(self):
+        from repro.core.engine import StormEngine
+        eng = StormEngine(seed=7)
+        eng.create_dataset("traffic", RECORDS)
+        return eng
+
+    def test_parse(self):
+        from repro.query.language import parse
+        spec = parse("ESTIMATE TIMESERIES(v, 12) FROM traffic "
+                     "WHERE TIME(0, 100)")
+        assert spec.task.kind == "timeseries"
+        assert spec.task.attribute == "v"
+        assert spec.task.params["buckets"] == 12
+
+    def test_parse_count_only(self):
+        from repro.query.language import parse
+        spec = parse("ESTIMATE TIMESERIES(8) FROM traffic "
+                     "WHERE TIME(0, 100)")
+        assert spec.task.attribute is None
+
+    def test_requires_time(self, engine):
+        from repro.errors import StormError
+        from repro.query.executor import QueryExecutor
+        with pytest.raises(StormError):
+            QueryExecutor(engine).execute(
+                "ESTIMATE TIMESERIES(8) FROM traffic SAMPLES 10")
+
+    def test_executes(self, engine):
+        from repro.query.executor import QueryExecutor
+        result = QueryExecutor(engine,
+                               rng=random.Random(8)).execute(
+            "ESTIMATE TIMESERIES(v, 10) FROM traffic "
+            "WHERE REGION(0, 0, 10, 10) AND TIME(0, 100) SAMPLES 800")
+        series = result.value
+        assert len(series) == 10
+        peak = max(series, key=lambda g: g.share)
+        assert peak.key in (3, 4, 5, 6)

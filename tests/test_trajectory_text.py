@@ -1,0 +1,174 @@
+"""Unit tests for the trajectory and short-text estimators."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.estimators.text import (STOPWORDS, ShortTextEstimator,
+                                        tokenize)
+from repro.core.estimators.trajectory import Trajectory, \
+    TrajectoryEstimator
+from repro.core.records import Record
+from repro.errors import EstimatorError
+
+
+def tweet(i, text, user="alice", lon=0.0, lat=0.0, t=0.0):
+    return Record(record_id=i, lon=lon, lat=lat, t=t,
+                  attrs={"user": user, "text": text})
+
+
+class TestTokenize:
+    def test_lowercases_and_dedups(self):
+        assert tokenize("Snow SNOW snow!") == {"snow"}
+
+    def test_strips_stopwords(self):
+        assert tokenize("the snow is here") == {"snow", "here"}
+
+    def test_handles_apostrophes(self):
+        assert "don't" in tokenize("don't panic")
+
+    def test_ignores_numbers_and_urls(self):
+        toks = tokenize("call 911 at https t.co/xyz")
+        assert "911" not in toks
+        assert "https" not in toks  # stopword'd
+
+
+class TestTrajectory:
+    def test_position_interpolates(self):
+        traj = Trajectory([(0.0, 0.0, 0.0), (10.0, 10.0, 20.0)])
+        assert traj.position_at(5.0) == (5.0, 10.0)
+
+    def test_position_clamps_at_ends(self):
+        traj = Trajectory([(0.0, 1.0, 1.0), (10.0, 2.0, 2.0)])
+        assert traj.position_at(-5.0) == (1.0, 1.0)
+        assert traj.position_at(15.0) == (2.0, 2.0)
+
+    def test_length(self):
+        traj = Trajectory([(0.0, 0.0, 0.0), (1.0, 3.0, 4.0)])
+        assert traj.length() == pytest.approx(5.0)
+
+    def test_mean_gap(self):
+        traj = Trajectory([(0.0, 0, 0), (2.0, 0, 0), (4.0, 0, 0)])
+        assert traj.mean_gap() == pytest.approx(2.0)
+
+    def test_empty_position_raises(self):
+        with pytest.raises(EstimatorError):
+            Trajectory([]).position_at(0.0)
+
+    def test_discrepancy_of_identical_is_zero(self):
+        verts = [(float(t), float(t), 0.0) for t in range(10)]
+        assert Trajectory(verts).discrepancy(Trajectory(verts)) \
+            == pytest.approx(0.0)
+
+    def test_discrepancy_disjoint_times_raises(self):
+        a = Trajectory([(0.0, 0, 0), (1.0, 0, 0)])
+        b = Trajectory([(5.0, 0, 0), (6.0, 0, 0)])
+        with pytest.raises(EstimatorError):
+            a.discrepancy(b)
+
+
+class TestTrajectoryEstimator:
+    def _walk(self, n=200, seed=13):
+        """A smooth ground-truth walk for user alice."""
+        rng = random.Random(seed)
+        x = y = 0.0
+        out = []
+        for t in range(n):
+            x += rng.gauss(0.3, 0.1)
+            y += rng.gauss(0.1, 0.1)
+            out.append((float(t), x, y))
+        return out
+
+    def test_filters_by_key(self):
+        est = TrajectoryEstimator("user", "alice")
+        est.absorb(tweet(0, "hi", user="alice", t=1.0))
+        est.absorb(tweet(1, "hi", user="bob", t=2.0))
+        assert est.matched == 1
+
+    def test_reconstruction_error_shrinks_with_samples(self):
+        walk = self._walk()
+        truth = Trajectory(walk)
+        records = [tweet(i, "x", lon=x, lat=y, t=t)
+                   for i, (t, x, y) in enumerate(walk)]
+        order = random.Random(14).sample(records, len(records))
+        est = TrajectoryEstimator("user", "alice")
+        for r in order[:10]:
+            est.absorb(r)
+        early = est.trajectory().discrepancy(truth)
+        for r in order[10:120]:
+            est.absorb(r)
+        late = est.trajectory().discrepancy(truth)
+        assert late < early
+
+    def test_estimate_reports_resolution(self):
+        est = TrajectoryEstimator()
+        est.absorb(tweet(0, "a", t=0.0))
+        est.absorb(tweet(1, "b", t=10.0))
+        e = est.estimate()
+        assert e.std_error == pytest.approx(10.0)
+
+    def test_no_match_raises(self):
+        est = TrajectoryEstimator("user", "nobody")
+        est.absorb(tweet(0, "hi", user="alice"))
+        with pytest.raises(EstimatorError):
+            est.estimate()
+
+
+class TestShortTextEstimator:
+    def test_counts_document_frequency(self):
+        est = ShortTextEstimator()
+        est.absorb(tweet(0, "snow snow snow"))
+        est.absorb(tweet(1, "snow day"))
+        est.absorb(tweet(2, "sunny"))
+        stat = est.term_stat("snow")
+        assert stat.hits == 2  # document frequency, not term count
+        assert stat.frequency == pytest.approx(2 / 3)
+
+    def test_top_terms_ranked(self):
+        est = ShortTextEstimator(min_hits=1)
+        for i in range(10):
+            est.absorb(tweet(i, "snow ice"))
+        for i in range(10, 13):
+            est.absorb(tweet(i, "ice"))
+        top = est.top_terms(2)
+        assert top[0].term == "ice"
+        assert top[1].term == "snow"
+
+    def test_interval_contains_frequency(self):
+        est = ShortTextEstimator(min_hits=1)
+        for i in range(20):
+            est.absorb(tweet(i, "snow" if i % 2 == 0 else "sun"))
+        stat = est.term_stat("snow")
+        assert stat.interval.lo <= 0.5 <= stat.interval.hi
+
+    def test_lift_against_background(self):
+        est = ShortTextEstimator(min_hits=1,
+                                 background={"snow": 0.01, "lunch": 0.5})
+        for i in range(10):
+            est.absorb(tweet(i, "snow lunch"))
+        top = est.top_terms(2, by_lift=True)
+        assert top[0].term == "snow"
+        assert top[0].lift > top[1].lift
+
+    def test_lift_requires_background(self):
+        est = ShortTextEstimator(min_hits=1)
+        est.absorb(tweet(0, "snow"))
+        with pytest.raises(EstimatorError):
+            est.top_terms(by_lift=True)
+
+    def test_non_string_text_ignored(self):
+        est = ShortTextEstimator()
+        est.absorb(Record(0, 0.0, 0.0, attrs={"text": 42}))
+        assert est.texts_seen == 0
+
+    def test_no_texts_raises(self):
+        with pytest.raises(EstimatorError):
+            ShortTextEstimator().term_stat("snow")
+
+    def test_stopwords_configurable(self):
+        est = ShortTextEstimator(stopwords=frozenset({"snow"}),
+                                 min_hits=1)
+        est.absorb(tweet(0, "snow ice"))
+        assert "snow" not in est.term_hits
+        assert "ice" in est.term_hits

@@ -1,0 +1,172 @@
+"""Integration tests for the update manager.
+
+The paper's update demo contract: after ad-hoc updates, "a correct set of
+online spatio-temporal samples can always be returned with respect to the
+latest records in a data set."
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import Dataset
+from repro.core.records import Record, STRange
+from repro.errors import UpdateError
+from repro.storage.document_store import DocumentStore
+from repro.updates.manager import UpdateBatch, UpdateManager
+
+
+def make_records(n, seed=61, start_id=0):
+    rng = random.Random(seed)
+    return [Record(record_id=start_id + i, lon=rng.uniform(0, 100),
+                   lat=rng.uniform(0, 100), t=rng.uniform(0, 1000),
+                   attrs={"v": rng.gauss(10, 2)})
+            for i in range(n)]
+
+
+@pytest.fixture()
+def dataset():
+    return Dataset("live", make_records(800), rs_buffer_size=16)
+
+
+EVERYTHING = STRange(0, 0, 100, 100)
+
+
+class TestBatchValidation:
+    def test_duplicate_insert_ids(self, dataset):
+        batch = UpdateBatch(inserts=[Record(9_000, 1, 1),
+                                     Record(9_000, 2, 2)])
+        with pytest.raises(UpdateError):
+            UpdateManager(dataset).apply(batch)
+
+    def test_existing_insert_id(self, dataset):
+        batch = UpdateBatch(inserts=[Record(0, 1, 1)])
+        with pytest.raises(UpdateError):
+            UpdateManager(dataset).apply(batch)
+
+    def test_missing_delete_id(self, dataset):
+        with pytest.raises(UpdateError):
+            UpdateManager(dataset).apply(UpdateBatch(deletes=[999_999]))
+
+    def test_replace_same_id_allowed(self, dataset):
+        """delete+insert of the same id in one batch is a replace."""
+        manager = UpdateManager(dataset)
+        result = manager.apply(UpdateBatch(
+            inserts=[Record(0, lon=55.0, lat=55.0, attrs={"v": 1.0})],
+            deletes=[0]))
+        assert result.inserted == 1 and result.deleted == 1
+        assert dataset.lookup(0).lon == 55.0
+
+    def test_validation_happens_before_mutation(self, dataset):
+        size = len(dataset)
+        batch = UpdateBatch(inserts=[Record(9_000, 1, 1)],
+                            deletes=[999_999])
+        with pytest.raises(UpdateError):
+            UpdateManager(dataset).apply(batch)
+        assert len(dataset) == size
+        assert 9_000 not in dataset.records
+
+
+class TestApply:
+    def test_counts_and_stats(self, dataset):
+        manager = UpdateManager(dataset)
+        result = manager.apply(UpdateBatch(
+            inserts=make_records(50, seed=62, start_id=10_000),
+            deletes=list(range(25))))
+        assert result.inserted == 50
+        assert result.deleted == 25
+        assert manager.total_inserted == 50
+        assert manager.total_deleted == 25
+        assert result.throughput() > 0
+
+    def test_samples_reflect_latest_state(self, dataset):
+        """The paper's core update requirement, end to end."""
+        manager = UpdateManager(dataset)
+        inserts = make_records(100, seed=63, start_id=10_000)
+        manager.apply(UpdateBatch(inserts=inserts,
+                                  deletes=list(range(50))))
+        rng = random.Random(64)
+        sampler = dataset.samplers["rs-tree"]
+        emitted = {e.item_id for e in
+                   sampler.sample_stream(EVERYTHING.to_rect(3), rng)}
+        expected = set(dataset.records)
+        assert emitted == expected
+        # LS-tree agrees too.
+        emitted_ls = {e.item_id for e in
+                      dataset.samplers["ls-tree"].sample_stream(
+                          EVERYTHING.to_rect(3), rng)}
+        assert emitted_ls == expected
+
+    def test_insert_stream_batches(self, dataset):
+        manager = UpdateManager(dataset)
+        results = manager.insert_stream(
+            make_records(500, seed=65, start_id=20_000), batch_size=128)
+        assert [r.inserted for r in results] == [128, 128, 128, 116]
+        assert len(dataset) == 1300
+
+    def test_insert_stream_bad_batch_size(self, dataset):
+        with pytest.raises(UpdateError):
+            UpdateManager(dataset).insert_stream([], batch_size=0)
+
+    def test_store_kept_in_sync(self, dataset):
+        store = DocumentStore()
+        coll = store.collection("live")
+        coll.insert_many(r.to_document() for r in
+                         dataset.records.values())
+        manager = UpdateManager(dataset, store=store, collection="live")
+        manager.apply(UpdateBatch(
+            inserts=make_records(10, seed=66, start_id=30_000),
+            deletes=[1, 2, 3]))
+        assert coll.count() == len(dataset)
+        assert coll.find_one({"_id": 1}) is None
+        assert coll.find_one({"_id": 30_000}) is not None
+        manager.flush()  # persists without error
+
+    def test_store_requires_collection(self, dataset):
+        with pytest.raises(UpdateError):
+            UpdateManager(dataset, store=DocumentStore())
+
+    def test_auto_rebuild_triggers_and_stays_correct(self, dataset):
+        manager = UpdateManager(dataset, rebuild_churn_fraction=0.2)
+        inserts = make_records(200, seed=68, start_id=50_000)
+        manager.apply(UpdateBatch(inserts=inserts))
+        assert manager.rebuilds == 1
+        dataset.tree.validate()
+        rng = random.Random(69)
+        got = {e.item_id for e in
+               dataset.samplers["rs-tree"].sample_stream(
+                   EVERYTHING.to_rect(3), rng)}
+        assert got == set(dataset.records)
+
+    def test_rebuild_restores_packing(self, dataset):
+        """After heavy churn, a rebuild shrinks the node count back to
+        bulk-load quality."""
+        manager = UpdateManager(dataset)
+        manager.apply(UpdateBatch(
+            inserts=make_records(800, seed=70, start_id=60_000)))
+        degraded = dataset.tree.node_count()
+        dataset.rebuild()
+        rebuilt = dataset.tree.node_count()
+        assert rebuilt <= degraded
+        dataset.tree.validate()
+
+    def test_rebuild_fraction_validated(self, dataset):
+        with pytest.raises(UpdateError):
+            UpdateManager(dataset, rebuild_churn_fraction=0.0)
+
+    def test_recent_window_query_sees_new_data(self, dataset):
+        """The demo: narrow the time range to the most recent history
+        and see freshly inserted records."""
+        manager = UpdateManager(dataset)
+        fresh = [Record(record_id=40_000 + i, lon=50.0, lat=50.0,
+                        t=2_000.0 + i, attrs={"v": 99.0})
+                 for i in range(20)]
+        manager.apply(UpdateBatch(inserts=fresh))
+        recent = STRange(0, 0, 100, 100, 2_000.0, 3_000.0)
+        q = dataset.tree.range_count(recent.to_rect(3))
+        assert q == 20
+        rng = random.Random(67)
+        got = {e.item_id for e in
+               dataset.samplers["rs-tree"].sample_stream(
+                   recent.to_rect(3), rng)}
+        assert got == {r.record_id for r in fresh}

@@ -1,0 +1,102 @@
+"""Unit tests for the text visualizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators.trajectory import Trajectory
+from repro.viz.density_map import render_density, render_density_with_ci
+from repro.viz.series import render_series, render_table
+from repro.viz.trajectory_plot import render_trajectory
+
+
+class TestDensityMap:
+    def test_shape_and_orientation(self):
+        field = np.zeros((3, 5))
+        field[0, 0] = 1.0  # south-west corner
+        art = render_density(field)
+        lines = art.split("\n")
+        assert len(lines) == 4  # 3 rows + legend
+        assert len(lines[0]) == 5
+        # Peak must render in the BOTTOM row (south), left column.
+        assert lines[2][0] == "@"
+
+    def test_constant_field(self):
+        art = render_density(np.ones((2, 2)))
+        assert "@" not in art.split("\n")[0]
+
+    def test_title(self):
+        art = render_density(np.zeros((2, 2)), title="KDE")
+        assert art.startswith("KDE")
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            render_density(np.zeros(5))
+
+    def test_ci_overlay_marks_uncertain_cells(self):
+        field = np.ones((2, 2))
+        lo = np.zeros((2, 2))
+        hi = np.full((2, 2), 5.0)  # huge intervals everywhere
+        art = render_density_with_ci(field, lo, hi)
+        assert "?" in art
+
+    def test_ci_overlay_quiet_when_tight(self):
+        field = np.ones((2, 2))
+        lo = field - 0.01
+        hi = field + 0.01
+        art = render_density_with_ci(field, lo, hi)
+        assert "?" not in art
+
+    def test_ci_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            render_density_with_ci(np.ones((2, 2)), np.ones((2, 3)),
+                                   np.ones((2, 2)))
+
+
+class TestSeries:
+    def test_basic_plot(self):
+        art = render_series({"a": [(0, 1), (1, 2)],
+                             "b": [(0, 2), (1, 4)]})
+        assert "o=a" in art and "x=b" in art
+
+    def test_log_scale(self):
+        art = render_series({"a": [(0, 1), (1, 1000)]},
+                            y_label="time", log_y=True)
+        assert "log10(time)" in art
+
+    def test_log_scale_drops_nonpositive(self):
+        art = render_series({"a": [(0, 0.0), (1, 10.0)]}, log_y=True)
+        assert "(no data)" not in art
+
+    def test_empty(self):
+        assert render_series({}) == "(no data)"
+
+    def test_table(self):
+        art = render_table(["name", "value"],
+                           [["alpha", 1.5], ["b", 123456.0]],
+                           title="results")
+        lines = art.split("\n")
+        assert lines[0] == "results"
+        assert "alpha" in art
+        assert "1.235e+05" in art  # big floats in scientific notation
+
+    def test_table_alignment(self):
+        art = render_table(["h"], [["xxxxxxxx"]])
+        header, rule, row = art.split("\n")
+        assert len(header) == len(rule) == len(row)
+
+
+class TestTrajectoryPlot:
+    def test_marks_start_and_end(self):
+        traj = Trajectory([(0.0, 0.0, 0.0), (1.0, 5.0, 5.0),
+                           (2.0, 10.0, 0.0)])
+        art = render_trajectory(traj, width=20, height=8)
+        assert "S" in art and "E" in art and "o" in art
+
+    def test_empty(self):
+        assert "empty" in render_trajectory(Trajectory([]))
+
+    def test_title_and_stats(self):
+        traj = Trajectory([(0.0, 0.0, 0.0), (4.0, 3.0, 4.0)])
+        art = render_trajectory(traj, title="user42")
+        assert art.startswith("user42")
+        assert "2 vertices" in art

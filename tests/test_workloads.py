@@ -1,0 +1,181 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core.estimators.text import tokenize
+from repro.workloads import (ElectricityWorkload, MesoWestWorkload,
+                             OSMWorkload, TwitterWorkload)
+from repro.workloads.generators import WorkloadRNG, zipf_weights
+
+
+class TestWorkloadRNG:
+    def test_deterministic(self):
+        a = WorkloadRNG(5).stream("x").random(3)
+        b = WorkloadRNG(5).stream("x").random(3)
+        assert (a == b).all()
+
+    def test_purposes_independent(self):
+        a = WorkloadRNG(5).stream("x").random(3)
+        b = WorkloadRNG(5).stream("y").random(3)
+        assert not (a == b).all()
+
+    def test_zipf_weights_normalised_decreasing(self):
+        w = zipf_weights(100)
+        assert w.sum() == pytest.approx(1.0)
+        assert (w[:-1] >= w[1:]).all()
+
+
+class TestOSM:
+    def test_deterministic_and_sized(self):
+        a = OSMWorkload(n=500, seed=1).generate()
+        b = OSMWorkload(n=500, seed=1).generate()
+        assert len(a) == 500
+        assert [(r.lon, r.lat) for r in a[:20]] \
+            == [(r.lon, r.lat) for r in b[:20]]
+
+    def test_all_points_in_region(self):
+        wl = OSMWorkload(n=800, seed=2)
+        for r in wl.generate():
+            assert wl.lon_range[0] <= r.lon <= wl.lon_range[1]
+            assert wl.lat_range[0] <= r.lat <= wl.lat_range[1]
+
+    def test_altitude_nonnegative_and_varied(self):
+        records = OSMWorkload(n=800, seed=3).generate()
+        alts = [r.attrs["altitude"] for r in records]
+        assert min(alts) >= 0.0
+        assert max(alts) - min(alts) > 500.0
+
+    def test_clustering_present(self):
+        """Clustered generation should concentrate mass: some small cell
+        holds far more than the uniform share."""
+        wl = OSMWorkload(n=4000, seed=4)
+        records = wl.generate()
+        cells = {}
+        for r in records:
+            key = (int(r.lon), int(r.lat))
+            cells[key] = cells.get(key, 0) + 1
+        area_cells = ((wl.lon_range[1] - wl.lon_range[0])
+                      * (wl.lat_range[1] - wl.lat_range[0]))
+        uniform_share = len(records) / area_cells
+        assert max(cells.values()) > 10 * uniform_share
+
+    def test_query_box_selectivity(self):
+        wl = OSMWorkload(n=2000, seed=5)
+        records = wl.generate()
+        lon_lo, lat_lo, lon_hi, lat_hi = wl.dense_query_box(0.25)
+        inside = sum(1 for r in records
+                     if lon_lo <= r.lon <= lon_hi
+                     and lat_lo <= r.lat <= lat_hi)
+        # Central box catches at least its area share (clusters help).
+        assert inside / len(records) > 0.1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            OSMWorkload(n=0)
+        with pytest.raises(ValueError):
+            OSMWorkload(cluster_fraction=2.0)
+
+
+class TestTwitter:
+    WL = TwitterWorkload(n=4000, users=200, seed=6)
+    RECORDS = WL.generate()
+
+    def test_sized_and_fielded(self):
+        assert len(self.RECORDS) == 4000
+        r = self.RECORDS[0]
+        assert "user" in r.attrs and "text" in r.attrs
+
+    def test_times_sorted_within_span(self):
+        ts = [r.t for r in self.RECORDS]
+        assert ts == sorted(ts)
+        assert 0 <= ts[0] and ts[-1] <= self.WL.time_span
+
+    def test_snowstorm_window_spikes_storm_terms(self):
+        window = self.WL.snowstorm_range()
+        in_window = [r for r in self.RECORDS if window.contains(r)]
+        assert len(in_window) > 20, "anomaly window must contain tweets"
+        storm_hits = sum(1 for r in in_window
+                         if tokenize(r.attrs["text"])
+                         & {"snow", "ice", "outage"})
+        assert storm_hits / len(in_window) > 0.4
+
+    def test_storm_terms_rare_outside_window(self):
+        window = self.WL.snowstorm_range()
+        outside = [r for r in self.RECORDS if not window.contains(r)]
+        storm_hits = sum(1 for r in outside
+                         if tokenize(r.attrs["text"])
+                         & {"snow", "ice", "outage"})
+        assert storm_hits / len(outside) < 0.05
+
+    def test_slc_range_has_tweets(self):
+        slc = self.WL.slc_range()
+        assert any(slc.contains(r) for r in self.RECORDS)
+
+    def test_user_trajectories_coherent(self):
+        """A user's consecutive positions should move smoothly (bounded
+        step), not teleport."""
+        by_user = {}
+        for r in self.RECORDS:
+            by_user.setdefault(r.attrs["user"], []).append(r)
+        user, tweets = max(by_user.items(), key=lambda kv: len(kv[1]))
+        assert len(tweets) >= 5
+        steps = [abs(a.lon - b.lon) + abs(a.lat - b.lat)
+                 for a, b in zip(tweets, tweets[1:])]
+        assert max(steps) < 5.0
+
+    def test_background_frequencies(self):
+        bg = self.WL.background_frequencies()
+        assert 0.0 < bg["coffee"] <= 1.0
+        assert "snow" not in bg  # storm terms are not everyday vocab
+
+
+class TestMesoWest:
+    RECORDS = MesoWestWorkload(stations=100, measurements_per_station=10,
+                               seed=7).generate()
+
+    def test_size(self):
+        assert len(self.RECORDS) == 1000
+
+    def test_station_locations_fixed(self):
+        by_station = {}
+        for r in self.RECORDS:
+            key = r.attrs["station"]
+            by_station.setdefault(key, set()).add((r.lon, r.lat))
+        assert all(len(locs) == 1 for locs in by_station.values())
+
+    def test_temperature_latitude_gradient(self):
+        south = [r.attrs["temperature"] for r in self.RECORDS
+                 if r.lat < 32]
+        north = [r.attrs["temperature"] for r in self.RECORDS
+                 if r.lat > 45]
+        assert sum(south) / len(south) > sum(north) / len(north)
+
+    def test_fields_present(self):
+        r = self.RECORDS[0]
+        for field in ("temperature", "elevation", "humidity",
+                      "wind_speed"):
+            assert field in r.attrs
+
+
+class TestElectricity:
+    WL = ElectricityWorkload(units=300, readings_per_unit=6, seed=8)
+    RECORDS = WL.generate()
+
+    def test_size(self):
+        assert len(self.RECORDS) == 1800
+
+    def test_usage_positive(self):
+        assert all(r.attrs["kwh"] >= 0 for r in self.RECORDS)
+
+    def test_first_quarter_query_selects_records(self):
+        window = self.WL.first_quarter_range()
+        inside = [r for r in self.RECORDS if window.contains(r)]
+        assert len(inside) > 10
+
+    def test_manhattan_usage_higher_than_queens(self):
+        manhattan = [r.attrs["kwh"] for r in self.RECORDS
+                     if r.attrs["borough"] == "manhattan"]
+        queens = [r.attrs["kwh"] for r in self.RECORDS
+                  if r.attrs["borough"] == "queens"]
+        assert sum(manhattan) / len(manhattan) \
+            > sum(queens) / len(queens)
