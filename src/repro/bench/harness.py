@@ -26,6 +26,7 @@ from repro.core.records import STRange, attribute_getter
 from repro.core.sampling.base import take
 from repro.core.session import OnlineQuerySession, StopCondition
 from repro.index.cost import CostCounter, CostModel, DEFAULT_COST_MODEL
+from repro.obs import NULL_OBS, Observability
 from repro.viz.series import render_series, render_table
 from repro.workloads.osm import OSMWorkload
 
@@ -59,8 +60,9 @@ class ExperimentResult:
 
 
 def build_osm_dataset(n: int = 100_000, seed: int = 17,
-                      rs_buffer_size: int = 64) -> tuple[Dataset,
-                                                         OSMWorkload]:
+                      rs_buffer_size: int = 64,
+                      obs: Observability | None = None
+                      ) -> tuple[Dataset, OSMWorkload]:
     """The shared experimental substrate: synthetic OSM, fully indexed.
 
     Indexed in 2-d: OSM is a spatial (not temporal) data set, and that is
@@ -69,7 +71,7 @@ def build_osm_dataset(n: int = 100_000, seed: int = 17,
     """
     workload = OSMWorkload(n=n, seed=seed)
     dataset = Dataset("osm", workload.generate(), dims=2,
-                      rs_buffer_size=rs_buffer_size)
+                      rs_buffer_size=rs_buffer_size, obs=obs)
     return dataset, workload
 
 
@@ -89,13 +91,17 @@ class Fig3aRunner:
                  fractions: tuple[float, ...] = FIG3A_FRACTIONS,
                  methods: tuple[str, ...] = FIG3A_METHODS,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 seed: int = 7):
+                 seed: int = 7, obs: Observability | None = None):
         self.dataset = dataset
         self.workload = workload
         self.fractions = fractions
         self.methods = methods
         self.cost_model = cost_model
         self.seed = seed
+        # Defaults to the dataset's sink so one engine-level
+        # Observability also captures benchmark runs.
+        self.obs = obs if obs is not None \
+            else getattr(dataset, "obs", NULL_OBS)
         self.query = fig3a_query(workload).to_rect(dataset.dims)
         self.q = dataset.tree.range_count(self.query)
 
@@ -104,12 +110,23 @@ class Fig3aRunner:
         sampler = self.dataset.samplers[method]
         cost = CostCounter()
         rng = random.Random(self.seed)
-        start = time.perf_counter()
-        got = take(sampler.sample_stream(self.query, rng, cost=cost), k)
-        wall = time.perf_counter() - start
+        with self.obs.tracer.span("bench_fig3a", method=method, k=k,
+                                  cost=cost) as span:
+            start = time.perf_counter()
+            got = take(sampler.sample_stream(self.query, rng, cost=cost),
+                       k)
+            wall = time.perf_counter() - start
+            span.set("wall_seconds", wall)
         assert len(got) == min(k, self.q)
-        return wall, self.cost_model.simulated_seconds(cost), \
-            cost.node_reads
+        simulated = self.cost_model.simulated_seconds(cost)
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.bench.runs", method=method).inc()
+            registry.histogram("storm.bench.wall_seconds",
+                               method=method).observe(wall)
+            registry.histogram("storm.bench.simulated_seconds",
+                               method=method).observe(simulated)
+        return wall, simulated, cost.node_reads
 
     def run(self) -> ExperimentResult:
         rows: list[list[object]] = []
@@ -202,11 +219,16 @@ class ScalingRunner:
             sampler = DistributedSampler(index, batch_size=32)
             sampler.sample(query, self.k, random.Random(self.seed + 1))
             seconds = sampler.last_query_seconds()
-            rows.append([w, seconds, index.cluster.network.messages])
+            # Merged cluster-wide tallies instead of hand-summing the
+            # per-worker counters.
+            merged = index.cluster.total_worker_cost()
+            rows.append([w, seconds, index.cluster.network.messages,
+                         merged.node_reads])
             series["rs-dist"].append((w, seconds))
         return ExperimentResult(
             name=f"Distributed scaling (k={self.k})",
-            headers=["workers", "simulated_s", "network_msgs"],
+            headers=["workers", "simulated_s", "network_msgs",
+                     "node_reads"],
             rows=rows, series=series)
 
 
@@ -226,12 +248,15 @@ class Fig3bRunner:
 
     def __init__(self, dataset: Dataset, workload: OSMWorkload,
                  methods: tuple[str, ...] = ("rs-tree", "ls-tree"),
-                 max_samples: int = 4000, seed: int = 11):
+                 max_samples: int = 4000, seed: int = 11,
+                 obs: Observability | None = None):
         self.dataset = dataset
         self.workload = workload
         self.methods = methods
         self.max_samples = max_samples
         self.seed = seed
+        self.obs = obs if obs is not None \
+            else getattr(dataset, "obs", NULL_OBS)
         self.query = fig3a_query(workload)
 
     def _truth(self) -> float:
@@ -251,7 +276,8 @@ class Fig3bRunner:
                 self.dataset.samplers[method], estimator,
                 self.query.to_rect(self.dataset.dims),
                 self.dataset.lookup, rng=random.Random(self.seed),
-                report_every=32)
+                report_every=32, obs=self.obs,
+                labels={"dataset": "osm"})
             points = []
             for point in session.run(
                     StopCondition(max_samples=self.max_samples)):

@@ -8,6 +8,20 @@ either executes a single query (``--query``) or drops into a REPL::
     storm> ESTIMATE AVG(altitude) FROM osm WHERE \
            REGION(-114, 37, -109, 42) WITHIN ERROR 2%
     storm> EXPLAIN ESTIMATE COUNT FROM osm WHERE REGION(-114,37,-109,42)
+    storm> EXPLAIN ANALYZE ESTIMATE AVG(altitude) FROM osm \
+           WHERE REGION(-114, 37, -109, 42)
+    storm> stats
+
+Observability hooks:
+
+* ``--trace FILE`` appends one JSONL record per span (plus a final
+  metrics snapshot) for every query executed;
+* the ``stats`` subcommand (``storm-query stats --dataset osm ...``)
+  loads the datasets with a live registry, optionally runs ``--query``,
+  and prints the metrics dashboard;
+* in the REPL, ``stats`` prints the dashboard of everything run so far
+  and ``EXPLAIN ANALYZE <query>`` runs the query under a trace and
+  prints the per-phase cost report.
 """
 
 from __future__ import annotations
@@ -18,6 +32,8 @@ import sys
 
 from repro.core.engine import StormEngine
 from repro.errors import StormError
+from repro.obs import (NULL_OBS, Observability, render_dashboard,
+                       write_jsonl)
 from repro.query.executor import QueryExecutor
 from repro.workloads import (ElectricityWorkload, MesoWestWorkload,
                              OSMWorkload, TwitterWorkload)
@@ -36,9 +52,10 @@ _WORKLOADS = {
 }
 
 
-def build_engine(datasets: list[str], n: int, seed: int) -> StormEngine:
+def build_engine(datasets: list[str], n: int, seed: int,
+                 obs: Observability | None = None) -> StormEngine:
     """Load the named synthetic datasets into a fresh engine."""
-    engine = StormEngine(seed=seed)
+    engine = StormEngine(seed=seed, obs=obs)
     for name in datasets:
         maker = _WORKLOADS.get(name)
         if maker is None:
@@ -50,10 +67,17 @@ def build_engine(datasets: list[str], n: int, seed: int) -> StormEngine:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """storm-query entry point: one-shot --query or a REPL."""
+    """storm-query entry point: one-shot --query, REPL, or stats."""
+    if argv is None:
+        argv = sys.argv[1:]
+    stats_mode = bool(argv) and argv[0] == "stats"
+    if stats_mode:
+        argv = argv[1:]
     parser = argparse.ArgumentParser(
         prog="storm-query",
-        description="Run STORM keyword queries on synthetic datasets.")
+        description="Run STORM keyword queries on synthetic datasets. "
+                    "Use the 'stats' subcommand to print the metrics "
+                    "dashboard after loading (and optionally querying).")
     parser.add_argument("--dataset", action="append", default=[],
                         help="dataset(s) to load: osm, tweets, mesowest, "
                              "electricity (repeatable)")
@@ -61,33 +85,75 @@ def main(argv: list[str] | None = None) -> int:
                         help="records per dataset (default 20000)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--query", help="run one query and exit")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="append per-query span trees and a metrics "
+                             "snapshot to FILE as JSONL")
     args = parser.parse_args(argv)
     datasets = args.dataset or ["osm"]
+    # Instrumentation is opt-in: only --trace / stats pay for it.
+    obs = Observability() if (args.trace or stats_mode) else NULL_OBS
     print(f"loading {datasets} with n={args.n} ...", file=sys.stderr)
-    engine = build_engine(datasets, args.n, args.seed)
+    engine = build_engine(datasets, args.n, args.seed, obs=obs)
     executor = QueryExecutor(engine, rng=random.Random(args.seed))
-    if args.query:
-        return _run_one(executor, args.query)
-    print("storm> type a query, or 'quit'", file=sys.stderr)
-    while True:
+    trace_file = None
+    if args.trace:
         try:
-            line = input("storm> ")
-        except EOFError:
-            return 0
-        if line.strip().lower() in ("quit", "exit"):
-            return 0
-        if not line.strip():
-            continue
-        _run_one(executor, line)
-
-
-def _run_one(executor: QueryExecutor, query: str) -> int:
+            trace_file = open(args.trace, "a")
+        except OSError as exc:
+            print(f"error: cannot open trace file: {exc}",
+                  file=sys.stderr)
+            return 1
     try:
-        result = executor.execute(query)
+        if stats_mode:
+            if args.query:
+                rc = _run_one(executor, args.query, trace_file)
+                if rc != 0:
+                    return rc
+            print(render_dashboard(obs.registry))
+            return 0
+        if args.query:
+            return _run_one(executor, args.query, trace_file)
+        print("storm> type a query, 'stats', or 'quit'",
+              file=sys.stderr)
+        while True:
+            try:
+                line = input("storm> ")
+            except EOFError:
+                return 0
+            if line.strip().lower() in ("quit", "exit"):
+                return 0
+            if not line.strip():
+                continue
+            if line.strip().lower() == "stats":
+                print(render_dashboard(executor.obs.registry))
+                continue
+            _run_one(executor, line, trace_file)
+    finally:
+        if trace_file is not None:
+            # One closing metrics snapshot summarises the session.
+            write_jsonl(trace_file, (), registry=obs.registry)
+            trace_file.close()
+
+
+def _run_one(executor: QueryExecutor, query: str,
+             trace_file=None) -> int:
+    try:
+        stripped = query.strip()
+        if stripped.upper().startswith("EXPLAIN ANALYZE"):
+            rest = stripped[len("EXPLAIN ANALYZE"):].strip()
+            report = executor.explain_report(
+                rest, obs=executor.obs if executor.obs.enabled
+                else None)
+            print(report)
+        else:
+            result = executor.execute(query)
+            print(result.summary())
     except StormError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(result.summary())
+    finally:
+        if trace_file is not None:
+            write_jsonl(trace_file, executor.obs.tracer.drain())
     return 0
 
 

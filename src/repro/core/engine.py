@@ -33,6 +33,7 @@ from repro.core.session import OnlineQuerySession, ProgressPoint, \
     StopCondition
 from repro.errors import StormError, UpdateError
 from repro.index.hilbert_rtree import HilbertRTree
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["Dataset", "StormEngine"]
 
@@ -63,11 +64,13 @@ class Dataset:
                  dims: int = 3, leaf_capacity: int = 64,
                  branch_capacity: int = 16, hilbert_bits: int = 16,
                  rs_buffer_size: int = 64, build_ls: bool = True,
-                 bounds: Rect | None = None, seed: int = 0):
+                 bounds: Rect | None = None, seed: int = 0,
+                 obs: Observability | None = None):
         if dims not in (2, 3):
             raise StormError("datasets are 2-d (spatial) or 3-d (ST)")
         self.name = name
         self.dims = dims
+        self.obs = obs if obs is not None else NULL_OBS
         self.records: dict[int, Record] = {}
         ordered: list[Record] = []
         for record in records:
@@ -97,8 +100,23 @@ class Dataset:
             self.tree, self.forest, rs_buffer_size=rs_buffer_size,
             rs_rng=random.Random(self._build_rng.getrandbits(32)))
         self.samplers["rs-tree"].prepare()
+        for sampler in self.samplers.values():
+            sampler.bind_observability(self.obs)
         self.optimizer = QueryOptimizer(self.samplers)
         self._sample_first_dirty = False
+        self._publish_shape()
+
+    def _publish_shape(self) -> None:
+        """Export dataset/index shape gauges to the registry."""
+        registry = self.obs.registry
+        if not registry.enabled:
+            return
+        registry.gauge("storm.dataset.records",
+                       dataset=self.name).set(len(self.records))
+        shape = self.tree.shape()
+        for key, value in shape.items():
+            registry.gauge(f"storm.index.{key}",
+                           dataset=self.name).set(value)
 
     # -- record access ---------------------------------------------------
 
@@ -132,6 +150,12 @@ class Dataset:
         if self.forest is not None:
             self.forest.insert(record.record_id, key)
         self._sample_first_dirty = True
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.dataset.inserts",
+                             dataset=self.name).inc()
+            registry.gauge("storm.dataset.records",
+                           dataset=self.name).set(len(self.records))
 
     def delete(self, record_id: int) -> bool:
         """Delete a record everywhere; returns whether it existed."""
@@ -145,6 +169,12 @@ class Dataset:
         if self.forest is not None:
             self.forest.delete(record_id, key)
         self._sample_first_dirty = True
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.dataset.deletes",
+                             dataset=self.name).inc()
+            registry.gauge("storm.dataset.records",
+                           dataset=self.name).set(len(self.records))
         return True
 
     def rebuild(self) -> None:
@@ -164,6 +194,11 @@ class Dataset:
                 (r.record_id, r.key(self.dims)) for r in ordered)
         self.samplers["rs-tree"].prepare()
         self._sample_first_dirty = True
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.dataset.rebuilds",
+                             dataset=self.name).inc()
+            self._publish_shape()
 
     # -- sessions ------------------------------------------------------------
 
@@ -188,22 +223,34 @@ class Dataset:
                 rng: random.Random | None = None,
                 expected_k: int | None = None,
                 report_every: int = 16,
-                with_replacement: bool = False) -> OnlineQuerySession:
-        """Open an online query session over this dataset."""
+                with_replacement: bool = False,
+                obs: Observability | None = None) -> OnlineQuerySession:
+        """Open an online query session over this dataset.
+
+        ``obs`` overrides the dataset's observability sink for this one
+        session (EXPLAIN uses a private tracer this way).
+        """
         rect = self.to_rect(query)
         sampler = self.sampler_for(rect, method, expected_k)
         return OnlineQuerySession(sampler, estimator, rect, self.lookup,
                                   rng=rng, report_every=report_every,
-                                  with_replacement=with_replacement)
+                                  with_replacement=with_replacement,
+                                  obs=obs if obs is not None
+                                  else self.obs,
+                                  labels={"dataset": self.name})
 
 
 class StormEngine:
     """Registry of datasets plus one-call online analytics."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0,
+                 obs: Observability | None = None):
         self.datasets: dict[str, Dataset] = {}
         self._seed = seed
         self._rng = random.Random(seed)
+        #: Observability sink inherited by every dataset this engine
+        #: creates (no-op unless the caller opts in).
+        self.obs = obs if obs is not None else NULL_OBS
 
     # -- dataset management ----------------------------------------------
 
@@ -212,6 +259,7 @@ class StormEngine:
         """Build and register a new indexed dataset from records."""
         if name in self.datasets:
             raise StormError(f"dataset {name!r} already exists")
+        kwargs.setdefault("obs", self.obs)
         dataset = Dataset(name, records,
                           seed=self._rng.getrandbits(32), **kwargs)
         self.datasets[name] = dataset

@@ -22,6 +22,7 @@ from typing import Iterator
 from repro.core.geometry import Rect
 from repro.index.cost import CostCounter, CostModel, DEFAULT_COST_MODEL
 from repro.index.rtree import Entry
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["SpatialSampler", "SamplerStats", "take"]
 
@@ -48,6 +49,37 @@ class SpatialSampler(ABC):
     """
 
     name: str = "abstract"
+
+    #: Observability sink shared by every instance unless rebound; the
+    #: class-level default is the no-op pair, so uninstrumented
+    #: samplers pay nothing.
+    obs: Observability = NULL_OBS
+
+    def bind_observability(self, obs: Observability) -> None:
+        """Attach a live registry/tracer pair (datasets do this)."""
+        self.obs = obs
+
+    def open_stream(self, query: Rect, rng: random.Random,
+                    cost: CostCounter | None = None,
+                    with_replacement: bool = False) -> Iterator[Entry]:
+        """Instrumented stream entry point (sessions call this).
+
+        Exactly :meth:`sample_stream` (or the with-replacement
+        variant) when observability is off; with a live registry it
+        also counts opened streams and emitted samples per sampler.
+        """
+        if with_replacement:
+            stream = self.sample_stream_with_replacement(query, rng,
+                                                         cost=cost)
+        else:
+            stream = self.sample_stream(query, rng, cost=cost)
+        registry = self.obs.registry
+        if not registry.enabled:
+            return stream
+        registry.counter("storm.sampler.streams",
+                         sampler=self.name).inc()
+        return _counted(stream, registry.counter(
+            "storm.sampler.samples", sampler=self.name))
 
     @abstractmethod
     def sample_stream(self, query: Rect, rng: random.Random,
@@ -83,6 +115,13 @@ class SpatialSampler(ABC):
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _counted(stream: Iterator[Entry], counter) -> Iterator[Entry]:
+    """Pass-through that tallies each emitted sample."""
+    for entry in stream:
+        counter.inc()
+        yield entry
 
 
 def take(stream: Iterator[Entry], k: int) -> list[Entry]:

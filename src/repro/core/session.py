@@ -28,6 +28,7 @@ from repro.core.records import Record
 from repro.core.sampling.base import SpatialSampler
 from repro.errors import EstimatorError, StormError
 from repro.index.cost import CostCounter
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["StopCondition", "ProgressPoint", "OnlineQuerySession"]
 
@@ -81,7 +82,9 @@ class OnlineQuerySession:
                  rng: random.Random | None = None,
                  clock: Callable[[], float] = time.perf_counter,
                  report_every: int = 16,
-                 with_replacement: bool = False):
+                 with_replacement: bool = False,
+                 obs: Observability | None = None,
+                 labels: dict[str, object] | None = None):
         if report_every < 1:
             raise StormError("report_every must be >= 1")
         self.sampler = sampler
@@ -92,6 +95,11 @@ class OnlineQuerySession:
         self.clock = clock
         self.report_every = report_every
         self.with_replacement = with_replacement
+        # Observability: spans per run ("query" > "range_count" /
+        # "sample_stream") plus registry counters.  ``labels`` tag both
+        # (datasets pass their name).  Defaults to the shared no-op.
+        self.obs = obs if obs is not None else NULL_OBS
+        self.labels = dict(labels) if labels else {}
         self.cost = CostCounter()
         # Resumable-session state: the stream, sample count and clock
         # origin survive across run() calls.
@@ -132,7 +140,9 @@ class OnlineQuerySession:
         """Lazy initialisation shared by first run() and resumes."""
         if self._stream is not None or self._exhausted:
             return
-        self._q = self.sampler.range_count(self.query, self.cost)
+        with self.obs.tracer.span("range_count", cost=self.cost) as sp:
+            self._q = self.sampler.range_count(self.query, self.cost)
+            sp.set("q", self._q)
         self.estimator.set_population_size(self._q)
         # With replacement, the finite-population correction and the
         # "k = q means exact" collapse do not apply.
@@ -140,12 +150,9 @@ class OnlineQuerySession:
         if self._q == 0:
             self._exhausted = True
             return
-        if self.with_replacement:
-            self._stream = self.sampler.sample_stream_with_replacement(
-                self.query, self.rng, cost=self.cost)
-        else:
-            self._stream = self.sampler.sample_stream(
-                self.query, self.rng, cost=self.cost)
+        self._stream = self.sampler.open_stream(
+            self.query, self.rng, cost=self.cost,
+            with_replacement=self.with_replacement)
 
     def run(self, stop: StopCondition = StopCondition()
             ) -> Iterator[ProgressPoint]:
@@ -170,54 +177,94 @@ class OnlineQuerySession:
                 " time, or accuracy stop condition")
         if self._start is None:
             self._start = self.clock()
-        self._ensure_started()
-        q = self._q
-        assert q is not None
-        if q == 0:
-            yield ProgressPoint(k=0, elapsed=self.clock() - self._start,
-                                estimate=Estimate(
-                                    value=None, std_error=None,
-                                    interval=None, k=0, q=0, exact=True),
-                                cost=self.cost.snapshot(), done=True,
-                                reason="empty range")
-            return
-        # A resume may already satisfy the new stop condition.
-        if self._k > 0:
-            elapsed = self.clock() - self._start
-            estimate = self._current_estimate(stop.level)
-            reason = self._met(stop, estimate, elapsed, self._k, q)
-            if reason:
+        tracer = self.obs.tracer
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.session.runs",
+                             sampler=self.sampler.name,
+                             **self.labels).inc()
+        qspan = tracer.begin("query", sampler=self.sampler.name,
+                             resumed=self._k > 0, **self.labels)
+        try:
+            self._ensure_started()
+            q = self._q
+            assert q is not None
+            qspan.set("q", q)
+            if q == 0:
+                qspan.set("reason", "empty range")
                 yield ProgressPoint(
-                    k=self._k, elapsed=elapsed,
-                    estimate=estimate if estimate is not None else
-                    Estimate(value=None, std_error=None, interval=None,
-                             k=self._k, q=q),
-                    cost=self.cost.snapshot(), done=True, reason=reason)
+                    k=0, elapsed=self.clock() - self._start,
+                    estimate=Estimate(
+                        value=None, std_error=None,
+                        interval=None, k=0, q=0, exact=True),
+                    cost=self.cost.snapshot(), done=True,
+                    reason="empty range")
                 return
-        assert self._stream is not None
-        for entry in self._stream:
-            record = self.lookup(entry.item_id)
-            self.estimator.absorb(record)
-            self._k += 1
-            k = self._k
-            boundary = (k % self.report_every == 0) \
-                or (k >= q and not self.with_replacement)
-            if not boundary:
-                continue
-            elapsed = self.clock() - self._start
-            estimate = self._current_estimate(stop.level)
-            reason = self._met(stop, estimate, elapsed, k, q)
-            if estimate is not None or reason:
-                yield ProgressPoint(
-                    k=k, elapsed=elapsed,
-                    estimate=estimate if estimate is not None else
-                    Estimate(value=None, std_error=None, interval=None,
-                             k=k, q=q),
-                    cost=self.cost.snapshot(), done=bool(reason),
-                    reason=reason)
-            if reason:
-                return
-        self._exhausted = True
+            # A resume may already satisfy the new stop condition.
+            if self._k > 0:
+                elapsed = self.clock() - self._start
+                estimate = self._current_estimate(stop.level)
+                reason = self._met(stop, estimate, elapsed, self._k, q)
+                if reason:
+                    qspan.set("reason", reason)
+                    yield ProgressPoint(
+                        k=self._k, elapsed=elapsed,
+                        estimate=estimate if estimate is not None else
+                        Estimate(value=None, std_error=None,
+                                 interval=None, k=self._k, q=q),
+                        cost=self.cost.snapshot(), done=True,
+                        reason=reason)
+                    return
+            assert self._stream is not None
+            k_before = self._k
+            sspan = tracer.begin("sample_stream", cost=self.cost)
+            try:
+                for entry in self._stream:
+                    record = self.lookup(entry.item_id)
+                    self.estimator.absorb(record)
+                    self._k += 1
+                    k = self._k
+                    boundary = (k % self.report_every == 0) \
+                        or (k >= q and not self.with_replacement)
+                    if not boundary:
+                        continue
+                    elapsed = self.clock() - self._start
+                    estimate = self._current_estimate(stop.level)
+                    reason = self._met(stop, estimate, elapsed, k, q)
+                    if estimate is not None or reason:
+                        yield ProgressPoint(
+                            k=k, elapsed=elapsed,
+                            estimate=estimate if estimate is not None
+                            else Estimate(value=None, std_error=None,
+                                          interval=None, k=k, q=q),
+                            cost=self.cost.snapshot(),
+                            done=bool(reason), reason=reason)
+                    if reason:
+                        qspan.set("reason", reason)
+                        if k >= q and not self.with_replacement:
+                            # Everything was emitted: close the stream
+                            # now so sampler-held resources (and any
+                            # spans it opened) release deterministically
+                            # rather than at GC time.
+                            self._stream.close()
+                            self._exhausted = True
+                        return
+                self._exhausted = True
+            finally:
+                sspan.set("k", self._k - k_before)
+                tracer.end(sspan)
+                if registry.enabled:
+                    registry.counter("storm.session.samples",
+                                     sampler=self.sampler.name,
+                                     **self.labels).inc(
+                                         self._k - k_before)
+        finally:
+            qspan.set("k", self._k)
+            tracer.end(qspan)
+            if registry.enabled and qspan.attrs.get("reason"):
+                registry.counter("storm.session.stops",
+                                 reason=qspan.attrs["reason"],
+                                 **self.labels).inc()
 
     def run_to_stop(self, stop: StopCondition) -> ProgressPoint:
         """Run until a stop condition fires; return the final snapshot."""

@@ -12,6 +12,7 @@ from repro.core.sampling.rs_tree import RSTreeSampler
 from repro.errors import ClusterError
 from repro.index.cost import CostCounter, CostModel, DEFAULT_COST_MODEL
 from repro.index.hilbert_rtree import HilbertRTree
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["NetworkModel", "NetworkStats", "Worker", "SimulatedCluster"]
 
@@ -57,6 +58,16 @@ class NetworkStats:
         """Tallies accumulated since an earlier snapshot."""
         return NetworkStats(self.messages - earlier.messages,
                             self.payload_bytes - earlier.payload_bytes)
+
+    def merge(self, other: "NetworkStats") -> None:
+        """Fold another tally into this one."""
+        self.messages += other.messages
+        self.payload_bytes += other.payload_bytes
+
+    def as_dict(self) -> dict[str, int]:
+        """The tallies as a plain dict (for exporters)."""
+        return {"messages": self.messages,
+                "payload_bytes": self.payload_bytes}
 
 
 class Worker:
@@ -183,16 +194,18 @@ class SimulatedCluster:
 
     def __init__(self, n_workers: int, bounds: Rect, dims: int = 3,
                  network: NetworkModel | None = None, seed: int = 0,
-                 **worker_kwargs):
+                 obs: "Observability | None" = None, **worker_kwargs):
         if n_workers < 1:
             raise ClusterError("need at least one worker")
         self.network_model = network if network is not None \
             else NetworkModel()
         self.network = NetworkStats()
+        self.obs = obs if obs is not None else NULL_OBS
         rng = random.Random(seed)
         self.workers = [Worker(i, bounds, dims=dims,
                                seed=rng.getrandbits(32), **worker_kwargs)
                         for i in range(n_workers)]
+        self.obs.registry.gauge("storm.cluster.workers").set(n_workers)
 
     @property
     def n_workers(self) -> int:
@@ -224,3 +237,12 @@ class SimulatedCluster:
     def snapshot_costs(self) -> list[CostCounter]:
         """Per-worker cost snapshots (for delta timing)."""
         return [w.cost.snapshot() for w in self.workers]
+
+    def total_worker_cost(self) -> CostCounter:
+        """All workers' index costs merged into one fresh counter
+        (callers should use this instead of hand-summing
+        ``worker.cost`` fields)."""
+        total = CostCounter()
+        for w in self.workers:
+            total.merge(w.cost)
+        return total

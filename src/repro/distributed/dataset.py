@@ -20,6 +20,7 @@ from repro.distributed.cluster import NetworkModel
 from repro.distributed.dist_index import DistributedSTIndex
 from repro.distributed.dist_sampler import DistributedSampler
 from repro.errors import ClusterError, StormError
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["DistributedDataset"]
 
@@ -31,9 +32,10 @@ class DistributedDataset:
                  n_workers: int = 4, dims: int = 3,
                  sampler_kind: str = "rs", batch_size: int = 32,
                  network: NetworkModel | None = None, seed: int = 0,
-                 **worker_kwargs):
+                 obs: Observability | None = None, **worker_kwargs):
         self.name = name
         self.dims = dims
+        self.obs = obs if obs is not None else NULL_OBS
         self.index = DistributedSTIndex(records, n_workers=n_workers,
                                         dims=dims, network=network,
                                         seed=seed,
@@ -41,6 +43,9 @@ class DistributedDataset:
                                         **worker_kwargs)
         self.sampler = DistributedSampler(self.index,
                                           batch_size=batch_size)
+        self.sampler.bind_observability(self.obs)
+        self.obs.registry.gauge("storm.dataset.records",
+                                dataset=name).set(len(self.index))
 
     # -- Dataset-compatible surface ---------------------------------------
 
@@ -78,7 +83,8 @@ class DistributedDataset:
                 rng: random.Random | None = None,
                 expected_k: int | None = None,
                 report_every: int = 16,
-                with_replacement: bool = False) -> OnlineQuerySession:
+                with_replacement: bool = False,
+                obs: Observability | None = None) -> OnlineQuerySession:
         """An online session over the cluster.
 
         ``method`` must be omitted (or ``"distributed-rs"``): the
@@ -94,4 +100,7 @@ class DistributedDataset:
                 "the distributed sampler is without-replacement only")
         return OnlineQuerySession(self.sampler, estimator,
                                   self.to_rect(query), self.lookup,
-                                  rng=rng, report_every=report_every)
+                                  rng=rng, report_every=report_every,
+                                  obs=obs if obs is not None
+                                  else self.obs,
+                                  labels={"dataset": self.name})

@@ -20,6 +20,7 @@ from typing import Iterator
 
 from repro.core.geometry import Rect
 from repro.core.records import STRange
+from repro.core.sampling.base import SpatialSampler
 from repro.distributed.cluster import (MESSAGE_HEADER_BYTES,
                                        RECORD_WIRE_BYTES)
 from repro.distributed.dist_index import DistributedSTIndex
@@ -30,8 +31,15 @@ from repro.index.rtree import Entry
 __all__ = ["DistributedSampler"]
 
 
-class DistributedSampler:
-    """Coordinator-side merge of per-worker sample streams."""
+class DistributedSampler(SpatialSampler):
+    """Coordinator-side merge of per-worker sample streams.
+
+    Subclassing :class:`SpatialSampler` gives it the instrumented
+    ``open_stream`` entry point, so distributed sessions are traced and
+    metered exactly like local ones; each stream additionally opens a
+    ``dist_fanout`` span carrying the network delta and the merged
+    per-worker index cost delta.
+    """
 
     name = "distributed-rs"
 
@@ -58,6 +66,9 @@ class DistributedSampler:
         workers = self.index._intersecting_workers(rect)
         worker_costs = cluster.snapshot_costs()
         net_before = cluster.network.snapshot()
+        span = self.obs.tracer.begin(
+            "dist_fanout", workers=len(workers),
+            cost=cluster.total_worker_cost, net=cluster.network)
         remaining: list[int] = []
         handles: list[int] = []
         buffers: list[list[Entry]] = []
@@ -100,10 +111,18 @@ class DistributedSampler:
         finally:
             for worker, handle in zip(workers, handles):
                 worker.close_stream(handle)
+            net_delta = cluster.network.delta_from(net_before)
             self._last_query_seconds = (
-                cluster.network.delta_from(net_before).seconds(
-                    cluster.network_model)
+                net_delta.seconds(cluster.network_model)
                 + cluster.max_worker_seconds(since=worker_costs))
+            span.set("simulated_seconds", self._last_query_seconds)
+            self.obs.tracer.end(span)
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter("storm.cluster.messages").inc(
+                    net_delta.messages)
+                registry.counter("storm.cluster.payload_bytes").inc(
+                    net_delta.payload_bytes)
 
     def sample(self, query: "Rect | STRange", k: int,
                rng: random.Random) -> list[Entry]:

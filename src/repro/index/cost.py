@@ -77,7 +77,15 @@ class CostCounter:
         self._last_block = None
 
     def snapshot(self) -> "CostCounter":
-        """An independent copy of the current tallies."""
+        """A full-fidelity independent copy of the counter.
+
+        Contract: a snapshot preserves the sequential-read
+        classification state (``_last_block``), so a counter resumed
+        *from* a snapshot classifies its next :meth:`charge_node`
+        exactly as the original would have.  (Earlier versions dropped
+        ``_last_block``, silently misclassifying the first post-resume
+        read of a range scan as random.)
+        """
         return CostCounter(
             node_reads=self.node_reads,
             random_reads=self.random_reads,
@@ -86,10 +94,18 @@ class CostCounter:
             points_reported=self.points_reported,
             samples_emitted=self.samples_emitted,
             rejections=self.rejections,
+            _last_block=self._last_block,
         )
 
     def delta_from(self, earlier: "CostCounter") -> "CostCounter":
-        """Tallies accumulated since ``earlier`` was snapshotted."""
+        """Tallies accumulated since ``earlier`` was snapshotted.
+
+        Contract: a delta is *pure tallies* — it carries no
+        ``_last_block`` locality state, because the difference of two
+        counters has no meaningful "previous block".  Charge fresh
+        reads into a delta only after treating it as a brand-new
+        counter.
+        """
         return CostCounter(
             node_reads=self.node_reads - earlier.node_reads,
             random_reads=self.random_reads - earlier.random_reads,
@@ -101,6 +117,31 @@ class CostCounter:
             samples_emitted=self.samples_emitted - earlier.samples_emitted,
             rejections=self.rejections - earlier.rejections,
         )
+
+    def merge(self, other: "CostCounter") -> None:
+        """Fold another counter's tallies into this one (cross-machine
+        sums; locality state is meaningless across counters and is
+        cleared)."""
+        self.node_reads += other.node_reads
+        self.random_reads += other.random_reads
+        self.sequential_reads += other.sequential_reads
+        self.leaf_entries_scanned += other.leaf_entries_scanned
+        self.points_reported += other.points_reported
+        self.samples_emitted += other.samples_emitted
+        self.rejections += other.rejections
+        self._last_block = None
+
+    def as_dict(self) -> dict[str, int]:
+        """Public tallies as a plain dict (for exporters)."""
+        return {
+            "node_reads": self.node_reads,
+            "random_reads": self.random_reads,
+            "sequential_reads": self.sequential_reads,
+            "leaf_entries_scanned": self.leaf_entries_scanned,
+            "points_reported": self.points_reported,
+            "samples_emitted": self.samples_emitted,
+            "rejections": self.rejections,
+        }
 
 
 @dataclass(frozen=True)

@@ -82,6 +82,30 @@ class HilbertRTree(RTree):
         return node.lhv
 
     # ------------------------------------------------------------------
+    # shape introspection (observability gauges, EXPLAIN)
+    # ------------------------------------------------------------------
+
+    def shape(self) -> dict[str, int]:
+        """Structural summary: height, node/leaf counts, entries.
+
+        One full traversal — cheap next to a build, and what the
+        metrics gauges and the EXPLAIN report publish; node count is
+        the block footprint under the one-node-one-block convention.
+        """
+        nodes = leaves = 0
+        if self.root is not None:
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                nodes += 1
+                if node.is_leaf:
+                    leaves += 1
+                else:
+                    stack.extend(node.children or [])
+        return {"height": self.height, "nodes": nodes,
+                "leaves": leaves, "entries": len(self)}
+
+    # ------------------------------------------------------------------
     # dynamic updates: key-guided placement, order-preserving splits
     # ------------------------------------------------------------------
 

@@ -1,0 +1,79 @@
+"""Rendering of the EXPLAIN report: plan, phases and outcome.
+
+The optimizer's :meth:`~repro.core.optimizer.Plan.explain` answers *why
+this sampler*; this module answers the other two questions a user of a
+progressive system has — *where did the time go* (per-phase simulated
+seconds from the query's span tree, under the same
+:class:`~repro.index.cost.CostModel` the optimizer scored with) and
+*why did it stop* (the session's stop-condition outcome and final
+estimate).  The report is assembled from the same trace spans the JSONL
+exporter writes, so EXPLAIN never disagrees with the trace file.
+"""
+
+from __future__ import annotations
+
+from repro.index.cost import CostModel, DEFAULT_COST_MODEL
+from repro.obs.trace import Span
+
+__all__ = ["phase_costs", "render_explain"]
+
+
+def phase_costs(root: Span,
+                model: CostModel = DEFAULT_COST_MODEL
+                ) -> list[tuple[str, float, object]]:
+    """(name, simulated seconds, cost delta) per cost-bearing span."""
+    rows = []
+    for span in root.walk():
+        if span.cost is not None:
+            rows.append((span.name, model.simulated_seconds(span.cost),
+                         span.cost))
+    return rows
+
+
+def render_explain(plan_text: str, root: Span | None, final,
+                   model: CostModel = DEFAULT_COST_MODEL) -> str:
+    """The full EXPLAIN report for one executed query.
+
+    ``plan_text`` is the optimizer's scoring (or a note that the method
+    was forced), ``root`` the query's root span (None when tracing was
+    off), ``final`` the session's last
+    :class:`~repro.core.session.ProgressPoint`.
+    """
+    lines = ["plan:"]
+    lines.extend("  " + line for line in plan_text.splitlines())
+    if root is not None:
+        rows = phase_costs(root, model)
+        lines.append("phases (simulated seconds, disk cost model):")
+        total = 0.0
+        width = max((len(name) for name, _, _ in rows), default=5)
+        for name, seconds, cost in rows:
+            total += seconds
+            lines.append(
+                f"  {name:<{width}}  {seconds:>10.6f}s"
+                f"  reads={cost.node_reads}"
+                f" (random={cost.random_reads},"
+                f" seq={cost.sequential_reads})"
+                f" scanned={cost.leaf_entries_scanned}"
+                f" samples={cost.samples_emitted}")
+        lines.append(f"  {'total':<{width}}  {total:>10.6f}s")
+        if root.net is not None:
+            lines.append(
+                f"network: messages={root.net.messages}"
+                f" payload_bytes={root.net.payload_bytes}")
+    if final is not None:
+        est = final.estimate
+        outcome = f"stop: {final.reason or 'user stop'}"
+        outcome += f" (k={est.k} of q={est.q}"
+        if est.q:
+            outcome += f", {est.k / est.q:.2%} of range"
+        outcome += ")"
+        lines.append(outcome)
+        value = f"estimate: value={est.value!r}"
+        if est.interval is not None:
+            value += (f" ci=[{est.interval.lo:.6g},"
+                      f" {est.interval.hi:.6g}]"
+                      f"@{est.interval.level:.0%}")
+        if est.exact:
+            value += " (exact)"
+        lines.append(value)
+    return "\n".join(lines)

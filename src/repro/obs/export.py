@@ -1,0 +1,100 @@
+"""Exporters: JSONL trace/metric records and a text dashboard.
+
+Two consumers, two formats:
+
+* machines get JSONL — one self-describing object per line, either
+  ``{"type": "span", ...}`` (a flattened span with ``parent_id`` links
+  and its cost/io/net deltas) or ``{"type": "metrics", ...}`` (a
+  registry snapshot), appendable across queries and trivially
+  greppable/`jq`-able;
+* humans get :func:`render_dashboard` — the registry snapshot as the
+  same fixed-width tables the bench harness prints, one section per
+  instrument kind.
+
+Both read the *same* registry/tracer objects the engine writes, so the
+CLI's ``--trace`` file, its ``stats`` subcommand and the EXPLAIN report
+can never disagree about what a query cost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+__all__ = ["span_records", "metrics_record", "write_jsonl",
+           "render_dashboard"]
+
+
+def span_records(roots: Iterable[Span]) -> list[dict]:
+    """Flatten span trees into JSON-ready records, parents first."""
+    rows: list[dict] = []
+    for root in roots:
+        for row in root.flatten():
+            row["type"] = "span"
+            rows.append(row)
+    return rows
+
+
+def metrics_record(registry: MetricsRegistry) -> dict:
+    """One JSON-ready record holding a registry snapshot."""
+    return {"type": "metrics", **registry.snapshot()}
+
+
+def write_jsonl(out: IO[str], roots: Iterable[Span] = (),
+                registry: MetricsRegistry | None = None) -> int:
+    """Append spans (and optionally a metrics snapshot) as JSONL.
+
+    Returns the number of lines written.  ``out`` is any text file
+    object; the caller owns opening/closing it so one file can collect
+    many queries.
+    """
+    lines = 0
+    for row in span_records(roots):
+        out.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+        lines += 1
+    if registry is not None and registry.enabled:
+        out.write(json.dumps(metrics_record(registry), sort_keys=True,
+                             default=str) + "\n")
+        lines += 1
+    return lines
+
+
+# -- text dashboard ----------------------------------------------------
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def render_dashboard(registry: MetricsRegistry,
+                     title: str = "storm metrics") -> str:
+    """The registry snapshot as aligned text tables."""
+    snap = registry.snapshot()
+    lines = [f"== {title} =="]
+    for kind in ("counters", "gauges"):
+        section = snap.get(kind, {})
+        if not section:
+            continue
+        lines.append(f"-- {kind} --")
+        width = max(len(name) for name in section)
+        for name in sorted(section):
+            lines.append(f"  {name:<{width}}  {_fmt(section[name])}")
+    hists = snap.get("histograms", {})
+    if hists:
+        lines.append("-- histograms --")
+        width = max(len(name) for name in hists)
+        for name in sorted(hists):
+            s = hists[name]
+            detail = f"count={_fmt(s['count'])}"
+            if s["count"]:
+                detail += (f" mean={s['mean']:.6g}"
+                           f" min={s['min']:.6g} max={s['max']:.6g}")
+            lines.append(f"  {name:<{width}}  {detail}")
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""In-process metrics registry: counters, gauges and histograms.
+
+STORM's progressive answers are only trustworthy when the work behind
+them is visible — samples drawn, blocks touched, messages exchanged.
+This module is the zero-dependency substrate those signals land on:
+
+* instruments are named and carry sorted ``key=value`` labels
+  (``dataset``, ``sampler``, ``worker`` ...), so one registry can hold
+  every layer's tallies side by side;
+* :meth:`MetricsRegistry.snapshot` renders a deterministic, plain-dict
+  view (sorted names, sorted labels) so tests and the JSONL exporter
+  see stable output;
+* :class:`NullRegistry` is the opt-out: every instrument it hands back
+  is a shared no-op, and ``registry.enabled`` lets hot paths skip even
+  the instrument lookup, so untraced runs pay a single attribute read.
+
+The registry is deliberately process-local and unsynchronised — the
+reproduction is single-threaded, and keeping ``inc()`` a bare integer
+add is what makes always-on instrumentation affordable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullRegistry", "NULL_REGISTRY", "metric_key"]
+
+
+def metric_key(name: str, labels: dict[str, object]) -> str:
+    """Canonical ``name{k=v,...}`` identity of one instrument."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A value that can move both ways (sizes, heights, balances)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Streaming summary of observations: count/sum/min/max.
+
+    Quantile sketches are overkill for the dashboard's needs; the four
+    running aggregates are exact, O(1), and deterministic.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Plain-dict view (min/max omitted while empty)."""
+        out: dict[str, float] = {"count": self.count, "sum": self.total}
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+            out["mean"] = self.mean
+        return out
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with a deterministic snapshot."""
+
+    #: Hot paths test this before even fetching an instrument.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument lookup (get-or-create) ----------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = metric_key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = metric_key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        key = metric_key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram()
+        return inst
+
+    # -- snapshot / reset ---------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """Deterministic plain-dict view of every instrument."""
+        return {
+            "counters": {k: self._counters[k].value
+                         for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value
+                       for k in sorted(self._gauges)},
+            "histograms": {k: self._histograms[k].summary()
+                           for k in sorted(self._histograms)},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh registry, same identity)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """The default: accepts every call, records nothing."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return _NULL_HISTOGRAM
+
+
+NULL_REGISTRY = NullRegistry()

@@ -4,13 +4,16 @@ The executor builds the right estimator for the task, derives the stop
 condition from the query's options (accuracy target / time budget / sample
 budget), resolves the sampling method (forced via ``USING`` or chosen by
 the per-dataset optimizer) and drives an online session.  ``EXPLAIN``
-queries return the optimizer's scoring instead of running.
+queries return the optimizer's scoring instead of running;
+:meth:`QueryExecutor.explain_report` goes further and *runs* the query
+under a trace, reporting the plan, per-phase simulated seconds and the
+stop-condition outcome (an ``EXPLAIN ANALYZE``).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.engine import StormEngine
 from repro.core.estimators.aggregates import (AvgEstimator, CountEstimator,
@@ -28,6 +31,8 @@ from repro.core.records import STRange, attribute_getter
 from repro.core.session import ProgressPoint, StopCondition
 from repro.errors import StormError
 from repro.index.cost import DEFAULT_COST_MODEL
+from repro.obs import (NULL_OBS, Observability, Span, Tracer,
+                       render_explain)
 from repro.query.ast import QuerySpec
 from repro.query.language import parse
 
@@ -43,6 +48,8 @@ class QueryResult:
     spec: QuerySpec
     final: ProgressPoint | None
     explanation: str | None = None
+    #: Root span of the query's trace (None when tracing was off).
+    trace: Span | None = None
 
     @property
     def value(self):
@@ -69,9 +76,14 @@ class QueryExecutor:
     """Runs query strings / specs on an engine."""
 
     def __init__(self, engine: StormEngine,
-                 rng: random.Random | None = None):
+                 rng: random.Random | None = None,
+                 obs: Observability | None = None):
         self.engine = engine
         self.rng = rng if rng is not None else random.Random()
+        # Defaults to the engine's sink so CLI --trace / stats see
+        # every query this executor runs.
+        self.obs = obs if obs is not None \
+            else getattr(engine, "obs", NULL_OBS)
 
     # ------------------------------------------------------------------
 
@@ -141,9 +153,15 @@ class QueryExecutor:
                              target_relative_error=spec.target_error,
                              level=spec.confidence)
 
-    def execute(self, query: "str | QuerySpec") -> QueryResult:
-        """Parse (if needed) and run one query to its stop condition."""
+    def execute(self, query: "str | QuerySpec",
+                obs: Observability | None = None) -> QueryResult:
+        """Parse (if needed) and run one query to its stop condition.
+
+        ``obs`` overrides the executor's observability sink for this
+        one query (the EXPLAIN report runs under a private tracer).
+        """
         spec = parse(query) if isinstance(query, str) else query
+        used = obs if obs is not None else self.obs
         dataset = self.engine.dataset(spec.dataset)
         st_range = spec.st_range()
         rect = dataset.to_rect(st_range)
@@ -158,10 +176,11 @@ class QueryExecutor:
         if chosen_by_optimizer:
             method = dataset.optimizer.choose(
                 rect, expected_k=spec.max_samples).method
+        roots_before = len(used.tracer.roots)
         session = dataset.session(
             st_range, estimator, method=method, rng=self.rng,
             expected_k=spec.max_samples,
-            with_replacement=spec.with_replacement)
+            with_replacement=spec.with_replacement, obs=used)
         final = session.run_to_stop(self._stop(spec))
         if chosen_by_optimizer and final.k > 0:
             # Close the loop: calibrate the optimizer with what the
@@ -169,7 +188,39 @@ class QueryExecutor:
             actual = DEFAULT_COST_MODEL.simulated_seconds(final.cost)
             dataset.optimizer.record_outcome(method, rect, final.k,
                                              actual)
-        return QueryResult(spec=spec, final=final)
+        trace = used.tracer.roots[roots_before] \
+            if len(used.tracer.roots) > roots_before else None
+        return QueryResult(spec=spec, final=final, trace=trace)
+
+    def explain_report(self, query: "str | QuerySpec",
+                       obs: Observability | None = None) -> str:
+        """Run the query under a trace and render the full EXPLAIN
+        report: optimizer scoring (or the forced method), per-phase
+        simulated seconds from the span tree, and the stop-condition
+        outcome.  Spans go to a fresh private tracer so the report
+        never mixes with other queries', while metrics keep flowing
+        into the executor's registry (when live) — EXPLAIN and
+        ``storm stats`` render from the same registry.
+        """
+        spec = parse(query) if isinstance(query, str) else query
+        if spec.explain:
+            spec = replace(spec, explain=False)
+        dataset = self.engine.dataset(spec.dataset)
+        rect = dataset.to_rect(spec.st_range())
+        if spec.method is not None:
+            plan_text = f"method forced via USING: {spec.method}"
+        else:
+            plan_text = dataset.optimizer.choose(
+                rect, expected_k=spec.max_samples).explain()
+        if obs is not None:
+            local = obs
+        else:
+            shared = self.obs.registry \
+                if self.obs.registry.enabled else None
+            local = Observability(registry=shared, tracer=Tracer())
+        result = self.execute(spec, obs=local)
+        assert result.final is not None
+        return render_explain(plan_text, result.trace, result.final)
 
     def session(self, query: "str | QuerySpec"):
         """The interactive path: an OnlineQuerySession the caller drives

@@ -16,6 +16,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["BlockStats", "SimulatedDFS"]
 
@@ -35,6 +36,33 @@ class BlockStats:
         self.bytes_read = 0
         self.bytes_written = 0
 
+    def merge(self, other: "BlockStats") -> None:
+        """Fold another machine's tallies into this one."""
+        self.blocks_read += other.blocks_read
+        self.blocks_written += other.blocks_written
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+
+    def snapshot(self) -> "BlockStats":
+        """An independent copy of the tallies."""
+        return BlockStats(self.blocks_read, self.blocks_written,
+                          self.bytes_read, self.bytes_written)
+
+    def delta_from(self, earlier: "BlockStats") -> "BlockStats":
+        """Tallies accumulated since an earlier snapshot."""
+        return BlockStats(
+            self.blocks_read - earlier.blocks_read,
+            self.blocks_written - earlier.blocks_written,
+            self.bytes_read - earlier.bytes_read,
+            self.bytes_written - earlier.bytes_written)
+
+    def as_dict(self) -> dict[str, int]:
+        """The tallies as a plain dict (for exporters)."""
+        return {"blocks_read": self.blocks_read,
+                "blocks_written": self.blocks_written,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written}
+
 
 @dataclass(slots=True)
 class _FileMeta:
@@ -47,7 +75,8 @@ class SimulatedDFS:
     """Block-oriented file store with replication and I/O accounting."""
 
     def __init__(self, machines: int = 4, block_size: int = 8192,
-                 replication: int = 3, root: str | None = None):
+                 replication: int = 3, root: str | None = None,
+                 obs: "Observability | None" = None):
         if machines < 1:
             raise StorageError("need at least one machine")
         if block_size < 1:
@@ -59,6 +88,7 @@ class SimulatedDFS:
         self.block_size = block_size
         self.replication = replication
         self.root = root
+        self.obs = obs if obs is not None else NULL_OBS
         self.stats = [BlockStats() for _ in range(machines)]
         self._files: dict[str, _FileMeta] = {}
         self._next_machine = 0
@@ -105,6 +135,7 @@ class SimulatedDFS:
             raise StorageError("file name cannot be empty")
         meta = _FileMeta(data=data)
         n_blocks = self._block_count(len(data))
+        written_blocks = written_bytes = 0
         for i in range(n_blocks):
             replicas = self._place_block()
             meta.placement.append(replicas)
@@ -113,6 +144,14 @@ class SimulatedDFS:
             for m in replicas:
                 self.stats[m].blocks_written += 1
                 self.stats[m].bytes_written += chunk
+                written_blocks += 1
+                written_bytes += chunk
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.dfs.blocks_written").inc(
+                written_blocks)
+            registry.counter("storm.dfs.bytes_written").inc(
+                written_bytes)
         self._files[name] = meta
         if self.root is not None:
             with open(self._disk_path(name), "wb") as f:
@@ -135,6 +174,11 @@ class SimulatedDFS:
                                   * self.block_size])
             self.stats[m].blocks_read += 1
             self.stats[m].bytes_read += chunk
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.dfs.blocks_read").inc(
+                len(meta.placement))
+            registry.counter("storm.dfs.bytes_read").inc(len(meta.data))
         return meta.data
 
     def read_block(self, name: str, block: int) -> bytes:
@@ -148,6 +192,10 @@ class SimulatedDFS:
                          * self.block_size]
         self.stats[m].blocks_read += 1
         self.stats[m].bytes_read += len(data)
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.dfs.blocks_read").inc()
+            registry.counter("storm.dfs.bytes_read").inc(len(data))
         return data
 
     def delete_file(self, name: str) -> None:
@@ -183,13 +231,24 @@ class SimulatedDFS:
 
     # -- accounting ----------------------------------------------------------
 
+    def total_stats(self) -> BlockStats:
+        """All machines' tallies merged into one fresh
+        :class:`BlockStats` (callers should use this instead of
+        hand-summing ``dfs.stats``).  The returned object is an
+        independent snapshot, so it also binds directly to trace spans
+        (``tracer.span(..., io=dfs.total_stats)``)."""
+        total = BlockStats()
+        for s in self.stats:
+            total.merge(s)
+        return total
+
     def total_blocks_read(self) -> int:
         """Blocks read across all machines."""
-        return sum(s.blocks_read for s in self.stats)
+        return self.total_stats().blocks_read
 
     def total_blocks_written(self) -> int:
         """Blocks written across all machines (replicas included)."""
-        return sum(s.blocks_written for s in self.stats)
+        return self.total_stats().blocks_written
 
     def reset_stats(self) -> None:
         """Zero every machine's I/O tallies."""

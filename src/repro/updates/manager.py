@@ -9,6 +9,7 @@ from typing import Iterable
 from repro.core.engine import Dataset
 from repro.core.records import Record
 from repro.errors import UpdateError
+from repro.obs import NULL_OBS, Observability
 from repro.storage.document_store import DocumentStore
 
 __all__ = ["UpdateBatch", "UpdateResult", "UpdateManager"]
@@ -65,7 +66,8 @@ class UpdateManager:
     def __init__(self, dataset: Dataset,
                  store: DocumentStore | None = None,
                  collection: str | None = None,
-                 rebuild_churn_fraction: float | None = None):
+                 rebuild_churn_fraction: float | None = None,
+                 obs: Observability | None = None):
         if (store is None) != (collection is None):
             raise UpdateError(
                 "provide both store and collection, or neither")
@@ -76,6 +78,10 @@ class UpdateManager:
         self.dataset = dataset
         self.store = store
         self.collection = collection
+        # Falls back to the dataset's sink so one engine-level
+        # Observability captures update traffic too.
+        self.obs = obs if obs is not None \
+            else getattr(dataset, "obs", NULL_OBS)
         # Auto-rebuild policy: once applied churn (inserts + deletes)
         # exceeds this fraction of the dataset size, bulk-rebuild the
         # indexes to restore packing quality.  None disables it.
@@ -93,22 +99,36 @@ class UpdateManager:
     def apply(self, batch: UpdateBatch) -> UpdateResult:
         """Validate then apply one batch everywhere."""
         batch.validate(self.dataset)
+        name = getattr(self.dataset, "name", "?")
         start = time.perf_counter()
-        for rid in batch.deletes:
-            self.dataset.delete(rid)
-            if self.store is not None:
-                self._coll().delete_one(rid)
-        for record in batch.inserts:
-            self.dataset.insert(record)
-            if self.store is not None:
-                self._coll().insert_one(record.to_document())
-        self.applied_batches += 1
-        self.total_inserted += len(batch.inserts)
-        self.total_deleted += len(batch.deletes)
-        self._churn_since_rebuild += len(batch)
-        if self._maybe_rebuild():
-            self.rebuilds += 1
+        with self.obs.tracer.span("update_batch", dataset=name,
+                                  inserts=len(batch.inserts),
+                                  deletes=len(batch.deletes)):
+            for rid in batch.deletes:
+                self.dataset.delete(rid)
+                if self.store is not None:
+                    self._coll().delete_one(rid)
+            for record in batch.inserts:
+                self.dataset.insert(record)
+                if self.store is not None:
+                    self._coll().insert_one(record.to_document())
+            self.applied_batches += 1
+            self.total_inserted += len(batch.inserts)
+            self.total_deleted += len(batch.deletes)
+            self._churn_since_rebuild += len(batch)
+            if self._maybe_rebuild():
+                self.rebuilds += 1
         elapsed = time.perf_counter() - start
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.updates.batches",
+                             dataset=name).inc()
+            registry.counter("storm.updates.inserted",
+                             dataset=name).inc(len(batch.inserts))
+            registry.counter("storm.updates.deleted",
+                             dataset=name).inc(len(batch.deletes))
+            registry.histogram("storm.updates.batch_seconds",
+                               dataset=name).observe(elapsed)
         return UpdateResult(inserted=len(batch.inserts),
                             deleted=len(batch.deletes), seconds=elapsed)
 

@@ -1,0 +1,573 @@
+"""Tests for the unified observability layer (repro.obs).
+
+Covers the metrics registry, trace spans, exporters, the EXPLAIN
+report, the CLI surfaces, and the acceptance criterion that a traced
+query's leaf-span cost deltas sum exactly to the session totals.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.engine import StormEngine
+from repro.core.records import STRange
+from repro.core.session import StopCondition
+from repro.distributed.cluster import NetworkModel, NetworkStats
+from repro.index.cost import CostCounter, CostModel
+from repro.obs import (NULL_OBS, NULL_REGISTRY, NULL_TRACER,
+                       MetricsRegistry, Observability, Tracer,
+                       metric_key, render_dashboard, write_jsonl)
+from repro.query.executor import QueryExecutor
+from repro.storage.dfs import BlockStats, SimulatedDFS
+from repro.workloads.osm import OSMWorkload
+
+US = STRange(-125, 25, -65, 50)
+
+
+class TestMetricsRegistry:
+    def test_metric_key_sorts_labels(self):
+        assert metric_key("x", {}) == "x"
+        assert metric_key("x", {"b": 2, "a": 1}) == "x{a=1,b=2}"
+
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("hits", dataset="osm")
+        c1.inc()
+        c1.inc(4)
+        assert reg.counter("hits", dataset="osm") is c1
+        assert c1.value == 5
+        # Different labels are a different instrument.
+        assert reg.counter("hits", dataset="tweets") is not c1
+
+    def test_gauge_and_histogram(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("height")
+        g.set(3)
+        g.add(2)
+        assert g.value == 5
+        h = reg.histogram("lat")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3 and h.min == 1.0 and h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_snapshot_deterministic_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("g", x=1).set(7)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"]["a"] == 2
+        assert snap["gauges"]["g{x=1}"] == 7
+        assert snap["histograms"]["h"]["count"] == 1
+        assert reg.snapshot() == snap
+        reg.reset()
+        empty = reg.snapshot()
+        assert not empty["counters"] and not empty["gauges"] \
+            and not empty["histograms"]
+
+    def test_null_registry_records_nothing(self):
+        assert NULL_REGISTRY.enabled is False
+        c = NULL_REGISTRY.counter("x")
+        c.inc(100)
+        assert c.value == 0
+        NULL_REGISTRY.gauge("g").set(9)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        snap = NULL_REGISTRY.snapshot()
+        assert not snap["counters"] and not snap["gauges"] \
+            and not snap["histograms"]
+
+
+class TestTracer:
+    def test_span_tree_with_fake_clock(self):
+        ticks = iter(range(100))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", phase="x") as inner:
+                pass
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.attrs["phase"] == "x"
+        assert outer.start == 0.0 and inner.start == 1.0
+        assert inner.duration == 1.0 and outer.duration == 3.0
+
+    def test_span_cost_delta(self):
+        cost = CostCounter()
+        cost.charge_node(1)
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.span("phase", cost=cost) as span:
+            cost.charge_node(5)
+            cost.charge_node(6)
+            cost.charge_entries(10)
+        # Only the work inside the span is attributed to it.
+        assert span.cost.node_reads == 2
+        assert span.cost.sequential_reads == 1  # 5 then 6
+        assert span.cost.leaf_entries_scanned == 10
+
+    def test_callable_source(self):
+        backing = NetworkStats()
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.span("net", net=lambda: backing.snapshot()) as span:
+            backing.charge(messages=3, payload_bytes=64)
+        assert span.net.messages == 3
+        assert span.net.payload_bytes == 64
+
+    def test_out_of_order_end_keeps_tree(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        tracer.end(outer)  # generator-style: outer closes first
+        tracer.end(inner)
+        assert outer.children == [inner]
+        assert outer.closed and inner.closed
+        tracer.end(inner)  # idempotent
+        assert [s.name for s in outer.walk()] == ["outer", "inner"]
+
+    def test_drain_and_flatten(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        roots = tracer.drain()
+        assert tracer.roots == []
+        rows = roots[0].flatten()
+        assert rows[0]["name"] == "a" and rows[0]["parent_id"] is None
+        assert rows[1]["name"] == "b"
+        assert rows[1]["parent_id"] == rows[0]["span_id"]
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.begin("anything", cost=CostCounter())
+        span.set("k", 1)
+        NULL_TRACER.end(span)
+        assert NULL_TRACER.roots == []
+        with NULL_TRACER.span("x") as s:
+            assert s is span  # the shared inert span
+
+
+def traced_avg(max_samples=200, n=3000, method="rs-tree"):
+    """One traced engine.avg run; returns (obs, final ProgressPoint)."""
+    obs = Observability()
+    engine = StormEngine(seed=3, obs=obs)
+    engine.create_dataset(
+        "osm", OSMWorkload(n=n, seed=5).generate(), dims=2)
+    final = engine.avg("osm", "altitude", US,
+                       stop=StopCondition(max_samples=max_samples),
+                       method=method)
+    return obs, final
+
+
+class TestTracedQueryAcceptance:
+    """The PR's acceptance criterion: leaf-span cost deltas sum to the
+    session totals for a single traced query."""
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        return traced_avg()
+
+    def test_span_tree_shape(self, traced):
+        obs, final = traced
+        root = obs.tracer.last_root
+        assert root is not None and root.name == "query"
+        assert root.closed
+        assert root.attrs["sampler"] == "rs-tree"
+        assert root.attrs["dataset"] == "osm"
+        assert root.attrs["k"] == final.k
+        names = [c.name for c in root.children]
+        assert names == ["range_count", "sample_stream"]
+
+    def test_leaf_deltas_sum_to_session_totals(self, traced):
+        obs, final = traced
+        root = obs.tracer.last_root
+        merged = CostCounter()
+        for leaf in root.leaves():
+            assert leaf.cost is not None
+            merged.merge(leaf.cost)
+        assert merged.as_dict() == final.cost.as_dict()
+        # Stops fire at report boundaries, so k lands on the first
+        # report at or past max_samples.
+        assert merged.samples_emitted == final.k >= 200
+
+    def test_registry_agrees_with_trace(self, traced):
+        obs, final = traced
+        snap = obs.registry.snapshot()
+        key = "storm.session.samples{dataset=osm,sampler=rs-tree}"
+        assert snap["counters"][key] == final.k
+        assert snap["counters"][
+            "storm.sampler.samples{sampler=rs-tree}"] == final.k
+        assert snap["counters"][
+            "storm.session.runs{dataset=osm,sampler=rs-tree}"] == 1
+        assert snap["counters"][
+            "storm.session.stops{dataset=osm,"
+            "reason=sample budget reached}"] == 1
+        assert snap["gauges"]["storm.dataset.records{dataset=osm}"] \
+            == 3000
+        assert snap["gauges"]["storm.index.height{dataset=osm}"] >= 1
+
+    def test_jsonl_export(self, traced):
+        obs, final = traced
+        out = io.StringIO()
+        lines = write_jsonl(out, obs.tracer.roots,
+                            registry=obs.registry)
+        rows = [json.loads(line) for line in
+                out.getvalue().splitlines()]
+        assert len(rows) == lines
+        spans = [r for r in rows if r["type"] == "span"]
+        metrics = [r for r in rows if r["type"] == "metrics"]
+        assert len(metrics) == 1
+        by_name = {r["name"]: r for r in spans}
+        assert by_name["sample_stream"]["parent_id"] \
+            == by_name["query"]["span_id"]
+        assert by_name["sample_stream"]["cost"]["samples_emitted"] \
+            == final.k
+        assert "storm.session.runs{dataset=osm,sampler=rs-tree}" \
+            in metrics[0]["counters"]
+
+    def test_dashboard_renders_same_registry(self, traced):
+        obs, _ = traced
+        text = render_dashboard(obs.registry)
+        assert "== storm metrics ==" in text
+        assert "storm.session.runs{dataset=osm,sampler=rs-tree}" \
+            in text
+        assert "storm.index.height{dataset=osm}" in text
+
+    def test_untraced_run_records_nothing(self):
+        engine = StormEngine(seed=3)
+        engine.create_dataset(
+            "osm", OSMWorkload(n=500, seed=5).generate(), dims=2)
+        final = engine.avg("osm", "altitude", US,
+                           stop=StopCondition(max_samples=50))
+        assert final.k >= 50
+        assert engine.obs is NULL_OBS
+        assert NULL_OBS.tracer.roots == []
+        snap = NULL_OBS.registry.snapshot()
+        assert not snap["counters"]
+
+
+class TestDistributedTracing:
+    def test_dist_fanout_span_carries_network_delta(self):
+        from repro.distributed.dataset import DistributedDataset
+        from repro.core.estimators.aggregates import AvgEstimator
+        from repro.core.records import attribute_getter
+        import random as _random
+
+        obs = Observability()
+        ds = DistributedDataset(
+            "dosm", OSMWorkload(n=400, seed=9).generate(),
+            n_workers=3, dims=2, seed=9, obs=obs)
+        session = ds.session(US,
+                             AvgEstimator(attribute_getter("altitude")),
+                             rng=_random.Random(1))
+        final = session.run_to_stop(StopCondition(max_samples=100_000))
+        assert final.reason == "exhausted (exact result)"
+        root = obs.tracer.last_root
+        fanout = root.find("dist_fanout")
+        assert fanout is not None and fanout.closed
+        assert fanout.net is not None and fanout.net.messages > 0
+        assert fanout.cost is not None and fanout.cost.node_reads > 0
+        assert fanout.attrs["workers"] == 3
+        snap = obs.registry.snapshot()
+        assert snap["counters"]["storm.cluster.messages"] \
+            == fanout.net.messages
+
+    def test_total_worker_cost_matches_hand_sum(self):
+        from repro.distributed.dist_index import DistributedSTIndex
+        from repro.distributed.dist_sampler import DistributedSampler
+        import random as _random
+
+        index = DistributedSTIndex(
+            OSMWorkload(n=300, seed=2).generate(), n_workers=4,
+            dims=2, seed=2)
+        DistributedSampler(index).sample(US, 64, _random.Random(3))
+        merged = index.cluster.total_worker_cost()
+        assert merged.node_reads == sum(
+            w.cost.node_reads for w in index.cluster.workers)
+        assert merged.node_reads > 0
+
+
+class TestCostCounterSnapshotContract:
+    """Satellite: snapshot() must preserve ``_last_block``."""
+
+    def test_snapshot_preserves_locality_state(self):
+        cost = CostCounter()
+        cost.charge_node(7)
+        snap = cost.snapshot()
+        # A counter resumed from the snapshot classifies the adjacent
+        # next block as sequential, exactly as the original would.
+        snap.charge_node(8)
+        assert snap.sequential_reads == 1
+        cost.charge_node(8)
+        assert cost.sequential_reads == 1
+        assert snap.as_dict() == cost.as_dict()
+
+    def test_delta_is_pure_tallies(self):
+        cost = CostCounter()
+        cost.charge_node(7)
+        before = cost.snapshot()
+        cost.charge_node(8)
+        delta = cost.delta_from(before)
+        assert delta.node_reads == 1 and delta.sequential_reads == 1
+        # The delta carries no locality state: a fresh charge of the
+        # next adjacent block is classified random, as for a new
+        # counter.
+        delta.charge_node(9)
+        assert delta.random_reads == 1
+
+    def test_merge_sums_and_clears_locality(self):
+        a = CostCounter()
+        a.charge_node(1)
+        b = CostCounter()
+        b.charge_node(2)
+        b.charge_node(3)
+        a.merge(b)
+        assert a.node_reads == 3
+        a.charge_node(4)  # would be "sequential" had state leaked
+        assert a.random_reads == 3
+
+
+class TestCostArithmetic:
+    """Satellite: CostModel / NetworkStats arithmetic."""
+
+    def test_simulated_seconds_weighted_sum(self):
+        model = CostModel(random_read_seconds=1.0,
+                          sequential_read_seconds=0.5,
+                          entry_scan_seconds=0.25,
+                          per_sample_cpu_seconds=0.125)
+        cost = CostCounter(node_reads=6, random_reads=2,
+                           sequential_reads=4,
+                           leaf_entries_scanned=8, samples_emitted=16)
+        assert model.simulated_seconds(cost) == pytest.approx(
+            2 * 1.0 + 4 * 0.5 + 8 * 0.25 + 16 * 0.125)
+        assert model.simulated_seconds(CostCounter()) == 0.0
+
+    def test_network_seconds_latency_plus_bandwidth(self):
+        model = NetworkModel(latency_seconds=0.5,
+                             bandwidth_bytes_per_second=100.0)
+        stats = NetworkStats(messages=4, payload_bytes=200)
+        assert stats.seconds(model) == pytest.approx(
+            4 * 0.5 + 200 / 100.0)
+        assert NetworkStats().seconds(model) == 0.0
+
+    def test_network_stats_merge_and_delta(self):
+        a = NetworkStats(messages=1, payload_bytes=10)
+        b = NetworkStats(messages=2, payload_bytes=20)
+        a.merge(b)
+        assert (a.messages, a.payload_bytes) == (3, 30)
+        delta = a.delta_from(b)
+        assert (delta.messages, delta.payload_bytes) == (1, 10)
+
+
+class TestBlockStatsMerge:
+    """Satellite: BlockStats.merge / SimulatedDFS.total_stats."""
+
+    def test_merge_sums_all_tallies(self):
+        a = BlockStats(blocks_read=1, blocks_written=2, bytes_read=3,
+                       bytes_written=4)
+        b = BlockStats(blocks_read=10, blocks_written=20,
+                       bytes_read=30, bytes_written=40)
+        a.merge(b)
+        assert a.as_dict() == {"blocks_read": 11, "blocks_written": 22,
+                               "bytes_read": 33, "bytes_written": 44}
+
+    def test_total_stats_replaces_hand_summing(self):
+        dfs = SimulatedDFS(machines=3, block_size=64, replication=2)
+        dfs.write_file("a", b"x" * 200)
+        dfs.read_file("a")
+        total = dfs.total_stats()
+        assert total.blocks_written == sum(
+            s.blocks_written for s in dfs.stats)
+        assert total.blocks_read == sum(
+            s.blocks_read for s in dfs.stats)
+        assert dfs.total_blocks_written() == total.blocks_written
+        assert dfs.total_blocks_read() == total.blocks_read
+        # The result is an independent snapshot, not a live view.
+        before = dfs.total_stats()
+        dfs.read_file("a")
+        assert dfs.total_stats().blocks_read > before.blocks_read
+
+    def test_dfs_metrics_flow_to_registry(self):
+        obs = Observability()
+        dfs = SimulatedDFS(machines=2, block_size=64, replication=1,
+                           obs=obs)
+        dfs.write_file("a", b"y" * 100)
+        dfs.read_file("a")
+        snap = obs.registry.snapshot()
+        assert snap["counters"]["storm.dfs.blocks_written"] \
+            == dfs.total_stats().blocks_written
+        assert snap["counters"]["storm.dfs.blocks_read"] \
+            == dfs.total_stats().blocks_read
+
+
+class TestExplainReport:
+    @pytest.fixture(scope="class")
+    def executor(self):
+        obs = Observability()
+        engine = StormEngine(seed=7, obs=obs)
+        engine.create_dataset(
+            "osm", OSMWorkload(n=2000, seed=7).generate(), dims=2)
+        import random as _random
+        return QueryExecutor(engine, rng=_random.Random(7))
+
+    def test_report_sections(self, executor):
+        report = executor.explain_report(
+            "ESTIMATE AVG(altitude) FROM osm "
+            "WHERE REGION(-125, 25, -65, 50) SAMPLES 128")
+        assert "plan:" in report
+        assert "phases (simulated seconds, disk cost model):" in report
+        assert "range_count" in report and "sample_stream" in report
+        assert "total" in report
+        assert "stop: sample budget reached" in report
+        assert "estimate: value=" in report
+
+    def test_forced_method_noted(self, executor):
+        report = executor.explain_report(
+            "ESTIMATE COUNT FROM osm WHERE REGION(-125, 25, -65, 50) "
+            "USING random-path SAMPLES 64")
+        assert "method forced via USING: random-path" in report
+
+    def test_explain_and_stats_share_registry(self, executor):
+        registry = executor.obs.registry
+        roots_before = len(executor.obs.tracer.roots)
+        executor.explain_report(
+            "ESTIMATE AVG(altitude) FROM osm "
+            "WHERE REGION(-125, 25, -65, 50) SAMPLES 32")
+        # Private tracer: no new roots on the executor's tracer ...
+        assert len(executor.obs.tracer.roots) == roots_before
+        # ... but metrics landed in the shared registry, so the
+        # dashboard reflects the explained query too.
+        text = render_dashboard(registry)
+        assert "storm.session.runs{dataset=osm,sampler=" in text
+
+    def test_executor_attaches_trace(self, executor):
+        result = executor.execute(
+            "ESTIMATE COUNT FROM osm WHERE REGION(-125, 25, -65, 50) "
+            "SAMPLES 16")
+        assert result.trace is not None
+        assert result.trace.name == "query"
+        assert result.trace.find("sample_stream") is not None
+
+    def test_plain_explain_keyword_still_plan_only(self, executor):
+        result = executor.execute(
+            "EXPLAIN ESTIMATE COUNT FROM osm "
+            "WHERE REGION(-125, 25, -65, 50)")
+        assert result.final is None and result.trace is None
+        assert "chosen" in result.explanation
+
+
+class TestCLIObservability:
+    def test_stats_subcommand(self, capsys):
+        rc = main(["stats", "--dataset", "osm", "--n", "400",
+                   "--query",
+                   "ESTIMATE COUNT FROM osm "
+                   "WHERE REGION(-125, 25, -65, 50)"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== storm metrics ==" in out
+        assert "storm.session.runs{dataset=osm,sampler=" in out
+        assert "storm.dataset.records{dataset=osm}" in out
+
+    def test_trace_flag_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["--dataset", "osm", "--n", "400",
+                   "--trace", str(trace), "--query",
+                   "ESTIMATE AVG(altitude) FROM osm "
+                   "WHERE REGION(-125, 25, -65, 50) SAMPLES 64"])
+        assert rc == 0
+        rows = [json.loads(line)
+                for line in trace.read_text().splitlines()]
+        spans = [r for r in rows if r["type"] == "span"]
+        metrics = [r for r in rows if r["type"] == "metrics"]
+        assert {"query", "range_count", "sample_stream"} \
+            <= {r["name"] for r in spans}
+        assert len(metrics) == 1  # one closing snapshot
+        assert any(name.startswith("storm.session.samples")
+                   for name in metrics[0]["counters"])
+
+    def test_explain_analyze_one_shot(self, capsys):
+        rc = main(["--dataset", "osm", "--n", "400", "--query",
+                   "EXPLAIN ANALYZE ESTIMATE AVG(altitude) FROM osm "
+                   "WHERE REGION(-125, 25, -65, 50) SAMPLES 32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "phases (simulated seconds, disk cost model):" in out
+        assert "stop: sample budget reached" in out
+
+    def test_stats_subcommand_without_query(self, capsys):
+        # 'stats' with no --query prints the load-time dashboard
+        # (dataset/index gauges) and exits without entering the REPL.
+        rc = main(["stats", "--dataset", "osm", "--n", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== storm metrics ==" in out
+        assert "storm.dataset.records{dataset=osm}" in out
+
+    def test_repl_stats_command(self, capsys, monkeypatch):
+        lines = iter([
+            "ESTIMATE COUNT FROM osm "
+            "WHERE REGION(-125, 25, -65, 50)",
+            "stats",
+            "EXPLAIN ANALYZE ESTIMATE COUNT FROM osm "
+            "WHERE REGION(-125, 25, -65, 50) SAMPLES 16",
+            "quit",
+        ])
+        monkeypatch.setattr("builtins.input",
+                            lambda prompt="": next(lines))
+        rc = main(["--dataset", "osm", "--n", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "value=300" in out
+        # REPL runs untraced by default: the dashboard is empty.
+        assert "== storm metrics ==" in out
+        assert "plan:" in out  # EXPLAIN ANALYZE still works untraced
+
+
+class TestUpdateInstrumentation:
+    def test_update_batch_span_and_counters(self):
+        from repro.core.records import Record
+        from repro.updates.manager import UpdateBatch, UpdateManager
+
+        obs = Observability()
+        engine = StormEngine(seed=1, obs=obs)
+        dataset = engine.create_dataset(
+            "osm", OSMWorkload(n=200, seed=1).generate(), dims=2)
+        manager = UpdateManager(dataset)
+        fresh = [Record(record_id=10_000 + i, lon=-100.0 + i,
+                        lat=40.0, t=0.0) for i in range(5)]
+        manager.apply(UpdateBatch(inserts=fresh))
+        snap = obs.registry.snapshot()
+        assert snap["counters"][
+            "storm.updates.inserted{dataset=osm}"] == 5
+        assert snap["counters"][
+            "storm.dataset.inserts{dataset=osm}"] == 5
+        assert snap["gauges"]["storm.dataset.records{dataset=osm}"] \
+            == 205
+        spans = [s for s in obs.tracer.roots
+                 if s.name == "update_batch"]
+        assert len(spans) == 1
+        assert spans[0].attrs["inserts"] == 5
+
+
+class TestBenchHarnessRegistry:
+    def test_fig3a_run_one_feeds_registry_and_spans(self):
+        from repro.bench.harness import Fig3aRunner, build_osm_dataset
+
+        obs = Observability()
+        dataset, workload = build_osm_dataset(n=1500, seed=17, obs=obs)
+        runner = Fig3aRunner(dataset, workload)
+        assert runner.obs is obs  # inherited from the dataset
+        wall, simulated, reads = runner.run_one("rs-tree", 32)
+        assert wall > 0 and simulated > 0 and reads > 0
+        snap = obs.registry.snapshot()
+        assert snap["counters"][
+            "storm.bench.runs{method=rs-tree}"] == 1
+        assert snap["histograms"][
+            "storm.bench.simulated_seconds{method=rs-tree}"][
+                "count"] == 1
+        span = obs.tracer.last_root
+        assert span.name == "bench_fig3a"
+        assert span.cost.node_reads == reads
