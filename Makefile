@@ -1,0 +1,15 @@
+PYTHON ?= python
+
+.PHONY: test lint bench bench-smoke
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check src tests benchmarks
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q
+
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.smoke BENCH_sampling.json

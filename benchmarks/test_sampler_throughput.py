@@ -32,6 +32,33 @@ def test_sampler_throughput(benchmark, osm_dataset, osm_query, method):
     benchmark.extra_info["k"] = K
 
 
+@pytest.mark.parametrize("method", METHODS)
+def test_repeated_query_throughput(benchmark, osm_dataset, osm_query,
+                                   method):
+    """The dashboard workload: the *same* range queried over and over
+    (pan back, refresh, re-estimate).  This is the case the canonical-set
+    cache and Fenwick source selection target — the per-stream setup cost
+    (root walk, residual scan) amortises across repeats."""
+    sampler = osm_dataset.samplers[method]
+    seeds = iter(range(100_000))
+    repeats = 8
+
+    def draw_many():
+        got = []
+        for _ in range(repeats):
+            got.extend(take(sampler.sample_stream(
+                osm_query, random.Random(next(seeds))), K))
+        return got
+
+    got = benchmark(draw_many)
+    assert len(got) == repeats * K
+    benchmark.extra_info["k"] = K
+    benchmark.extra_info["repeats"] = repeats
+    if hasattr(sampler, "tree"):
+        benchmark.extra_info["canonical_cache_hits"] = getattr(
+            sampler.tree, "canon_hits", 0)
+
+
 def test_build_hilbert_rtree(benchmark, osm_dataset):
     items = [(rid, r.key(osm_dataset.dims))
              for rid, r in osm_dataset.records.items()]

@@ -1,0 +1,113 @@
+"""Sampling fast-path smoke benchmark: ``python -m repro.bench.smoke``.
+
+Runs the repeated-query workload (the dashboard pattern: the same range
+queried over and over) for every sampler on a small synthetic OSM
+substrate and writes ``BENCH_sampling.json`` with samples/sec per
+sampler plus the canonical-set cache hit rate.  CI runs this as a
+regression tripwire; the numbers are laptop-scale indicators, not the
+paper's figures (see ``repro.bench.harness`` for those).
+
+``BASELINE_SAMPLES_PER_SEC`` records the same workload measured at the
+same scale *before* the fast path landed (linear cumulative source
+scans, no canonical-set cache, per-sample session pulls), so the JSON
+always carries the speedup context.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+
+from repro.bench.harness import build_osm_dataset, fig3a_query
+from repro.core.sampling.base import take
+
+__all__ = ["run_smoke", "main"]
+
+N = 20_000
+K = 256
+REPEATS = 40
+WARMUP = 3
+
+#: The repeated-query workload measured on this substrate (n=20000,
+#: K=256, 40 repeats) before the sampling fast path: O(n) source
+#: selection, no canonical-set cache, one-at-a-time session pulls.
+BASELINE_SAMPLES_PER_SEC = {
+    "query-first": 19_610.6,
+    "sample-first": 168_448.9,
+    "random-path": 3_217.2,
+    "ls-tree": 163_904.8,
+    "rs-tree": 48_600.0,
+}
+
+
+def run_smoke(n: int = N, k: int = K, repeats: int = REPEATS,
+              seed: int = 17) -> dict:
+    """Measure repeated-query samples/sec per sampler; return the report."""
+    dataset, workload = build_osm_dataset(n=n, seed=seed)
+    query = fig3a_query(workload).to_rect(dataset.dims)
+    results: dict[str, dict] = {}
+    for method, sampler in sorted(dataset.samplers.items()):
+        seeds = iter(range(1_000_000))
+        for _ in range(WARMUP):
+            take(sampler.sample_stream(
+                query, random.Random(next(seeds))), k)
+        tree = getattr(sampler, "tree", None)
+        hits_before = getattr(tree, "canon_hits", 0)
+        misses_before = getattr(tree, "canon_misses", 0)
+        start = time.perf_counter()
+        drawn = 0
+        for _ in range(repeats):
+            drawn += len(take(sampler.sample_stream(
+                query, random.Random(next(seeds))), k))
+        elapsed = time.perf_counter() - start
+        entry: dict[str, object] = {
+            "samples_per_sec": round(drawn / elapsed, 1),
+            "samples": drawn,
+            "seconds": round(elapsed, 4),
+        }
+        baseline = BASELINE_SAMPLES_PER_SEC.get(method)
+        if baseline:
+            entry["baseline_samples_per_sec"] = baseline
+            entry["speedup_vs_baseline"] = round(
+                drawn / elapsed / baseline, 2)
+        if tree is not None and hasattr(tree, "canon_hits"):
+            hits = tree.canon_hits - hits_before
+            misses = tree.canon_misses - misses_before
+            lookups = hits + misses
+            entry["canonical_cache"] = {
+                "hits": hits, "misses": misses,
+                "hit_rate": round(hits / lookups, 3) if lookups else 0.0,
+            }
+        results[method] = entry
+    return {
+        "workload": {"n": n, "k": k, "repeats": repeats, "seed": seed,
+                     "pattern": "repeated-query"},
+        "samplers": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out = argv[0] if argv else "BENCH_sampling.json"
+    report = run_smoke()
+    with open(out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    width = max(len(m) for m in report["samplers"])
+    for method, entry in report["samplers"].items():
+        line = (f"{method:<{width}}  "
+                f"{entry['samples_per_sec']:>12,.1f} samples/s")
+        if "speedup_vs_baseline" in entry:
+            line += f"  ({entry['speedup_vs_baseline']:.2f}x baseline)"
+        cache = entry.get("canonical_cache")
+        if cache and cache["hits"] + cache["misses"] > 0:
+            line += f"  canon hit_rate={cache['hit_rate']:.1%}"
+        print(line)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

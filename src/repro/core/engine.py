@@ -87,6 +87,7 @@ class Dataset:
                                  branch_capacity=branch_capacity)
         self.tree.bulk_load(
             (r.record_id, r.key(dims)) for r in ordered)
+        self.tree.bind_observability(self.obs)
         self.forest: LSTree | None = None
         if build_ls:
             self.forest = LSTree(dims,

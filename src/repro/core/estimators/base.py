@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.estimators.intervals import ConfidenceInterval
 from repro.core.records import Record
@@ -78,6 +78,18 @@ class OnlineEstimator(ABC):
         """Feed one sampled record (bookkeeping + subclass update)."""
         self.k += 1
         self.update(record)
+
+    def absorb_batch(self, records: "Sequence[Record]") -> None:
+        """Feed a batch of sampled records in one call.
+
+        Semantically identical to calling :meth:`absorb` per record;
+        sessions use it with :meth:`SpatialSampler.draw_batch` to keep
+        the per-sample hot loop inside one method frame.  Subclasses
+        with vectorisable state may override.
+        """
+        for record in records:
+            self.k += 1
+            self.update(record)
 
     @abstractmethod
     def update(self, record: Record) -> None:

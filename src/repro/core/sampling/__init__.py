@@ -25,7 +25,11 @@ Implementations, in the order the paper introduces them:
 ``RSTreeSampler``
     The paper's second index: a single Hilbert R-tree whose nodes carry
     pre-shuffled sample buffers, combined with lazy canonical-set
-    exploration and acceptance/rejection node selection.
+    exploration and Fenwick-tree weighted node selection.
+
+``repro.core.sampling.weighted`` holds the shared O(1)/O(log n)
+weighted-draw structures (:class:`AliasTable`, :class:`FenwickSampler`)
+the hot paths select sources with.
 """
 
 from repro.core.sampling.base import SamplerStats, SpatialSampler
@@ -35,8 +39,11 @@ from repro.core.sampling.query_first import QueryFirstSampler
 from repro.core.sampling.random_path import RandomPathSampler
 from repro.core.sampling.rs_tree import RSTreeSampler
 from repro.core.sampling.sample_first import SampleFirstSampler
+from repro.core.sampling.weighted import AliasTable, FenwickSampler
 
 __all__ = [
+    "AliasTable",
+    "FenwickSampler",
     "LSTree",
     "LSTreeSampler",
     "QueryFirstSampler",

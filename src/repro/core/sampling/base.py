@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from itertools import islice
 from typing import Iterator
 
 from repro.core.geometry import Rect
@@ -108,10 +109,31 @@ class SpatialSampler(ABC):
         """Exact ``q = |P ∩ Q|`` (used for finite-population corrections
         and SUM/COUNT estimators)."""
 
+    def draw_batch(self, stream: Iterator[Entry], k: int) -> list[Entry]:
+        """Pull up to k entries from an open stream in one call.
+
+        The batched fast path sessions and estimators use: one C-level
+        ``islice`` pull per batch instead of one Python iteration per
+        sample, amortising generator resumption and per-sample
+        instrumentation.  Returns fewer than k entries only at stream
+        exhaustion.
+        """
+        return list(islice(stream, k))
+
     def sample(self, query: Rect, k: int, rng: random.Random,
                cost: CostCounter | None = None) -> list[Entry]:
-        """Convenience: the first k samples (fewer when q < k)."""
-        return take(self.sample_stream(query, rng, cost=cost), k)
+        """Convenience: the first k samples (fewer when q < k).
+
+        The stream is closed before returning so ``finally``-based
+        cost/trace accounting inside samplers runs promptly rather
+        than at GC time.
+        """
+        stream = self.sample_stream(query, rng, cost=cost)
+        out = self.draw_batch(stream, k)
+        close = getattr(stream, "close", None)
+        if close is not None:
+            close()
+        return out
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

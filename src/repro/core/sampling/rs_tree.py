@@ -12,11 +12,14 @@ canonical set covers a node never descend into it.
 using per-node counts; subtrees below canonical nodes are not explored
 until their buffers run dry.
 
-**Acceptance/rejection sampling** — picking the next source node with
-probability proportional to its remaining count is done by A/R (draw a node
-uniformly, accept with probability ``remaining/max_remaining``), so large
-subtrees — the ones most likely to supply the next sample — are located in
-O(1) expected time without scanning all of ``R_Q`` per sample.
+**Weighted source selection** — picking the next source node with
+probability proportional to its remaining count is done by a Fenwick
+tree over the remaining counts (the paper describes A/R selection; the
+Fenwick draw is O(log |R_Q|) worst case, never wastes a coin flip, and
+stays exact as counts decrement), so large subtrees — the ones most
+likely to supply the next sample — are located without scanning all of
+``R_Q`` per sample.  With-replacement streams use a Walker alias table
+over the static counts instead: O(1) per draw.
 
 Buffer maintenance is hierarchical: a leaf's buffer is a shuffle of its
 entries; an internal node's buffer is drawn by consuming its children's
@@ -43,6 +46,7 @@ from repro.core.geometry import Rect
 from repro.core.sampling.base import SpatialSampler
 from repro.core.sampling.permutation import (sample_without_replacement,
                                              streaming_shuffle)
+from repro.core.sampling.weighted import AliasTable, FenwickSampler
 from repro.index.cost import CostCounter
 from repro.index.rtree import Entry, Node, RTree, _iter_subtree_entries
 
@@ -141,34 +145,41 @@ class RSTreeSampler(SpatialSampler):
         (mostly sequential) per *block*, not per sample.
         """
         children = node.children or []
-        remaining = [c.count for c in children]
+        fen = FenwickSampler([c.count for c in children])
         batch: list[Entry] = []
         seen: set[int] = set()
         touched: set[int] = set()
         attempts = 0
         max_attempts = 4 * s + 16
-        total = sum(remaining)
-        while len(batch) < s and total > 0 and attempts < max_attempts:
+        while len(batch) < s and fen.total > 0 \
+                and attempts < max_attempts:
             attempts += 1
-            pick = self.rng.randrange(total)
-            cum = 0
-            idx = 0
-            for i, rem in enumerate(remaining):
-                cum += rem
-                if pick < cum:
-                    idx = i
-                    break
+            idx = fen.sample(self.rng)
             child = children[idx]
             touched.add(child.node_id)
             entry = self._draw_from_subtree(child, cost)
-            remaining[idx] -= 1
-            total -= 1
+            fen.add(idx, -1)
             if entry.item_id in seen:
                 # A child's buffer wrapped mid-batch; skip the duplicate.
                 cost.charge_rejection()
                 continue
             seen.add(entry.item_id)
             batch.append(entry)
+        if len(batch) < s:
+            # Duplicate-heavy merge (or exhausted remaining-count
+            # arithmetic): finish the batch from the not-yet-drawn
+            # remainder of the subtree instead of silently returning
+            # fewer than s entries.  A shuffled scan of the unseen
+            # entries continues the uniform without-replacement draw
+            # exactly.
+            pool = [e for e in _iter_subtree_entries(node)
+                    if e.item_id not in seen]
+            self._charge_subtree_scan(node, cost)
+            cost.charge_entries(node.count)
+            for entry in streaming_shuffle(pool, self.rng):
+                batch.append(entry)
+                if len(batch) >= s:
+                    break
         for node_id in sorted(touched):
             cost.charge_node(node_id)
         return batch
@@ -212,26 +223,19 @@ class RSTreeSampler(SpatialSampler):
         nodes = canon.nodes
         residual_iter = streaming_shuffle(canon.residual, rng)
         # Source 0..len(nodes)-1 are canonical nodes; the last source is
-        # the residual pool from partially overlapping leaves.
+        # the residual pool from partially overlapping leaves.  A
+        # Fenwick tree over the remaining counts selects the next
+        # source with probability remaining/total in O(log #sources) —
+        # exact at every step, with none of the wasted coin flips (or
+        # the stale-maximum drift) of acceptance/rejection selection.
         remaining = [n.count for n in nodes] + [len(canon.residual)]
         counts = list(remaining)
+        fen = FenwickSampler(remaining)
         emitted: set[int] = set()
         enum_pools: dict[int, Iterator[Entry]] = {}
-        total = sum(remaining)
         n_sources = len(remaining)
-        max_rem = max(remaining, default=0)
-        ar_misses = 0
-        while total > 0:
-            # --- acceptance/rejection selection of the next source -----
-            i = rng.randrange(n_sources)
-            if remaining[i] == 0 \
-                    or rng.random() >= remaining[i] / max_rem:
-                ar_misses += 1
-                if ar_misses >= 64:
-                    max_rem = max(remaining)
-                    ar_misses = 0
-                continue
-            ar_misses = 0
+        while fen.total > 0:
+            i = fen.sample(rng)
             # --- draw one entry from the chosen source ------------------
             if i == n_sources - 1:
                 entry = next(residual_iter)
@@ -244,7 +248,7 @@ class RSTreeSampler(SpatialSampler):
                     continue
             emitted.add(entry.item_id)
             remaining[i] -= 1
-            total -= 1
+            fen.add(i, -1)
             cost.charge_sample()
             yield entry
 
@@ -292,18 +296,13 @@ class RSTreeSampler(SpatialSampler):
         canon = self.tree.canonical_set(query, cost)
         residual = list(canon.residual)
         weights = [n.count for n in canon.nodes] + [len(residual)]
-        total = sum(weights)
-        if total == 0:
+        if sum(weights) == 0:
             return
+        # Weights are static for the whole stream, so a Walker alias
+        # table gives O(1) source selection per draw.
+        alias = AliasTable(weights)
         while True:
-            pick = rng.randrange(total)
-            cum = 0
-            idx = 0
-            for i, w in enumerate(weights):
-                cum += w
-                if pick < cum:
-                    idx = i
-                    break
+            idx = alias.sample(rng)
             if idx == len(canon.nodes):
                 entry = residual[rng.randrange(len(residual))]
             else:

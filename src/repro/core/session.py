@@ -219,10 +219,20 @@ class OnlineQuerySession:
             k_before = self._k
             sspan = tracer.begin("sample_stream", cost=self.cost)
             try:
-                for entry in self._stream:
-                    record = self.lookup(entry.item_id)
-                    self.estimator.absorb(record)
-                    self._k += 1
+                lookup = self.lookup
+                while True:
+                    # Batched fast path: pull samples up to the next
+                    # report_every boundary in one draw_batch call, so
+                    # stop conditions are still evaluated at exactly the
+                    # same sample counts as the one-at-a-time loop.
+                    want = self.report_every \
+                        - (self._k % self.report_every)
+                    batch = self.sampler.draw_batch(self._stream, want)
+                    if not batch:
+                        break  # stream exhausted
+                    self.estimator.absorb_batch(
+                        [lookup(e.item_id) for e in batch])
+                    self._k += len(batch)
                     k = self._k
                     boundary = (k % self.report_every == 0) \
                         or (k >= q and not self.with_replacement)

@@ -7,10 +7,17 @@ of that worker's stream therefore yields a globally uniform
 without-replacement stream (shards are disjoint — same argument as the
 RS-tree's node merge).
 
-Network efficiency comes from batching: the coordinator pre-fetches
-``batch_size`` samples per request, amortising one round trip over many
-samples.  Statistics are unaffected — batching only reorders *when* the
-worker computes its stream, not *what* it returns.
+Network efficiency comes from batching: the coordinator pre-fetches a
+batch of samples per request, amortising one round trip over many
+samples.  Batches are *adaptive*: each worker's batch starts at
+``batch_size`` and doubles (up to ``max_batch_size``) every time the
+consumer drains it and comes back for more, so long-running streams pay
+ever fewer coordinator round trips while short interactive pulls never
+over-fetch by more than the initial batch.  Statistics are unaffected —
+batching only reorders *when* the worker computes its stream, not
+*what* it returns.  Worker selection runs on a Fenwick tree over the
+remaining per-shard counts: O(log #workers) per draw, exact at every
+step.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Iterator
 from repro.core.geometry import Rect
 from repro.core.records import STRange
 from repro.core.sampling.base import SpatialSampler
+from repro.core.sampling.weighted import FenwickSampler
 from repro.distributed.cluster import (MESSAGE_HEADER_BYTES,
                                        RECORD_WIRE_BYTES)
 from repro.distributed.dist_index import DistributedSTIndex
@@ -43,11 +51,15 @@ class DistributedSampler(SpatialSampler):
 
     name = "distributed-rs"
 
-    def __init__(self, index: DistributedSTIndex, batch_size: int = 32):
+    def __init__(self, index: DistributedSTIndex, batch_size: int = 32,
+                 max_batch_size: int = 1024):
         if batch_size < 1:
             raise ClusterError("batch_size must be >= 1")
+        if max_batch_size < batch_size:
+            raise ClusterError("max_batch_size must be >= batch_size")
         self.index = index
         self.batch_size = batch_size
+        self.max_batch_size = max_batch_size
         self._last_query_seconds: float | None = None
 
     def range_count(self, query: "Rect | STRange",
@@ -72,6 +84,7 @@ class DistributedSampler(SpatialSampler):
         remaining: list[int] = []
         handles: list[int] = []
         buffers: list[list[Entry]] = []
+        next_batch: list[int] = []
         for worker in workers:
             cluster.network.charge(
                 messages=2, payload_bytes=2 * MESSAGE_HEADER_BYTES)
@@ -79,19 +92,13 @@ class DistributedSampler(SpatialSampler):
             handles.append(worker.open_stream(rect,
                                               rng.getrandbits(32)))
             buffers.append([])
-        total = sum(remaining)
+            next_batch.append(self.batch_size)
+        fen = FenwickSampler(remaining)
         try:
-            while total > 0:
-                pick = rng.randrange(total)
-                cum = 0
-                idx = 0
-                for i, rem in enumerate(remaining):
-                    cum += rem
-                    if pick < cum:
-                        idx = i
-                        break
+            while fen.total > 0:
+                idx = fen.sample(rng)
                 if not buffers[idx]:
-                    want = min(self.batch_size, remaining[idx])
+                    want = min(next_batch[idx], remaining[idx])
                     batch = workers[idx].fetch_batch(handles[idx], want)
                     cluster.network.charge(
                         messages=2,
@@ -100,13 +107,15 @@ class DistributedSampler(SpatialSampler):
                                        * RECORD_WIRE_BYTES))
                     if not batch:
                         # Defensive: count said more, stream disagrees.
-                        total -= remaining[idx]
+                        fen.add(idx, -remaining[idx])
                         remaining[idx] = 0
                         continue
                     buffers[idx] = batch[::-1]  # pop() consumes in order
+                    next_batch[idx] = min(2 * next_batch[idx],
+                                          self.max_batch_size)
                 entry = buffers[idx].pop()
                 remaining[idx] -= 1
-                total -= 1
+                fen.add(idx, -1)
                 yield entry
         finally:
             for worker, handle in zip(workers, handles):
@@ -123,18 +132,6 @@ class DistributedSampler(SpatialSampler):
                     net_delta.messages)
                 registry.counter("storm.cluster.payload_bytes").inc(
                     net_delta.payload_bytes)
-
-    def sample(self, query: "Rect | STRange", k: int,
-               rng: random.Random) -> list[Entry]:
-        """The first k samples of a fresh stream (closed afterwards)."""
-        stream = self.sample_stream(query, rng)
-        out: list[Entry] = []
-        for entry in stream:
-            out.append(entry)
-            if len(out) >= k:
-                break
-        stream.close()  # run cleanup now so timing is recorded
-        return out
 
     def last_query_seconds(self,
                            model: CostModel = DEFAULT_COST_MODEL

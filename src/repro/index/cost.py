@@ -39,6 +39,7 @@ class CostCounter:
     points_reported: int = 0
     samples_emitted: int = 0
     rejections: int = 0
+    cached_reads: int = 0
     _last_block: int | None = field(default=None, repr=False)
 
     def charge_node(self, block_id: int) -> None:
@@ -66,6 +67,16 @@ class CostCounter:
         """Tally n rejected draws (acceptance/rejection loops)."""
         self.rejections += n
 
+    def charge_cached(self, n: int = 1) -> None:
+        """Tally n reads served from a cache instead of a device.
+
+        Cache hits (canonical-set cache, DFS block cache) deliberately
+        do *not* charge node/block reads — the whole point of a hit is
+        that the device is never touched — but they are not free either,
+        so the cost model prices them separately (RAM, not disk).
+        """
+        self.cached_reads += n
+
     def reset(self) -> None:
         self.node_reads = 0
         self.random_reads = 0
@@ -74,6 +85,7 @@ class CostCounter:
         self.points_reported = 0
         self.samples_emitted = 0
         self.rejections = 0
+        self.cached_reads = 0
         self._last_block = None
 
     def snapshot(self) -> "CostCounter":
@@ -94,6 +106,7 @@ class CostCounter:
             points_reported=self.points_reported,
             samples_emitted=self.samples_emitted,
             rejections=self.rejections,
+            cached_reads=self.cached_reads,
             _last_block=self._last_block,
         )
 
@@ -116,6 +129,7 @@ class CostCounter:
             points_reported=self.points_reported - earlier.points_reported,
             samples_emitted=self.samples_emitted - earlier.samples_emitted,
             rejections=self.rejections - earlier.rejections,
+            cached_reads=self.cached_reads - earlier.cached_reads,
         )
 
     def merge(self, other: "CostCounter") -> None:
@@ -129,6 +143,7 @@ class CostCounter:
         self.points_reported += other.points_reported
         self.samples_emitted += other.samples_emitted
         self.rejections += other.rejections
+        self.cached_reads += other.cached_reads
         self._last_block = None
 
     def as_dict(self) -> dict[str, int]:
@@ -141,6 +156,7 @@ class CostCounter:
             "points_reported": self.points_reported,
             "samples_emitted": self.samples_emitted,
             "rejections": self.rejections,
+            "cached_reads": self.cached_reads,
         }
 
 
@@ -157,13 +173,18 @@ class CostModel:
     sequential_read_seconds: float = 80e-6
     entry_scan_seconds: float = 10e-9
     per_sample_cpu_seconds: float = 100e-9
+    #: A read answered by an in-memory cache (canonical-set cache, DFS
+    #: block cache): roughly one RAM round trip, five orders of
+    #: magnitude under a random disk read.
+    cached_read_seconds: float = 250e-9
 
     def simulated_seconds(self, cost: CostCounter) -> float:
         """Convert tallies to simulated seconds under these constants."""
         return (cost.random_reads * self.random_read_seconds
                 + cost.sequential_reads * self.sequential_read_seconds
                 + cost.leaf_entries_scanned * self.entry_scan_seconds
-                + cost.samples_emitted * self.per_sample_cpu_seconds)
+                + cost.samples_emitted * self.per_sample_cpu_seconds
+                + cost.cached_reads * self.cached_read_seconds)
 
 
 DEFAULT_COST_MODEL = CostModel()

@@ -23,12 +23,14 @@ scans "sequential" under the cost model).
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.geometry import Point, Rect
 from repro.errors import IndexError_
 from repro.index.cost import CostCounter
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["Entry", "Node", "RTree", "CanonicalSet"]
 
@@ -138,10 +140,20 @@ class RTree:
         model disk-block fanout; the benchmarks use the defaults.
     min_fill:
         Minimum fill fraction before a node is condensed on delete.
+    canonical_cache_size:
+        How many query rects' canonical sets to keep (LRU).  Repeated
+        or refined interactive queries hit the cache and skip the
+        root-to-leaf decomposition walk entirely; 0 disables caching.
+        Any structural change (insert/delete/bulk load) bumps
+        ``version``, which invalidates every cached entry at once.
     """
 
+    #: Maximum cached canonical sets per tree (LRU beyond this).
+    DEFAULT_CANONICAL_CACHE = 128
+
     def __init__(self, dims: int, leaf_capacity: int = 64,
-                 branch_capacity: int = 16, min_fill: float = 0.4):
+                 branch_capacity: int = 16, min_fill: float = 0.4,
+                 canonical_cache_size: int | None = None):
         if dims < 1:
             raise IndexError_("dims must be >= 1")
         if leaf_capacity < 2 or branch_capacity < 2:
@@ -158,6 +170,30 @@ class RTree:
         self.root: Node | None = None
         self.size = 0
         self.height = 0
+        #: Observability sink (datasets rebind it); cache hit/miss
+        #: counters flow here when a live registry is attached.
+        self.obs: Observability = NULL_OBS
+        #: Structural version: bumped by every insert/delete/bulk load.
+        #: Cached canonical sets are valid only for the version they
+        #: were computed at.
+        self.version = 0
+        self._canon_capacity = self.DEFAULT_CANONICAL_CACHE \
+            if canonical_cache_size is None else canonical_cache_size
+        # query rect -> (version at compute time, canonical set)
+        self._canon_cache: "OrderedDict[Rect, tuple[int, CanonicalSet]]" \
+            = OrderedDict()
+        self.canon_hits = 0
+        self.canon_misses = 0
+
+    def bind_observability(self, obs: Observability) -> None:
+        """Attach a live registry/tracer pair (datasets do this)."""
+        self.obs = obs
+
+    def _bump_version(self) -> None:
+        """Invalidate cached canonical sets after a structural change."""
+        self.version += 1
+        if self._canon_cache:
+            self._canon_cache.clear()
 
     # ------------------------------------------------------------------
     # construction
@@ -190,6 +226,7 @@ class RTree:
             if len(e.point) != self.dims:
                 raise IndexError_(
                     f"point {e.point} has wrong dimensionality")
+        self._bump_version()
         self._next_node_id = 0
         self.size = len(entries)
         if not entries:
@@ -228,6 +265,7 @@ class RTree:
         entry = Entry(item_id, tuple(float(c) for c in point))
         if len(entry.point) != self.dims:
             raise IndexError_("point has wrong dimensionality")
+        self._bump_version()
         if self.root is None:
             self.root = self._new_leaf([entry])
             self.height = 1
@@ -326,6 +364,7 @@ class RTree:
         leaf = self._find_leaf(self.root, item_id, pt)
         if leaf is None:
             return False
+        self._bump_version()
         leaf.entries = [e for e in leaf.entries  # type: ignore[union-attr]
                         if not (e.item_id == item_id and e.point == pt)]
         self.size -= 1
@@ -447,8 +486,37 @@ class RTree:
         This is the ``R_Q`` of the paper: the lazy exploration stops at any
         node fully inside the query, so the decomposition touches
         ``O(r(N))`` nodes instead of the whole in-range subtree.
+
+        Results are cached per query rect (LRU, ``canonical_cache_size``
+        entries) and keyed to the tree ``version``, so a repeated
+        interactive query skips the walk entirely; a hit charges one
+        cached read instead of the node reads of the walk.  Callers
+        must not mutate the returned node/residual lists.
         """
         cost = cost if cost is not None else self.cost
+        cached = self._canon_cache.get(query)
+        if cached is not None and cached[0] == self.version:
+            self._canon_cache.move_to_end(query)
+            self.canon_hits += 1
+            cost.charge_cached()
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter("storm.cache.canonical.hits").inc()
+            return cached[1]
+        self.canon_misses += 1
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.cache.canonical.misses").inc()
+        result = self._compute_canonical_set(query, cost)
+        if self._canon_capacity > 0:
+            self._canon_cache[query] = (self.version, result)
+            self._canon_cache.move_to_end(query)
+            while len(self._canon_cache) > self._canon_capacity:
+                self._canon_cache.popitem(last=False)
+        return result
+
+    def _compute_canonical_set(self, query: Rect, cost: CostCounter
+                               ) -> CanonicalSet:
         nodes: list[Node] = []
         residual: list[Entry] = []
         if self.root is None:

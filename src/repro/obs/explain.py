@@ -31,13 +31,18 @@ def phase_costs(root: Span,
 
 
 def render_explain(plan_text: str, root: Span | None, final,
-                   model: CostModel = DEFAULT_COST_MODEL) -> str:
+                   model: CostModel = DEFAULT_COST_MODEL,
+                   caches: "dict[str, tuple[int, int]] | None" = None
+                   ) -> str:
     """The full EXPLAIN report for one executed query.
 
     ``plan_text`` is the optimizer's scoring (or a note that the method
     was forced), ``root`` the query's root span (None when tracing was
     off), ``final`` the session's last
-    :class:`~repro.core.session.ProgressPoint`.
+    :class:`~repro.core.session.ProgressPoint`.  ``caches`` maps a
+    cache name (e.g. ``"canonical-set"``, ``"dfs-block"``) to its
+    (hits, misses) delta for this query; caches with zero lookups are
+    skipped.
     """
     lines = ["plan:"]
     lines.extend("  " + line for line in plan_text.splitlines())
@@ -60,6 +65,18 @@ def render_explain(plan_text: str, root: Span | None, final,
             lines.append(
                 f"network: messages={root.net.messages}"
                 f" payload_bytes={root.net.payload_bytes}")
+    if caches:
+        rows = [(name, hits, misses)
+                for name, (hits, misses) in caches.items()
+                if hits + misses > 0]
+        if rows:
+            lines.append("caches:")
+            width = max(len(name) for name, _, _ in rows)
+            for name, hits, misses in rows:
+                rate = hits / (hits + misses)
+                lines.append(
+                    f"  {name:<{width}}  hits={hits} misses={misses}"
+                    f" hit_rate={rate:.1%}")
     if final is not None:
         est = final.estimate
         outcome = f"stop: {final.reason or 'user stop'}"

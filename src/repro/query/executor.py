@@ -218,9 +218,26 @@ class QueryExecutor:
             shared = self.obs.registry \
                 if self.obs.registry.enabled else None
             local = Observability(registry=shared, tracer=Tracer())
+        tree = dataset.tree
+        canon_before = (tree.canon_hits, tree.canon_misses)
+        registry = local.registry
+        if registry.enabled:
+            dfs_before = (
+                registry.counter("storm.dfs.cache.hits").value,
+                registry.counter("storm.dfs.cache.misses").value)
         result = self.execute(spec, obs=local)
         assert result.final is not None
-        return render_explain(plan_text, result.trace, result.final)
+        caches = {"canonical-set": (
+            tree.canon_hits - canon_before[0],
+            tree.canon_misses - canon_before[1])}
+        if registry.enabled:
+            caches["dfs-block"] = (
+                registry.counter("storm.dfs.cache.hits").value
+                - dfs_before[0],
+                registry.counter("storm.dfs.cache.misses").value
+                - dfs_before[1])
+        return render_explain(plan_text, result.trace, result.final,
+                              caches=caches)
 
     def session(self, query: "str | QuerySpec"):
         """The interactive path: an OnlineQuerySession the caller drives
