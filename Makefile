@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke
+.PHONY: test lint bench bench-smoke chaos-smoke check-links
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -13,3 +13,9 @@ bench:
 
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.smoke BENCH_sampling.json
+
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.chaos BENCH_chaos.json
+
+check-links:
+	$(PYTHON) tools/check_links.py

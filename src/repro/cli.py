@@ -31,7 +31,9 @@ import random
 import sys
 
 from repro.core.engine import StormEngine
+from repro.distributed.dataset import DistributedDataset
 from repro.errors import StormError
+from repro.faults import FaultPlan
 from repro.obs import (NULL_OBS, Observability, render_dashboard,
                        write_jsonl)
 from repro.query.executor import QueryExecutor
@@ -53,8 +55,16 @@ _WORKLOADS = {
 
 
 def build_engine(datasets: list[str], n: int, seed: int,
-                 obs: Observability | None = None) -> StormEngine:
-    """Load the named synthetic datasets into a fresh engine."""
+                 obs: Observability | None = None,
+                 workers: int = 0, replication: int = 1,
+                 faults: "FaultPlan | None" = None) -> StormEngine:
+    """Load the named synthetic datasets into a fresh engine.
+
+    ``workers > 0`` shards each dataset across a simulated cluster of
+    that many workers (``replication`` copies per shard) instead of
+    building a local index; ``faults`` attaches a fault-injection plan
+    to every cluster (see :mod:`repro.faults`).
+    """
     engine = StormEngine(seed=seed, obs=obs)
     for name in datasets:
         maker = _WORKLOADS.get(name)
@@ -62,7 +72,14 @@ def build_engine(datasets: list[str], n: int, seed: int,
             raise StormError(
                 f"unknown dataset {name!r}; pick from "
                 f"{sorted(_WORKLOADS)}")
-        engine.create_dataset(name, maker(n, seed))
+        records = maker(n, seed)
+        if workers > 0:
+            engine.register(DistributedDataset(
+                name, records, n_workers=workers,
+                replication=replication, faults=faults, seed=seed,
+                obs=engine.obs))
+        else:
+            engine.create_dataset(name, records)
     return engine
 
 
@@ -88,12 +105,40 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", metavar="FILE",
                         help="append per-query span trees and a metrics "
                              "snapshot to FILE as JSONL")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="shard each dataset across N simulated "
+                             "workers (0 = local index, the default)")
+    parser.add_argument("--replication", type=int, default=1,
+                        help="copies of each shard when --workers is "
+                             "set (failover targets; default 1)")
+    parser.add_argument("--fault-plan", metavar="FILE",
+                        help="JSON fault-injection plan applied to the "
+                             "cluster (see docs/fault_tolerance.md); "
+                             "needs --workers")
     args = parser.parse_args(argv)
     datasets = args.dataset or ["osm"]
+    faults = None
+    if args.fault_plan:
+        if args.workers <= 0:
+            print("error: --fault-plan needs --workers",
+                  file=sys.stderr)
+            return 1
+        try:
+            faults = FaultPlan.from_json(args.fault_plan)
+        except StormError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     # Instrumentation is opt-in: only --trace / stats pay for it.
     obs = Observability() if (args.trace or stats_mode) else NULL_OBS
     print(f"loading {datasets} with n={args.n} ...", file=sys.stderr)
-    engine = build_engine(datasets, args.n, args.seed, obs=obs)
+    try:
+        engine = build_engine(datasets, args.n, args.seed, obs=obs,
+                              workers=args.workers,
+                              replication=args.replication,
+                              faults=faults)
+    except StormError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     executor = QueryExecutor(engine, rng=random.Random(args.seed))
     trace_file = None
     if args.trace:

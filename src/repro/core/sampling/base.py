@@ -56,6 +56,14 @@ class SpatialSampler(ABC):
     #: samplers pay nothing.
     obs: Observability = NULL_OBS
 
+    #: Reachable fraction of the last stream's population.  Local
+    #: samplers always see everything (1.0); fault-tolerant distributed
+    #: samplers lower it when a shard becomes unreachable and no
+    #: replica holds a copy (graceful degradation), so sessions and
+    #: estimators can report honestly instead of silently under-
+    #: covering.  See ``docs/fault_tolerance.md``.
+    coverage: float = 1.0
+
     def bind_observability(self, obs: Observability) -> None:
         """Attach a live registry/tracer pair (datasets do this)."""
         self.obs = obs

@@ -71,6 +71,10 @@ class ProgressPoint:
     cost: CostCounter
     done: bool = False
     reason: str = ""
+    #: Reachable fraction of the queried population (< 1.0 only when a
+    #: fault-tolerant sampler degraded gracefully — samples are then
+    #: uniform over the *reachable* part; see docs/fault_tolerance.md).
+    coverage: float = 1.0
 
 
 class OnlineQuerySession:
@@ -111,6 +115,11 @@ class OnlineQuerySession:
 
     # ------------------------------------------------------------------
 
+    def _coverage(self) -> float:
+        """The sampler's reachable-population fraction (1.0 for local
+        samplers; < 1.0 after graceful degradation)."""
+        return getattr(self.sampler, "coverage", 1.0)
+
     def _current_estimate(self, level: float) -> Estimate | None:
         try:
             return self.estimator.estimate(level)
@@ -120,6 +129,11 @@ class OnlineQuerySession:
     def _met(self, stop: StopCondition, estimate: Estimate | None,
              elapsed: float, k: int, q: int) -> str:
         if k >= q and not self.with_replacement:
+            coverage = self._coverage()
+            if coverage < 1.0:
+                # q only counted reachable shards: the result is exact
+                # over what the cluster could reach, not the world.
+                return f"exhausted (coverage {coverage:.0%})"
             return "exhausted (exact result)"
         if stop.max_samples is not None and k >= stop.max_samples:
             return "sample budget reached"
@@ -213,7 +227,7 @@ class OnlineQuerySession:
                         Estimate(value=None, std_error=None,
                                  interval=None, k=self._k, q=q),
                         cost=self.cost.snapshot(), done=True,
-                        reason=reason)
+                        reason=reason, coverage=self._coverage())
                     return
             assert self._stream is not None
             k_before = self._k
@@ -248,7 +262,8 @@ class OnlineQuerySession:
                             else Estimate(value=None, std_error=None,
                                           interval=None, k=k, q=q),
                             cost=self.cost.snapshot(),
-                            done=bool(reason), reason=reason)
+                            done=bool(reason), reason=reason,
+                            coverage=self._coverage())
                     if reason:
                         qspan.set("reason", reason)
                         if k >= q and not self.with_replacement:
@@ -260,6 +275,25 @@ class OnlineQuerySession:
                             self._exhausted = True
                         return
                 self._exhausted = True
+                if self._k < q and not self.with_replacement:
+                    # The stream ended before covering q: a fault-
+                    # tolerant sampler dropped unreachable shards
+                    # (graceful degradation).  Report the shortfall
+                    # honestly instead of going silent.
+                    coverage = self._coverage()
+                    reason = (f"stream exhausted "
+                              f"(coverage {coverage:.0%})")
+                    qspan.set("reason", reason)
+                    qspan.set("coverage", coverage)
+                    elapsed = self.clock() - self._start
+                    estimate = self._current_estimate(stop.level)
+                    yield ProgressPoint(
+                        k=self._k, elapsed=elapsed,
+                        estimate=estimate if estimate is not None
+                        else Estimate(value=None, std_error=None,
+                                      interval=None, k=self._k, q=q),
+                        cost=self.cost.snapshot(), done=True,
+                        reason=reason, coverage=coverage)
             finally:
                 sspan.set("k", self._k - k_before)
                 tracer.end(sspan)
@@ -270,6 +304,8 @@ class OnlineQuerySession:
                                          self._k - k_before)
         finally:
             qspan.set("k", self._k)
+            if self._coverage() < 1.0:
+                qspan.set("coverage", self._coverage())
             tracer.end(qspan)
             if registry.enabled and qspan.attrs.get("reason"):
                 registry.counter("storm.session.stops",

@@ -19,7 +19,8 @@ from repro.core.session import OnlineQuerySession
 from repro.distributed.cluster import NetworkModel
 from repro.distributed.dist_index import DistributedSTIndex
 from repro.distributed.dist_sampler import DistributedSampler
-from repro.errors import ClusterError, StormError
+from repro.errors import StormError
+from repro.faults import FaultPlan
 from repro.obs import NULL_OBS, Observability
 
 __all__ = ["DistributedDataset"]
@@ -32,6 +33,9 @@ class DistributedDataset:
                  n_workers: int = 4, dims: int = 3,
                  sampler_kind: str = "rs", batch_size: int = 32,
                  network: NetworkModel | None = None, seed: int = 0,
+                 replication: int = 1,
+                 faults: "FaultPlan | None" = None,
+                 max_retries: int = 3, backoff_seconds: float = 0.05,
                  obs: Observability | None = None, **worker_kwargs):
         self.name = name
         self.dims = dims
@@ -40,9 +44,12 @@ class DistributedDataset:
                                         dims=dims, network=network,
                                         seed=seed,
                                         sampler_kind=sampler_kind,
+                                        replication=replication,
+                                        faults=faults,
                                         **worker_kwargs)
-        self.sampler = DistributedSampler(self.index,
-                                          batch_size=batch_size)
+        self.sampler = DistributedSampler(
+            self.index, batch_size=batch_size,
+            max_retries=max_retries, backoff_seconds=backoff_seconds)
         self.sampler.bind_observability(self.obs)
         self.obs.registry.gauge("storm.dataset.records",
                                 dataset=name).set(len(self.index))
@@ -56,6 +63,10 @@ class DistributedDataset:
     def cluster(self):
         """The underlying simulated cluster."""
         return self.index.cluster
+
+    def set_fault_plan(self, faults: "FaultPlan | None") -> None:
+        """(Re-)attach a fault plan to every worker in the cluster."""
+        self.index.cluster.set_fault_plan(faults)
 
     def lookup(self, record_id: int) -> Record:
         """Fetch a record from its owning worker."""

@@ -7,9 +7,12 @@ from typing import Iterable
 from repro.core.geometry import Rect
 from repro.core.records import Record, STRange
 from repro.distributed.cluster import (MESSAGE_HEADER_BYTES,
-                                       NetworkModel, SimulatedCluster)
+                                       NetworkModel, SimulatedCluster,
+                                       Worker)
 from repro.distributed.partitioner import HilbertRangePartitioner
-from repro.errors import ClusterError
+from repro.errors import (ClusterError, NetworkTimeoutError,
+                          WorkerUnavailableError)
+from repro.faults import FaultPlan
 
 __all__ = ["DistributedSTIndex"]
 
@@ -21,12 +24,19 @@ class DistributedSTIndex:
     R-tree (+ RS sampler) per worker.  Queries fan out to workers whose
     shard MBR intersects; updates route by partition key.  All control
     messages charge the cluster's network stats.
+
+    ``replication=k`` additionally loads a copy of every shard onto the
+    next k - 1 workers around the ring (the partitioner's chained
+    placement): counts and streams fail over to a replica holder when
+    the primary is unreachable, and lookups follow.  ``faults`` attaches
+    a :class:`~repro.faults.FaultPlan` to the whole cluster.
     """
 
     def __init__(self, records: Iterable[Record], n_workers: int = 4,
                  dims: int = 3, bounds: Rect | None = None,
                  network: NetworkModel | None = None, seed: int = 0,
-                 **worker_kwargs):
+                 replication: int = 1,
+                 faults: FaultPlan | None = None, **worker_kwargs):
         materialised = list(records)
         if not materialised:
             raise ClusterError("cannot build an empty distributed index")
@@ -40,14 +50,19 @@ class DistributedSTIndex:
                       for l, h in zip(base.lo, base.hi)]
             bounds = Rect(pad_lo, pad_hi)
         self.bounds = bounds
-        self.partitioner = HilbertRangePartitioner(bounds, n_workers,
-                                                   dims=dims)
+        self.replication = replication
+        self.partitioner = HilbertRangePartitioner(
+            bounds, n_workers, dims=dims, replication=replication)
         self.cluster = SimulatedCluster(n_workers, bounds, dims=dims,
                                         network=network, seed=seed,
-                                        **worker_kwargs)
+                                        faults=faults, **worker_kwargs)
         shards = self.partitioner.split(materialised)
         for worker, shard in zip(self.cluster.workers, shards):
             worker.load(shard)
+        for shard_id, shard in enumerate(shards):
+            for holder in self.partitioner.placement(shard_id)[1:]:
+                self.cluster.workers[holder].host_replica(shard_id,
+                                                          shard)
 
     # -- helpers ---------------------------------------------------------
 
@@ -65,27 +80,87 @@ class DistributedSTIndex:
                 out.append(worker)
         return out
 
+    def replica_holders(self, owner_id: int,
+                        exclude: "Worker | None" = None
+                        ) -> list[Worker]:
+        """Live workers hosting a copy of a shard (failover targets)."""
+        out = []
+        for holder_id in self.partitioner.placement(owner_id)[1:]:
+            holder = self.cluster.workers[holder_id]
+            if holder is exclude or holder.down:
+                continue
+            if holder.has_replica(owner_id):
+                out.append(holder)
+        return out
+
     # -- queries -----------------------------------------------------------
 
+    def count_on(self, worker: Worker, rect: Rect) -> int:
+        """One worker's in-range count, failing over to a replica
+        holder when the primary is unreachable.
+
+        Raises :class:`~repro.errors.WorkerUnavailableError` when the
+        shard is unreachable everywhere (degraded-coverage territory —
+        the caller decides how honest to be about it).
+        """
+        try:
+            self.cluster.charge_network(
+                messages=2, payload_bytes=2 * MESSAGE_HEADER_BYTES,
+                node=worker.node)
+            return worker.range_count(rect)
+        except (WorkerUnavailableError, NetworkTimeoutError):
+            pass
+        for holder in self.replica_holders(worker.worker_id,
+                                           exclude=worker):
+            try:
+                self.cluster.charge_network(
+                    messages=2, payload_bytes=2 * MESSAGE_HEADER_BYTES,
+                    node=holder.node)
+                return holder.replica_range_count(worker.worker_id,
+                                                  rect)
+            except (WorkerUnavailableError, NetworkTimeoutError):
+                continue
+        raise WorkerUnavailableError(
+            f"shard {worker.worker_id} unreachable: primary and "
+            f"{self.replication - 1} replica(s) all failed")
+
     def range_count(self, query: "Rect | STRange") -> int:
-        """Exact distributed count (one round trip to touched workers)."""
+        """Exact distributed count (one round trip per touched worker,
+        replica failover per shard; unreachable shards are *skipped*,
+        so a degraded count honestly reflects only reachable data)."""
         rect = self.to_rect(query)
         total = 0
         for worker in self._intersecting_workers(rect):
-            self.cluster.network.charge(
-                messages=2, payload_bytes=2 * MESSAGE_HEADER_BYTES)
-            total += worker.range_count(rect)
+            try:
+                total += self.count_on(worker, rect)
+            except WorkerUnavailableError:
+                continue
         return total
 
     def lookup(self, record_id: int) -> Record:
-        """Fetch a record from whichever worker owns it."""
+        """Fetch a record from whichever worker owns it, falling back
+        to a replica holder when the owner is down."""
         for worker in self.cluster.workers:
             record = worker.records.get(record_id)
-            if record is not None:
+            if record is None:
+                continue
+            if not worker.down:
                 self.cluster.network.charge(
                     messages=2,
                     payload_bytes=MESSAGE_HEADER_BYTES + 120)
                 return record
+            for holder in self.replica_holders(worker.worker_id,
+                                               exclude=worker):
+                replica = holder.replica_record(worker.worker_id,
+                                                record_id)
+                if replica is not None:
+                    self.cluster.network.charge(
+                        messages=2,
+                        payload_bytes=MESSAGE_HEADER_BYTES + 120)
+                    return replica
+            raise WorkerUnavailableError(
+                f"record {record_id} is on downed worker "
+                f"{worker.worker_id} and no live replica holds it")
         raise ClusterError(f"record {record_id} not in the cluster")
 
     def __len__(self) -> int:
@@ -94,17 +169,32 @@ class DistributedSTIndex:
     # -- updates -------------------------------------------------------------
 
     def insert(self, record: Record) -> None:
-        """Route one record to its Hilbert-range shard."""
+        """Route one record to its Hilbert-range shard (and any replica
+        holders, so failover never serves a stale shard)."""
         shard = self.partitioner.shard_of(record)
         self.cluster.network.charge(
             messages=2, payload_bytes=MESSAGE_HEADER_BYTES + 120)
         self.cluster.workers[shard].insert(record)
+        for holder_id in self.partitioner.placement(shard)[1:]:
+            holder = self.cluster.workers[holder_id]
+            self.cluster.network.charge(
+                messages=2, payload_bytes=MESSAGE_HEADER_BYTES + 120)
+            holder.replica_insert(shard, record)
 
     def delete(self, record_id: int) -> bool:
         """Delete by id (broadcast; routing needs the key we don't have)."""
+        found = False
         for worker in self.cluster.workers:
             self.cluster.network.charge(
                 messages=2, payload_bytes=2 * MESSAGE_HEADER_BYTES)
             if worker.delete(record_id):
-                return True
-        return False
+                found = True
+                for holder_id in self.partitioner.placement(
+                        worker.worker_id)[1:]:
+                    holder = self.cluster.workers[holder_id]
+                    self.cluster.network.charge(
+                        messages=2,
+                        payload_bytes=2 * MESSAGE_HEADER_BYTES)
+                    holder.replica_delete(worker.worker_id, record_id)
+                break
+        return found

@@ -18,25 +18,69 @@ batching only reorders *when* the worker computes its stream, not
 *what* it returns.  Worker selection runs on a Fenwick tree over the
 remaining per-shard counts: O(log #workers) per draw, exact at every
 step.
+
+**Fault tolerance** (see ``docs/fault_tolerance.md``).  Every worker
+exchange can fail — a crashed worker, an injected error, a network
+timeout.  The coordinator recovers in three escalating steps:
+
+1. *retry with exponential backoff* (simulated seconds, not wall
+   clock): transient faults usually clear within ``max_retries``;
+2. *failover*: re-open the shard's stream — on the primary if it came
+   back (its old stream handle died with it), else on a live replica
+   holder (``replication=k`` on the index).  The fresh stream replays
+   the whole shard, so the coordinator filters out entries it already
+   emitted; a uniform permutation restricted to the not-yet-emitted
+   subset is a uniform permutation of that subset, so the merged
+   stream stays exactly uniform;
+3. *graceful degradation*: with no copy reachable, the shard's
+   remaining weight is removed from the Fenwick tree — the surviving
+   stream is uniform over the *reachable* population — and
+   :attr:`coverage` drops below 1.0 so estimators can report honestly.
+
+Fault/failover/retry events flow to ``storm.cluster.fault.*`` counters
+and onto the ``dist_fanout`` span; backoff pauses are added to the
+query's simulated seconds.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.core.geometry import Rect
 from repro.core.records import STRange
 from repro.core.sampling.base import SpatialSampler
 from repro.core.sampling.weighted import FenwickSampler
 from repro.distributed.cluster import (MESSAGE_HEADER_BYTES,
-                                       RECORD_WIRE_BYTES)
+                                       RECORD_WIRE_BYTES, Worker)
 from repro.distributed.dist_index import DistributedSTIndex
-from repro.errors import ClusterError
+from repro.errors import (ClusterError, NetworkTimeoutError,
+                          StreamLostError, WorkerUnavailableError)
 from repro.index.cost import CostCounter, CostModel, DEFAULT_COST_MODEL
 from repro.index.rtree import Entry
 
 __all__ = ["DistributedSampler"]
+
+#: Exceptions worth retrying in place (the peer may come back).
+_RETRYABLE = (WorkerUnavailableError, NetworkTimeoutError)
+
+
+class _Source:
+    """Coordinator-side state of one shard's stream."""
+
+    __slots__ = ("owner", "serving", "handle", "remaining", "buffer",
+                 "next_batch", "emitted")
+
+    def __init__(self, owner: Worker, remaining: int, batch_size: int):
+        self.owner = owner
+        self.serving: Worker | None = None
+        self.handle: int | None = None
+        self.remaining = remaining
+        self.buffer: list[Entry] = []
+        self.next_batch = batch_size
+        #: item ids already yielded from this shard — a re-opened
+        #: stream replays the shard, so these are filtered out.
+        self.emitted: set[int] = set()
 
 
 class DistributedSampler(SpatialSampler):
@@ -45,22 +89,39 @@ class DistributedSampler(SpatialSampler):
     Subclassing :class:`SpatialSampler` gives it the instrumented
     ``open_stream`` entry point, so distributed sessions are traced and
     metered exactly like local ones; each stream additionally opens a
-    ``dist_fanout`` span carrying the network delta and the merged
-    per-worker index cost delta.
+    ``dist_fanout`` span carrying the network delta, the merged
+    per-worker index cost delta and the fault/failover tallies.
     """
 
     name = "distributed-rs"
 
     def __init__(self, index: DistributedSTIndex, batch_size: int = 32,
-                 max_batch_size: int = 1024):
+                 max_batch_size: int = 1024, max_retries: int = 3,
+                 backoff_seconds: float = 0.05,
+                 backoff_factor: float = 2.0):
         if batch_size < 1:
             raise ClusterError("batch_size must be >= 1")
         if max_batch_size < batch_size:
             raise ClusterError("max_batch_size must be >= batch_size")
+        if max_retries < 0:
+            raise ClusterError("max_retries cannot be negative")
+        if backoff_seconds < 0 or backoff_factor < 1.0:
+            raise ClusterError(
+                "backoff needs seconds >= 0 and factor >= 1")
         self.index = index
         self.batch_size = batch_size
         self.max_batch_size = max_batch_size
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_factor = backoff_factor
         self._last_query_seconds: float | None = None
+        #: Reachable fraction of the last stream's known population
+        #: (1.0 unless graceful degradation dropped a shard).
+        self.coverage: float = 1.0
+        # Per-stream fault tallies (exposed for EXPLAIN / tests).
+        # Rebound to the live tally dict each stream, so it is current
+        # even while the stream is still open.
+        self.last_faults: dict[str, float] = {}
 
     def range_count(self, query: "Rect | STRange",
                     cost: "CostCounter | None" = None) -> int:
@@ -68,11 +129,111 @@ class DistributedSampler(SpatialSampler):
         cluster does its own per-worker/network accounting."""
         return self.index.range_count(query)
 
+    # -- fault-handling helpers -------------------------------------------
+
+    def _with_retry(self, fn: Callable, tallies: dict[str, int]
+                    ) -> object:
+        """Run one exchange, retrying transient faults with
+        exponential backoff (accounted in simulated seconds)."""
+        registry = self.obs.registry
+        delay = self.backoff_seconds
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except _RETRYABLE:
+                tallies["errors"] += 1
+                if registry.enabled:
+                    registry.counter("storm.cluster.fault.errors").inc()
+                if attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                tallies["retries"] += 1
+                tallies["backoff_seconds"] += delay
+                delay *= self.backoff_factor
+                if registry.enabled:
+                    registry.counter(
+                        "storm.cluster.fault.retries").inc()
+
+    def _acquire_stream(self, src: _Source, rect: Rect,
+                        rng: random.Random,
+                        tallies: dict[str, float]) -> bool:
+        """(Re-)open a shard's stream: primary first, then any live
+        replica holder, each attempted with the retry/backoff policy
+        (a transient fault should not cost a shard its stream).
+        Returns False when no copy is reachable."""
+        cluster = self.index.cluster
+        if src.handle is not None and src.serving is not None:
+            # Drop the dead stream's handle; a crashed worker already
+            # lost it, but a live worker that merely erred must not
+            # leak the old generator.
+            src.serving.close_stream(src.handle)
+            src.handle = None
+        candidates: list[tuple[Worker, int | None]] = []
+        if not src.owner.down:
+            candidates.append((src.owner, None))
+        for holder in self.index.replica_holders(src.owner.worker_id,
+                                                 exclude=src.owner):
+            candidates.append((holder, src.owner.worker_id))
+        for serving, owner_id in candidates:
+            def open_once():
+                cluster.charge_network(
+                    messages=2, payload_bytes=2 * MESSAGE_HEADER_BYTES,
+                    node=serving.node)
+                if owner_id is None:
+                    return serving.open_stream(rect,
+                                               rng.getrandbits(32))
+                return serving.open_replica_stream(
+                    owner_id, rect, rng.getrandbits(32))
+
+            try:
+                handle = self._with_retry(open_once, tallies)
+            except _RETRYABLE:
+                continue
+            src.serving = serving
+            src.handle = handle
+            src.buffer = []
+            return True
+        return False
+
+    def _fetch_fresh(self, src: _Source, want: int,
+                     tallies: dict[str, int]) -> list[Entry]:
+        """Fetch up to ``want`` not-yet-emitted entries from the
+        shard's current stream (a re-opened stream replays the shard,
+        so already-emitted entries are dropped here)."""
+        cluster = self.index.cluster
+        out: list[Entry] = []
+        while len(out) < want:
+            ask = want - len(out)
+
+            def exchange():
+                # Headers first (the timeout applies to the request);
+                # the response payload is tallied after it arrives.
+                cluster.charge_network(
+                    messages=2, payload_bytes=MESSAGE_HEADER_BYTES,
+                    node=src.serving.node)
+                return src.serving.fetch_batch(src.handle, ask)
+
+            batch = self._with_retry(exchange, tallies)
+            cluster.network.charge(
+                messages=0,
+                payload_bytes=len(batch) * RECORD_WIRE_BYTES)
+            if not batch:
+                break
+            out.extend(e for e in batch
+                       if e.item_id not in src.emitted)
+            if len(batch) < ask:
+                break  # the stream is exhausted
+        return out
+
+    # -- the merged stream -------------------------------------------------
+
     def sample_stream(self, query: "Rect | STRange",
                       rng: random.Random,
                       cost: "CostCounter | None" = None
                       ) -> Iterator[Entry]:
-        """Uniform without-replacement samples of the global range."""
+        """Uniform without-replacement samples of the global range
+        (of the *reachable* range under faults — see ``coverage``)."""
         rect = self.index.to_rect(query)
         cluster = self.index.cluster
         workers = self.index._intersecting_workers(rect)
@@ -81,63 +242,141 @@ class DistributedSampler(SpatialSampler):
         span = self.obs.tracer.begin(
             "dist_fanout", workers=len(workers),
             cost=cluster.total_worker_cost, net=cluster.network)
-        remaining: list[int] = []
-        handles: list[int] = []
-        buffers: list[list[Entry]] = []
-        next_batch: list[int] = []
+        registry = self.obs.registry
+        tallies: dict[str, float] = {
+            "errors": 0, "retries": 0, "failovers": 0, "degraded": 0,
+            "backoff_seconds": 0.0}
+        self.last_faults = tallies  # live view; final after close
+        self.coverage = 1.0
+        known_total = 0
+        lost = 0
+        unknown_shards = 0
+        counted_shards = 0
+        sources: list[_Source] = []
         for worker in workers:
-            cluster.network.charge(
-                messages=2, payload_bytes=2 * MESSAGE_HEADER_BYTES)
-            remaining.append(worker.range_count(rect))
-            handles.append(worker.open_stream(rect,
-                                              rng.getrandbits(32)))
-            buffers.append([])
-            next_batch.append(self.batch_size)
-        fen = FenwickSampler(remaining)
+            try:
+                count = self._with_retry(
+                    lambda: self.index.count_on(worker, rect), tallies)
+            except WorkerUnavailableError:
+                # The shard died before we could even count it: its
+                # in-range population is unknown.  It still must drag
+                # coverage down, so it enters the denominator with an
+                # estimated count below (the mean of the reachable
+                # shards' counts — Hilbert sharding balances shard
+                # sizes, see docs/fault_tolerance.md).
+                unknown_shards += 1
+                tallies["degraded"] += 1
+                if registry.enabled:
+                    registry.counter(
+                        "storm.cluster.fault.degraded").inc()
+                continue
+            counted_shards += 1
+            if count == 0:
+                continue
+            known_total += count
+            src = _Source(worker, count, self.batch_size)
+            if not self._acquire_stream(src, rect, rng, tallies):
+                lost += count
+                tallies["degraded"] += 1
+                if registry.enabled:
+                    registry.counter(
+                        "storm.cluster.fault.degraded").inc()
+                continue
+            if src.serving is not src.owner:
+                tallies["failovers"] += 1
+                if registry.enabled:
+                    registry.counter(
+                        "storm.cluster.fault.failovers").inc()
+            sources.append(src)
+        fen = FenwickSampler([src.remaining for src in sources])
+        if unknown_shards:
+            if counted_shards and known_total:
+                per_shard = known_total / counted_shards
+                estimated = per_shard * unknown_shards
+                known_total += estimated
+                lost += estimated
+            else:
+                # Nothing reachable at all: coverage collapses.
+                known_total, lost = 1, 1
+        if known_total:
+            self.coverage = (known_total - lost) / known_total
         try:
             while fen.total > 0:
                 idx = fen.sample(rng)
-                if not buffers[idx]:
-                    want = min(next_batch[idx], remaining[idx])
-                    batch = workers[idx].fetch_batch(handles[idx], want)
-                    cluster.network.charge(
-                        messages=2,
-                        payload_bytes=(MESSAGE_HEADER_BYTES
-                                       + len(batch)
-                                       * RECORD_WIRE_BYTES))
+                src = sources[idx]
+                if not src.buffer:
+                    want = min(src.next_batch, src.remaining)
+                    try:
+                        batch = self._fetch_fresh(src, want, tallies)
+                    except (*_RETRYABLE, StreamLostError):
+                        if self._acquire_stream(src, rect, rng,
+                                                tallies):
+                            tallies["failovers"] += 1
+                            if registry.enabled:
+                                registry.counter(
+                                    "storm.cluster.fault.failovers"
+                                ).inc()
+                        else:
+                            # Graceful degradation: drop the shard's
+                            # weight so the surviving merge stays
+                            # uniform over the reachable population.
+                            lost += src.remaining
+                            fen.add(idx, -src.remaining)
+                            src.remaining = 0
+                            src.handle = None
+                            tallies["degraded"] += 1
+                            if registry.enabled:
+                                registry.counter(
+                                    "storm.cluster.fault.degraded"
+                                ).inc()
+                            self.coverage = ((known_total - lost)
+                                             / known_total)
+                        continue
                     if not batch:
                         # Defensive: count said more, stream disagrees.
-                        fen.add(idx, -remaining[idx])
-                        remaining[idx] = 0
+                        fen.add(idx, -src.remaining)
+                        src.remaining = 0
                         continue
-                    buffers[idx] = batch[::-1]  # pop() consumes in order
-                    next_batch[idx] = min(2 * next_batch[idx],
-                                          self.max_batch_size)
-                entry = buffers[idx].pop()
-                remaining[idx] -= 1
+                    src.buffer = batch[::-1]  # pop() consumes in order
+                    src.next_batch = min(2 * src.next_batch,
+                                         self.max_batch_size)
+                entry = src.buffer.pop()
+                src.emitted.add(entry.item_id)
+                src.remaining -= 1
                 fen.add(idx, -1)
                 yield entry
         finally:
-            for worker, handle in zip(workers, handles):
-                worker.close_stream(handle)
+            for src in sources:
+                if src.handle is not None and src.serving is not None:
+                    src.serving.close_stream(src.handle)
             net_delta = cluster.network.delta_from(net_before)
             self._last_query_seconds = (
                 net_delta.seconds(cluster.network_model)
-                + cluster.max_worker_seconds(since=worker_costs))
+                + cluster.max_worker_seconds(since=worker_costs)
+                + tallies["backoff_seconds"])
             span.set("simulated_seconds", self._last_query_seconds)
+            if (tallies["errors"] or tallies["failovers"]
+                    or tallies["degraded"]):
+                span.set("fault_errors", tallies["errors"])
+                span.set("retries", tallies["retries"])
+                span.set("failovers", tallies["failovers"])
+                span.set("degraded_workers", tallies["degraded"])
+            span.set("coverage", self.coverage)
             self.obs.tracer.end(span)
-            registry = self.obs.registry
             if registry.enabled:
                 registry.counter("storm.cluster.messages").inc(
                     net_delta.messages)
                 registry.counter("storm.cluster.payload_bytes").inc(
                     net_delta.payload_bytes)
+                registry.gauge("storm.cluster.coverage").set(
+                    self.coverage)
 
     def last_query_seconds(self,
                            model: CostModel = DEFAULT_COST_MODEL
                            ) -> float:
         """Simulated wall time of the last finished stream: network plus
-        the slowest worker (workers run in parallel)."""
+        the slowest worker (workers run in parallel) plus any retry
+        backoff the coordinator sat through."""
         if self._last_query_seconds is None:
             raise ClusterError("no query has completed yet")
         return self._last_query_seconds

@@ -5,6 +5,12 @@ that are simultaneously *balanced* (equal counts) and *spatially
 coherent* (each shard covers a compact region), so range queries touch
 few workers and per-worker canonical sets stay small — the property a
 distributed Hilbert R-tree is built around.
+
+With ``replication=k`` the partitioner also assigns each shard k - 1
+replica holders (the next workers around the ring, chained placement):
+:meth:`HilbertRangePartitioner.placement` lists the workers holding a
+copy of a shard, primary first.  The distributed sampler fails a dead
+worker's stream over to one of these holders.
 """
 
 from __future__ import annotations
@@ -24,17 +30,30 @@ class HilbertRangePartitioner:
     """Splits records into contiguous Hilbert-key ranges."""
 
     def __init__(self, bounds: Rect, shards: int, bits: int = 16,
-                 dims: int = 3):
+                 dims: int = 3, replication: int = 1):
         if shards < 1:
             raise ClusterError("need at least one shard")
+        if not 1 <= replication <= shards:
+            raise ClusterError(
+                "replication must be between 1 and the shard count")
         if bounds.dim != dims:
             raise ClusterError(
                 f"bounds are {bounds.dim}-d but partitioner is {dims}-d")
         self.shards = shards
         self.dims = dims
+        self.replication = replication
         self.encoder = HilbertEncoder(bounds, bits=bits)
         # Upper key bound per shard (exclusive), learned at split time.
         self._boundaries: list[int] | None = None
+
+    def placement(self, shard: int) -> list[int]:
+        """Workers holding a copy of a shard, primary first (chained
+        ring placement: shard i replicates onto i+1, i+2, ...)."""
+        if not 0 <= shard < self.shards:
+            raise ClusterError(
+                f"shard {shard} out of range for {self.shards} shards")
+        return [(shard + r) % self.shards
+                for r in range(self.replication)]
 
     def key(self, record: Record) -> int:
         """Hilbert curve position of a record's key."""

@@ -49,6 +49,15 @@ class StorageError(StormError):
     """The document store / simulated DFS hit an invalid operation."""
 
 
+class FaultError(StormError):
+    """Base class for injected-fault failures (see :mod:`repro.faults`).
+
+    Subclasses double-inherit from the owning subsystem's error so that
+    existing ``except StorageError`` / ``except ClusterError`` handlers
+    keep working when faults are switched on.
+    """
+
+
 class UpdateError(StormError):
     """The update manager could not apply an insert/delete batch."""
 
@@ -63,3 +72,23 @@ class OptimizerError(StormError):
 
 class ClusterError(StormError):
     """The simulated cluster was configured or used incorrectly."""
+
+
+class BlockReadError(FaultError, StorageError):
+    """Every replica of a DFS block failed to serve a read."""
+
+
+class WorkerUnavailableError(FaultError, ClusterError):
+    """A cluster worker is crashed (or an injected fault dropped the
+    request); the operation may succeed on a retry or on a replica."""
+
+
+class StreamLostError(FaultError, ClusterError):
+    """A worker no longer holds the requested sample-stream handle
+    (typically because a crash wiped its in-memory state); the caller
+    must re-open the stream rather than retry the fetch."""
+
+
+class NetworkTimeoutError(FaultError, ClusterError):
+    """A simulated message exchange exceeded the network model's
+    timeout (e.g. a slow-node latency multiplier pushed it over)."""

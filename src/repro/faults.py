@@ -1,0 +1,200 @@
+"""Deterministic, seedable fault injection for the simulated substrate.
+
+The demo scenario STORM targets — a cluster of commodity machines
+streaming uniform samples under live load — fails in mundane ways: a
+machine dies mid-stream, a disk read errors, a node falls behind.  A
+:class:`FaultPlan` describes those failures declaratively so every run
+is reproducible:
+
+* **crash/recover schedules** per node (``worker:1``, ``machine:2``):
+  half-open windows on the plan's *logical clock*, which advances one
+  tick per fault-gated operation.  Schedules are therefore independent
+  of wall time and identical across runs;
+* **per-operation error probabilities** (``dfs.read``,
+  ``worker.fetch_batch`` ...): each gated call flips a coin from the
+  plan's seeded RNG.  Ops without a configured rate never consume
+  randomness, so adding a rate for one op cannot shift another's
+  outcomes;
+* **slow-node latency multipliers**: scale a node's simulated seconds
+  (index I/O and network), which is how timeouts are exercised.
+
+Consumers: :class:`~repro.storage.dfs.SimulatedDFS` gates block reads
+(failover walks the replica list), :class:`~repro.distributed.cluster.
+Worker` gates ``open_stream``/``fetch_batch``/``range_count`` (a down
+worker raises ``WorkerUnavailableError`` and loses its in-memory
+streams), and :class:`~repro.distributed.dist_sampler.
+DistributedSampler` retries, fails over to shard replicas, or degrades
+gracefully.  ``docs/fault_tolerance.md`` documents the failure model;
+``docs/operations.md`` the knobs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.errors import StormError
+
+__all__ = ["CrashWindow", "FaultPlan"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashWindow:
+    """One outage: the node is down for ticks in ``[start, until)``.
+
+    ``until=None`` means the node never recovers.
+    """
+
+    start: int
+    until: int | None = None
+
+    def covers(self, tick: int) -> bool:
+        """Whether the node is down at the given logical tick."""
+        if tick < self.start:
+            return False
+        return self.until is None or tick < self.until
+
+
+class FaultPlan:
+    """A reproducible schedule of crashes, errors and slowdowns.
+
+    All configuration methods return ``self`` so plans read as one
+    chained expression::
+
+        plan = (FaultPlan(seed=7)
+                .crash("worker:1", at=200, until=400)
+                .error_rate("worker.fetch_batch", 0.05)
+                .slow("worker:2", 4.0))
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._windows: dict[str, list[CrashWindow]] = {}
+        self._error_rates: dict[str, float] = {}
+        self._slow: dict[str, float] = {}
+        self._clock = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def crash(self, node: str, at: int = 0,
+              until: int | None = None) -> "FaultPlan":
+        """Schedule an outage for a node (``worker:i`` / ``machine:i``)."""
+        if at < 0:
+            raise StormError(f"crash start must be >= 0, got {at}")
+        if until is not None and until <= at:
+            raise StormError(
+                f"crash window [{at}, {until}) is empty")
+        self._windows.setdefault(node, []).append(CrashWindow(at, until))
+        return self
+
+    def error_rate(self, op: str, probability: float) -> "FaultPlan":
+        """Set the per-call failure probability of one operation.
+
+        ``op`` is an exact name (``worker.fetch_batch``), a prefix
+        wildcard (``worker.*``), or ``*`` for every gated op.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise StormError(
+                f"error rate must be in [0, 1], got {probability}")
+        self._error_rates[op] = probability
+        return self
+
+    def slow(self, node: str, multiplier: float) -> "FaultPlan":
+        """Multiply a node's simulated latency (must be >= 1)."""
+        if multiplier < 1.0:
+            raise StormError(
+                f"latency multiplier must be >= 1, got {multiplier}")
+        self._slow[node] = multiplier
+        return self
+
+    # -- the clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """The current logical tick."""
+        return self._clock
+
+    def tick(self) -> int:
+        """Advance the logical clock by one gated operation."""
+        self._clock += 1
+        return self._clock
+
+    # -- queries (called by the gated substrate) ---------------------------
+
+    def is_down(self, node: str) -> bool:
+        """Whether the node is inside a crash window right now."""
+        windows = self._windows.get(node)
+        if not windows:
+            return False
+        return any(w.covers(self._clock) for w in windows)
+
+    def rate_for(self, op: str) -> float:
+        """The effective error rate for an op (exact > prefix > ``*``)."""
+        rate = self._error_rates.get(op)
+        if rate is not None:
+            return rate
+        head = op.split(".", 1)[0]
+        rate = self._error_rates.get(head + ".*")
+        if rate is not None:
+            return rate
+        return self._error_rates.get("*", 0.0)
+
+    def should_fail(self, op: str) -> bool:
+        """Flip the op's seeded coin (never consumes RNG at rate 0)."""
+        rate = self.rate_for(op)
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate
+
+    def latency_multiplier(self, node: str) -> float:
+        """The node's simulated-latency multiplier (1.0 by default)."""
+        return self._slow.get(node, 1.0)
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the plan's configuration."""
+        return {
+            "seed": self.seed,
+            "crashes": [
+                {"node": node, "at": w.start, "until": w.until}
+                for node in sorted(self._windows)
+                for w in self._windows[node]],
+            "error_rates": dict(sorted(self._error_rates.items())),
+            "slow_nodes": dict(sorted(self._slow.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "FaultPlan":
+        """Build a plan from :meth:`to_dict`'s schema."""
+        plan = cls(seed=int(spec.get("seed", 0)))
+        for entry in spec.get("crashes", ()):
+            plan.crash(entry["node"], at=int(entry.get("at", 0)),
+                       until=(None if entry.get("until") is None
+                              else int(entry["until"])))
+        for op, rate in spec.get("error_rates", {}).items():
+            plan.error_rate(op, float(rate))
+        for node, mult in spec.get("slow_nodes", {}).items():
+            plan.slow(node, float(mult))
+        return plan
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON file (the CLI's ``--fault-plan``)."""
+        try:
+            with open(path) as f:
+                spec = json.load(f)
+        except (OSError, ValueError) as exc:
+            raise StormError(f"cannot load fault plan {path!r}: {exc}")
+        if not isinstance(spec, dict):
+            raise StormError(
+                f"fault plan {path!r} must be a JSON object")
+        return cls.from_dict(spec)
+
+    def __repr__(self) -> str:
+        return (f"<FaultPlan seed={self.seed} tick={self._clock} "
+                f"crashes={sum(map(len, self._windows.values()))} "
+                f"error_ops={len(self._error_rates)} "
+                f"slow={len(self._slow)}>")

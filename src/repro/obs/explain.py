@@ -32,7 +32,8 @@ def phase_costs(root: Span,
 
 def render_explain(plan_text: str, root: Span | None, final,
                    model: CostModel = DEFAULT_COST_MODEL,
-                   caches: "dict[str, tuple[int, int]] | None" = None
+                   caches: "dict[str, tuple[int, int]] | None" = None,
+                   faults: "dict[str, object] | None" = None
                    ) -> str:
     """The full EXPLAIN report for one executed query.
 
@@ -42,7 +43,10 @@ def render_explain(plan_text: str, root: Span | None, final,
     :class:`~repro.core.session.ProgressPoint`.  ``caches`` maps a
     cache name (e.g. ``"canonical-set"``, ``"dfs-block"``) to its
     (hits, misses) delta for this query; caches with zero lookups are
-    skipped.
+    skipped.  ``faults`` maps a fault/recovery event name (e.g.
+    ``"retries"``, ``"stream failovers"``, ``"degraded workers"``) to
+    its count for this query; an all-zero dict is skipped entirely so
+    fault-free EXPLAIN output is unchanged.
     """
     lines = ["plan:"]
     lines.extend("  " + line for line in plan_text.splitlines())
@@ -77,12 +81,26 @@ def render_explain(plan_text: str, root: Span | None, final,
                 lines.append(
                     f"  {name:<{width}}  hits={hits} misses={misses}"
                     f" hit_rate={rate:.1%}")
+    if faults:
+        rows = [(name, value) for name, value in faults.items()
+                if value]
+        if rows:
+            lines.append("faults:")
+            width = max(len(name) for name, _ in rows)
+            for name, value in rows:
+                if isinstance(value, float):
+                    lines.append(f"  {name:<{width}}  {value:.6g}")
+                else:
+                    lines.append(f"  {name:<{width}}  {value}")
     if final is not None:
         est = final.estimate
         outcome = f"stop: {final.reason or 'user stop'}"
         outcome += f" (k={est.k} of q={est.q}"
         if est.q:
             outcome += f", {est.k / est.q:.2%} of range"
+        coverage = getattr(final, "coverage", 1.0)
+        if coverage < 1.0:
+            outcome += f", coverage {coverage:.2%}"
         outcome += ")"
         lines.append(outcome)
         value = f"estimate: value={est.value!r}"

@@ -165,16 +165,22 @@ class QueryExecutor:
         dataset = self.engine.dataset(spec.dataset)
         st_range = spec.st_range()
         rect = dataset.to_rect(st_range)
+        # Distributed datasets fix their sampler at build time and
+        # have no optimizer; fall back gracefully for them.
+        optimizer = getattr(dataset, "optimizer", None)
         if spec.explain:
-            plan = dataset.optimizer.choose(
-                rect, expected_k=spec.max_samples)
+            if optimizer is None:
+                return QueryResult(
+                    spec=spec, final=None,
+                    explanation=self._fixed_plan_text(dataset))
+            plan = optimizer.choose(rect, expected_k=spec.max_samples)
             return QueryResult(spec=spec, final=None,
                                explanation=plan.explain())
         estimator = self._estimator(spec, st_range)
         method = spec.method
-        chosen_by_optimizer = method is None
+        chosen_by_optimizer = method is None and optimizer is not None
         if chosen_by_optimizer:
-            method = dataset.optimizer.choose(
+            method = optimizer.choose(
                 rect, expected_k=spec.max_samples).method
         roots_before = len(used.tracer.roots)
         session = dataset.session(
@@ -186,8 +192,7 @@ class QueryExecutor:
             # Close the loop: calibrate the optimizer with what the
             # chosen method actually cost.
             actual = DEFAULT_COST_MODEL.simulated_seconds(final.cost)
-            dataset.optimizer.record_outcome(method, rect, final.k,
-                                             actual)
+            optimizer.record_outcome(method, rect, final.k, actual)
         trace = used.tracer.roots[roots_before] \
             if len(used.tracer.roots) > roots_before else None
         return QueryResult(spec=spec, final=final, trace=trace)
@@ -207,10 +212,13 @@ class QueryExecutor:
             spec = replace(spec, explain=False)
         dataset = self.engine.dataset(spec.dataset)
         rect = dataset.to_rect(spec.st_range())
+        optimizer = getattr(dataset, "optimizer", None)
         if spec.method is not None:
             plan_text = f"method forced via USING: {spec.method}"
+        elif optimizer is None:
+            plan_text = self._fixed_plan_text(dataset)
         else:
-            plan_text = dataset.optimizer.choose(
+            plan_text = optimizer.choose(
                 rect, expected_k=spec.max_samples).explain()
         if obs is not None:
             local = obs
@@ -218,26 +226,72 @@ class QueryExecutor:
             shared = self.obs.registry \
                 if self.obs.registry.enabled else None
             local = Observability(registry=shared, tracer=Tracer())
-        tree = dataset.tree
-        canon_before = (tree.canon_hits, tree.canon_misses)
+        tree = getattr(dataset, "tree", None)
+        canon_before = (tree.canon_hits, tree.canon_misses) \
+            if tree is not None else (0, 0)
         registry = local.registry
         if registry.enabled:
+            fault_before = {
+                label: registry.counter(name).value
+                for label, name in self._FAULT_COUNTERS.items()}
             dfs_before = (
                 registry.counter("storm.dfs.cache.hits").value,
                 registry.counter("storm.dfs.cache.misses").value)
         result = self.execute(spec, obs=local)
         assert result.final is not None
-        caches = {"canonical-set": (
-            tree.canon_hits - canon_before[0],
-            tree.canon_misses - canon_before[1])}
+        caches = {}
+        if tree is not None:
+            caches["canonical-set"] = (
+                tree.canon_hits - canon_before[0],
+                tree.canon_misses - canon_before[1])
+        faults = {}
         if registry.enabled:
             caches["dfs-block"] = (
                 registry.counter("storm.dfs.cache.hits").value
                 - dfs_before[0],
                 registry.counter("storm.dfs.cache.misses").value
                 - dfs_before[1])
+            faults = {
+                label: registry.counter(name).value - before
+                for (label, name), before
+                in zip(self._FAULT_COUNTERS.items(),
+                       fault_before.values())}
+        # The distributed sampler keeps per-stream tallies of this
+        # query's fault events on its own (they reach the registry
+        # only when the dataset was built with live observability, so
+        # the tallies are the authoritative per-query source).
+        sampler = getattr(dataset, "sampler", None)
+        last = getattr(sampler, "last_faults", None)
+        if last:
+            faults.update({
+                "worker errors": last.get("errors", 0),
+                "retries": last.get("retries", 0),
+                "stream failovers": last.get("failovers", 0),
+                "degraded workers": last.get("degraded", 0),
+                "backoff seconds": last.get("backoff_seconds", 0.0),
+            })
         return render_explain(plan_text, result.trace, result.final,
-                              caches=caches)
+                              caches=caches, faults=faults)
+
+    #: Registry counters surfaced in the EXPLAIN "faults" section
+    #: (label -> counter name); zero-valued rows are not rendered.
+    _FAULT_COUNTERS = {
+        "dfs failover attempts": "storm.dfs.failover.attempts",
+        "dfs failover reads": "storm.dfs.failover.reads",
+        "dfs replicas exhausted": "storm.dfs.failover.exhausted",
+        "worker errors": "storm.cluster.fault.errors",
+        "retries": "storm.cluster.fault.retries",
+        "stream failovers": "storm.cluster.fault.failovers",
+        "degraded workers": "storm.cluster.fault.degraded",
+    }
+
+    @staticmethod
+    def _fixed_plan_text(dataset) -> str:
+        """Plan line for datasets without an optimizer (the sampler
+        was fixed at construction — e.g. distributed datasets)."""
+        sampler = getattr(dataset, "sampler", None)
+        name = getattr(sampler, "name", "fixed")
+        return f"method fixed at build time: {name}"
 
     def session(self, query: "str | QuerySpec"):
         """The interactive path: an OnlineQuerySession the caller drives

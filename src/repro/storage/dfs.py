@@ -16,18 +16,30 @@ in :class:`CacheStats` (plus ``storm.dfs.cache.*`` registry counters
 when observability is live).  Writes and deletes invalidate a file's
 cached blocks, so the cache can never serve stale bytes.  The cache is
 off by default — existing experiments account raw device I/O.
+
+With a :class:`~repro.faults.FaultPlan` attached, block reads are
+*fault-gated*: a read tries the primary replica first and fails over
+down the replica list, charging each failed attempt on the machine
+that made it (the device did the work even though the payload was
+lost; crashed machines charge nothing — the request never reached a
+disk).  Failed attempts, failover-served reads and replica-exhausted
+reads are tallied in :class:`FailoverStats` and the
+``storm.dfs.failover.*`` counters; when every replica fails the read
+raises :class:`~repro.errors.BlockReadError`.
 """
 
 from __future__ import annotations
 
+import math
 import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.errors import StorageError
+from repro.errors import BlockReadError, StorageError
+from repro.faults import FaultPlan
 from repro.obs import NULL_OBS, Observability
 
-__all__ = ["BlockStats", "CacheStats", "SimulatedDFS"]
+__all__ = ["BlockStats", "CacheStats", "FailoverStats", "SimulatedDFS"]
 
 
 @dataclass
@@ -99,6 +111,28 @@ class CacheStats:
                 "hit_rate": self.hit_rate}
 
 
+@dataclass
+class FailoverStats:
+    """Replica-failover tallies for fault-gated block reads."""
+
+    #: Read attempts that failed (machine down or injected error).
+    attempts: int = 0
+    #: Reads ultimately served by a non-primary replica.
+    reads: int = 0
+    #: Reads that failed on every replica (raised BlockReadError).
+    exhausted: int = 0
+
+    def reset(self) -> None:
+        self.attempts = 0
+        self.reads = 0
+        self.exhausted = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The tallies as a plain dict (for exporters)."""
+        return {"attempts": self.attempts, "reads": self.reads,
+                "exhausted": self.exhausted}
+
+
 @dataclass(slots=True)
 class _FileMeta:
     data: bytes
@@ -112,7 +146,8 @@ class SimulatedDFS:
     def __init__(self, machines: int = 4, block_size: int = 8192,
                  replication: int = 3, root: str | None = None,
                  obs: "Observability | None" = None,
-                 cache_blocks: int = 0):
+                 cache_blocks: int = 0,
+                 faults: "FaultPlan | None" = None):
         if machines < 1:
             raise StorageError("need at least one machine")
         if block_size < 1:
@@ -127,24 +162,50 @@ class SimulatedDFS:
         self.replication = replication
         self.root = root
         self.obs = obs if obs is not None else NULL_OBS
+        self.faults = faults
         self.stats = [BlockStats() for _ in range(machines)]
+        self.failover = FailoverStats()
         self.cache_blocks = cache_blocks
         self.cache_stats = CacheStats()
         # LRU over (file name, block index) -> block bytes.
         self._cache: OrderedDict[tuple[str, int], bytes] = OrderedDict()
         self._files: dict[str, _FileMeta] = {}
         self._next_machine = 0
+        self._stride = self._placement_stride(machines, replication)
         if root is not None:
             os.makedirs(root, exist_ok=True)
             self._load_from_root()
 
+    def set_fault_plan(self, faults: "FaultPlan | None") -> None:
+        """Attach (or detach) a fault plan after construction."""
+        self.faults = faults
+
     # -- placement ---------------------------------------------------------
+
+    @staticmethod
+    def _placement_stride(machines: int, replication: int) -> int:
+        """Primary-machine advance between consecutive blocks.
+
+        Must be coprime with the machine count so every machine still
+        hosts an equal share of primaries; preferring a stride >= the
+        replication factor keeps consecutive blocks' replica *windows*
+        as disjoint as the geometry allows, so one machine crash
+        degrades scattered blocks instead of replica-0 of a long run.
+        """
+        if machines == 1:
+            return 1
+        want = max(replication, 2)
+        for stride in range(want, want + machines):
+            if math.gcd(stride, machines) == 1:
+                return stride % machines
+        return 1  # unreachable: some value in any n consecutive is coprime
 
     def _place_block(self) -> list[int]:
         replicas = []
         for i in range(self.replication):
             replicas.append((self._next_machine + i) % self.machines)
-        self._next_machine = (self._next_machine + 1) % self.machines
+        self._next_machine = (self._next_machine
+                              + self._stride) % self.machines
         return replicas
 
     def _disk_path(self, name: str) -> str:
@@ -213,6 +274,52 @@ class SimulatedDFS:
         for key in stale:
             del self._cache[key]
 
+    # -- fault gating ------------------------------------------------------
+
+    def _serve_block(self, name: str, block: int,
+                     replicas: list[int], nbytes: int) -> int:
+        """The machine that serves a block read, walking the replica
+        list on faults.
+
+        Without a fault plan this is always the primary.  With one,
+        each attempt advances the plan's clock; a failed attempt on a
+        *live* machine still charges that machine's ``BlockStats`` (the
+        device performed the read — the payload was lost), while a
+        crashed machine charges nothing.  Raises
+        :class:`~repro.errors.BlockReadError` when every replica fails.
+        """
+        plan = self.faults
+        if plan is None:
+            return replicas[0]
+        registry = self.obs.registry
+        for position, machine in enumerate(replicas):
+            plan.tick()
+            if plan.is_down(f"machine:{machine}"):
+                self.failover.attempts += 1
+                if registry.enabled:
+                    registry.counter(
+                        "storm.dfs.failover.attempts").inc()
+                continue
+            if plan.should_fail("dfs.read"):
+                self.failover.attempts += 1
+                self.stats[machine].blocks_read += 1
+                self.stats[machine].bytes_read += nbytes
+                if registry.enabled:
+                    registry.counter(
+                        "storm.dfs.failover.attempts").inc()
+                continue
+            if position:
+                self.failover.reads += 1
+                if registry.enabled:
+                    registry.counter("storm.dfs.failover.reads").inc()
+            return machine
+        self.failover.exhausted += 1
+        if registry.enabled:
+            registry.counter("storm.dfs.failover.exhausted").inc()
+        raise BlockReadError(
+            f"block {block} of {name!r}: all {len(replicas)} replicas "
+            f"failed at tick {plan.now}")
+
     # -- file operations -----------------------------------------------------
 
     def write_file(self, name: str, data: bytes) -> None:
@@ -253,7 +360,9 @@ class SimulatedDFS:
         self.write_file(name, old + data)
 
     def read_file(self, name: str) -> bytes:
-        """Read a whole file (charges one replica per uncached block)."""
+        """Read a whole file (charges one replica per uncached block —
+        the primary, or a failover replica under an active fault
+        plan)."""
         meta = self._get(name)
         device_blocks = device_bytes = 0
         for i, replicas in enumerate(meta.placement):
@@ -261,7 +370,7 @@ class SimulatedDFS:
                               * self.block_size]
             if self._cache_get(name, i) is not None:
                 continue
-            m = replicas[0]
+            m = self._serve_block(name, i, replicas, len(chunk))
             self.stats[m].blocks_read += 1
             self.stats[m].bytes_read += len(chunk)
             device_blocks += 1
@@ -275,7 +384,8 @@ class SimulatedDFS:
 
     def read_block(self, name: str, block: int) -> bytes:
         """Read one block of a file (charges its primary replica on a
-        cache miss; hits never touch the machine)."""
+        cache miss — failing over down the replica list when a fault
+        plan takes machines out; hits never touch a machine)."""
         meta = self._get(name)
         if not 0 <= block < len(meta.placement):
             raise StorageError(
@@ -283,9 +393,10 @@ class SimulatedDFS:
         cached = self._cache_get(name, block)
         if cached is not None:
             return cached
-        m = meta.placement[block][0]
         data = meta.data[block * self.block_size:(block + 1)
                          * self.block_size]
+        m = self._serve_block(name, block, meta.placement[block],
+                              len(data))
         self.stats[m].blocks_read += 1
         self.stats[m].bytes_read += len(data)
         registry = self.obs.registry
@@ -349,9 +460,10 @@ class SimulatedDFS:
         return self.total_stats().blocks_written
 
     def reset_stats(self) -> None:
-        """Zero every machine's I/O tallies."""
+        """Zero every machine's I/O tallies (and the failover ones)."""
         for s in self.stats:
             s.reset()
+        self.failover.reset()
 
     def balance(self) -> float:
         """Storage balance: max/mean blocks written per machine (1.0 is

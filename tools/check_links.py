@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's Markdown docs.
+
+``python tools/check_links.py`` scans ``*.md`` in the repo root and
+``docs/`` for Markdown links and verifies that every *relative* target
+exists (including ``#fragment`` anchors against the target file's
+headings).  External ``http(s)://`` and ``mailto:`` links are skipped —
+CI must not depend on the network.  Exits non-zero listing every broken
+link.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) — target captured up to the closing paren; images and
+#: reference-style definitions are covered by the same shape.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor for a heading."""
+    text = re.sub(r"[`*_~]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = path.read_text(encoding="utf-8")
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def markdown_files() -> list[Path]:
+    files = sorted(ROOT.glob("*.md"))
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not navigation.
+    text = CODE_FENCE_RE.sub("", text)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if slugify(target[1:]) not in anchors_of(path):
+                problems.append(f"{path.relative_to(ROOT)}: "
+                                f"missing anchor {target!r}")
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(ROOT)}: "
+                            f"broken link {target!r}")
+            continue
+        if fragment and resolved.suffix == ".md" \
+                and slugify(fragment) not in anchors_of(resolved):
+            problems.append(f"{path.relative_to(ROOT)}: "
+                            f"missing anchor {target!r}")
+    return problems
+
+
+def main() -> int:
+    files = markdown_files()
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
