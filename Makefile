@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke chaos-smoke check-links
+.PHONY: test lint bench bench-smoke chaos-smoke recovery-smoke check-links
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,6 +16,9 @@ bench-smoke:
 
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.chaos BENCH_chaos.json
+
+recovery-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.recovery BENCH_recovery.json
 
 check-links:
 	$(PYTHON) tools/check_links.py

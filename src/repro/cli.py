@@ -22,6 +22,17 @@ Observability hooks:
 * in the REPL, ``stats`` prints the dashboard of everything run so far
   and ``EXPLAIN ANALYZE <query>`` runs the query under a trace and
   prints the per-phase cost report.
+
+Durability hooks:
+
+* ``--store-root DIR`` loads datasets from a persisted document store
+  (a DFS root directory) instead of generating synthetic ones; WAL
+  recovery runs first unless ``--no-wal`` is given, and any replay is
+  reported before the prompt appears;
+* the ``recover`` subcommand (``storm-query recover --store-root DIR``)
+  runs crash recovery on a persisted store — truncates torn WAL tails,
+  replays committed-but-unflushed batches, prints the
+  :class:`~repro.storage.recovery.RecoveryReport` — and exits.
 """
 
 from __future__ import annotations
@@ -37,6 +48,11 @@ from repro.faults import FaultPlan
 from repro.obs import (NULL_OBS, Observability, render_dashboard,
                        write_jsonl)
 from repro.query.executor import QueryExecutor
+from repro.storage.dfs import SimulatedDFS
+from repro.storage.document_store import DocumentStore
+from repro.storage.persistence import load_engine
+from repro.storage.recovery import recover_store
+from repro.storage.wal import WriteAheadLog
 from repro.workloads import (ElectricityWorkload, MesoWestWorkload,
                              OSMWorkload, TwitterWorkload)
 
@@ -84,9 +100,12 @@ def build_engine(datasets: list[str], n: int, seed: int,
 
 
 def main(argv: list[str] | None = None) -> int:
-    """storm-query entry point: one-shot --query, REPL, or stats."""
+    """storm-query entry point: one-shot --query, REPL, stats, or
+    recover."""
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "recover":
+        return _recover_main(argv[1:])
     stats_mode = bool(argv) and argv[0] == "stats"
     if stats_mode:
         argv = argv[1:]
@@ -115,7 +134,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="JSON fault-injection plan applied to the "
                              "cluster (see docs/fault_tolerance.md); "
                              "needs --workers")
+    parser.add_argument("--store-root", metavar="DIR",
+                        help="load datasets from a persisted document "
+                             "store at DIR (runs WAL recovery first) "
+                             "instead of generating synthetic ones")
+    parser.add_argument("--no-wal", dest="wal", action="store_false",
+                        help="with --store-root: skip WAL recovery and "
+                             "load the last checkpoint as-is")
+    parser.add_argument("--wal-segment-bytes", type=int, default=65536,
+                        help="WAL segment roll threshold in bytes "
+                             "(default 65536)")
     args = parser.parse_args(argv)
+    if args.store_root and args.dataset:
+        print("error: --store-root and --dataset are exclusive",
+              file=sys.stderr)
+        return 1
     datasets = args.dataset or ["osm"]
     faults = None
     if args.fault_plan:
@@ -130,12 +163,21 @@ def main(argv: list[str] | None = None) -> int:
             return 1
     # Instrumentation is opt-in: only --trace / stats pay for it.
     obs = Observability() if (args.trace or stats_mode) else NULL_OBS
-    print(f"loading {datasets} with n={args.n} ...", file=sys.stderr)
     try:
-        engine = build_engine(datasets, args.n, args.seed, obs=obs,
-                              workers=args.workers,
-                              replication=args.replication,
-                              faults=faults)
+        if args.store_root:
+            print(f"loading store at {args.store_root} ...",
+                  file=sys.stderr)
+            engine = _load_persisted(
+                args.store_root, seed=args.seed, obs=obs,
+                wal=args.wal,
+                wal_segment_bytes=args.wal_segment_bytes)
+        else:
+            print(f"loading {datasets} with n={args.n} ...",
+                  file=sys.stderr)
+            engine = build_engine(datasets, args.n, args.seed, obs=obs,
+                                  workers=args.workers,
+                                  replication=args.replication,
+                                  faults=faults)
     except StormError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -178,6 +220,58 @@ def main(argv: list[str] | None = None) -> int:
             # One closing metrics snapshot summarises the session.
             write_jsonl(trace_file, (), registry=obs.registry)
             trace_file.close()
+
+
+def _load_persisted(store_root: str, seed: int, obs: Observability,
+                    wal: bool, wal_segment_bytes: int):
+    """Open a persisted store (with WAL recovery unless disabled) and
+    rebuild the engine from it."""
+    dfs = SimulatedDFS(root=store_root,
+                       obs=obs if obs.enabled else None)
+    store = DocumentStore(dfs)
+    log = None
+    if wal:
+        log = WriteAheadLog(dfs, segment_bytes=wal_segment_bytes,
+                            obs=obs if obs.enabled else None)
+    engine = load_engine(store, seed=seed, wal=log, obs=obs)
+    report = getattr(engine, "last_recovery", None)
+    if report is not None and (report.batches_replayed
+                               or report.bytes_discarded):
+        print(report.render(), file=sys.stderr)
+    return engine
+
+
+def _recover_main(argv: list[str]) -> int:
+    """``storm-query recover``: run crash recovery on a persisted
+    store and print the recovery report."""
+    parser = argparse.ArgumentParser(
+        prog="storm-query recover",
+        description="Recover a persisted STORM store: truncate torn "
+                    "WAL tails, replay committed-but-unflushed "
+                    "batches onto the last checkpoint, and print the "
+                    "recovery report.")
+    parser.add_argument("--store-root", metavar="DIR", required=True,
+                        help="DFS root directory of the store")
+    parser.add_argument("--wal-segment-bytes", type=int, default=65536,
+                        help="WAL segment roll threshold in bytes "
+                             "(default 65536)")
+    parser.add_argument("--no-checkpoint", dest="checkpoint",
+                        action="store_false",
+                        help="inspect-only: replay in memory but do "
+                             "not write the recovery checkpoint")
+    args = parser.parse_args(argv)
+    try:
+        dfs = SimulatedDFS(root=args.store_root)
+        store = DocumentStore(dfs)
+        wal = WriteAheadLog(dfs,
+                            segment_bytes=args.wal_segment_bytes)
+        report = recover_store(store, wal,
+                               checkpoint=args.checkpoint)
+    except StormError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    return 0
 
 
 def _run_one(executor: QueryExecutor, query: str,

@@ -58,6 +58,11 @@ class FaultError(StormError):
     """
 
 
+class WalError(StorageError):
+    """The write-ahead log was used incorrectly (e.g. appending to a
+    log whose tail is torn/corrupt before running recovery)."""
+
+
 class UpdateError(StormError):
     """The update manager could not apply an insert/delete batch."""
 
@@ -76,6 +81,13 @@ class ClusterError(StormError):
 
 class BlockReadError(FaultError, StorageError):
     """Every replica of a DFS block failed to serve a read."""
+
+
+class WriteCrashError(FaultError, StorageError):
+    """An injected crash killed the simulated process mid-write: the
+    target file holds either its old contents (crash before any byte
+    landed) or a *torn* prefix of the new contents.  Recovery — WAL
+    tail truncation plus replay — must repair the damage."""
 
 
 class WorkerUnavailableError(FaultError, ClusterError):

@@ -16,7 +16,14 @@ is reproducible:
   randomness, so adding a rate for one op cannot shift another's
   outcomes;
 * **slow-node latency multipliers**: scale a node's simulated seconds
-  (index I/O and network), which is how timeouts are exercised.
+  (index I/O and network), which is how timeouts are exercised;
+* **write crash points** (:meth:`FaultPlan.crash_write` /
+  :meth:`FaultPlan.torn_write`): the *n*-th write to a file whose name
+  starts with a prefix kills the simulated process mid-write — either
+  before any byte lands, or after a torn prefix of the payload is
+  durably applied.  This is how the durability layer
+  (:mod:`repro.storage.wal`) exercises crash-during-update and
+  torn-final-segment recovery.
 
 Consumers: :class:`~repro.storage.dfs.SimulatedDFS` gates block reads
 (failover walks the replica list), :class:`~repro.distributed.cluster.
@@ -36,7 +43,7 @@ from dataclasses import dataclass
 
 from repro.errors import StormError
 
-__all__ = ["CrashWindow", "FaultPlan"]
+__all__ = ["CrashWindow", "FaultPlan", "WriteFault"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +61,22 @@ class CrashWindow:
         if tick < self.start:
             return False
         return self.until is None or tick < self.until
+
+
+@dataclass(slots=True)
+class WriteFault:
+    """One scheduled write crash.
+
+    The fault fires on the ``countdown``-th write (counting from 1)
+    whose file name starts with ``match``.  ``keep_fraction`` is the
+    fraction of the *newly written* bytes that land durably before the
+    crash — ``None`` means the crash strikes before any byte does (the
+    old file contents, if any, survive untouched).
+    """
+
+    match: str
+    countdown: int
+    keep_fraction: float | None = None
 
 
 class FaultPlan:
@@ -74,6 +97,7 @@ class FaultPlan:
         self._windows: dict[str, list[CrashWindow]] = {}
         self._error_rates: dict[str, float] = {}
         self._slow: dict[str, float] = {}
+        self._write_faults: list[WriteFault] = []
         self._clock = 0
 
     # -- configuration -----------------------------------------------------
@@ -107,6 +131,27 @@ class FaultPlan:
             raise StormError(
                 f"latency multiplier must be >= 1, got {multiplier}")
         self._slow[node] = multiplier
+        return self
+
+    def crash_write(self, match: str, nth: int = 1) -> "FaultPlan":
+        """Kill the ``nth`` write under a file-name prefix *before*
+        any byte lands (the pre-append / pre-flush crash point)."""
+        if nth < 1:
+            raise StormError(f"nth write must be >= 1, got {nth}")
+        self._write_faults.append(WriteFault(match, nth, None))
+        return self
+
+    def torn_write(self, match: str, nth: int = 1,
+                   keep_fraction: float = 0.5) -> "FaultPlan":
+        """Kill the ``nth`` write under a file-name prefix *mid-write*:
+        ``keep_fraction`` of the newly written bytes land durably, the
+        rest are lost (the torn-final-segment crash point)."""
+        if nth < 1:
+            raise StormError(f"nth write must be >= 1, got {nth}")
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise StormError(
+                f"keep_fraction must be in [0, 1], got {keep_fraction}")
+        self._write_faults.append(WriteFault(match, nth, keep_fraction))
         return self
 
     # -- the clock ---------------------------------------------------------
@@ -152,6 +197,22 @@ class FaultPlan:
         """The node's simulated-latency multiplier (1.0 by default)."""
         return self._slow.get(node, 1.0)
 
+    def take_write_fault(self, name: str) -> WriteFault | None:
+        """Account one write to ``name`` against the scheduled write
+        faults; the fired fault (if its countdown just hit zero).
+
+        Each write counts against only the *first* matching schedule
+        entry, so stacked faults fire deterministically in the order
+        they were configured.  Fired faults are consumed (one-shot).
+        """
+        for i, fault in enumerate(self._write_faults):
+            if name.startswith(fault.match):
+                fault.countdown -= 1
+                if fault.countdown == 0:
+                    return self._write_faults.pop(i)
+                return None
+        return None
+
     # -- (de)serialisation -------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -164,6 +225,10 @@ class FaultPlan:
                 for w in self._windows[node]],
             "error_rates": dict(sorted(self._error_rates.items())),
             "slow_nodes": dict(sorted(self._slow.items())),
+            "write_faults": [
+                {"match": f.match, "nth": f.countdown,
+                 "keep_fraction": f.keep_fraction}
+                for f in self._write_faults],
         }
 
     @classmethod
@@ -178,6 +243,15 @@ class FaultPlan:
             plan.error_rate(op, float(rate))
         for node, mult in spec.get("slow_nodes", {}).items():
             plan.slow(node, float(mult))
+        for entry in spec.get("write_faults", ()):
+            keep = entry.get("keep_fraction")
+            if keep is None:
+                plan.crash_write(entry["match"],
+                                 nth=int(entry.get("nth", 1)))
+            else:
+                plan.torn_write(entry["match"],
+                                nth=int(entry.get("nth", 1)),
+                                keep_fraction=float(keep))
         return plan
 
     @classmethod
@@ -197,4 +271,5 @@ class FaultPlan:
         return (f"<FaultPlan seed={self.seed} tick={self._clock} "
                 f"crashes={sum(map(len, self._windows.values()))} "
                 f"error_ops={len(self._error_rates)} "
-                f"slow={len(self._slow)}>")
+                f"slow={len(self._slow)} "
+                f"write_faults={len(self._write_faults)}>")

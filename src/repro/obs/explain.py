@@ -33,7 +33,8 @@ def phase_costs(root: Span,
 def render_explain(plan_text: str, root: Span | None, final,
                    model: CostModel = DEFAULT_COST_MODEL,
                    caches: "dict[str, tuple[int, int]] | None" = None,
-                   faults: "dict[str, object] | None" = None
+                   faults: "dict[str, object] | None" = None,
+                   durability: "dict[str, object] | None" = None
                    ) -> str:
     """The full EXPLAIN report for one executed query.
 
@@ -46,7 +47,11 @@ def render_explain(plan_text: str, root: Span | None, final,
     skipped.  ``faults`` maps a fault/recovery event name (e.g.
     ``"retries"``, ``"stream failovers"``, ``"degraded workers"``) to
     its count for this query; an all-zero dict is skipped entirely so
-    fault-free EXPLAIN output is unchanged.
+    fault-free EXPLAIN output is unchanged.  ``durability`` maps a
+    WAL/recovery event name (e.g. ``"wal appends"``, ``"recovery
+    records replayed"``) to its cumulative count — these are
+    engine-lifetime tallies (recovery runs at load time, not per
+    query) and, like faults, an all-zero dict is skipped.
     """
     lines = ["plan:"]
     lines.extend("  " + line for line in plan_text.splitlines())
@@ -81,11 +86,14 @@ def render_explain(plan_text: str, root: Span | None, final,
                 lines.append(
                     f"  {name:<{width}}  hits={hits} misses={misses}"
                     f" hit_rate={rate:.1%}")
-    if faults:
-        rows = [(name, value) for name, value in faults.items()
+    for title, table in (("faults:", faults),
+                         ("durability:", durability)):
+        if not table:
+            continue
+        rows = [(name, value) for name, value in table.items()
                 if value]
         if rows:
-            lines.append("faults:")
+            lines.append(title)
             width = max(len(name) for name, _ in rows)
             for name, value in rows:
                 if isinstance(value, float):

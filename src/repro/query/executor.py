@@ -270,8 +270,18 @@ class QueryExecutor:
                 "degraded workers": last.get("degraded", 0),
                 "backoff seconds": last.get("backoff_seconds", 0.0),
             })
+        # Durability tallies are engine-lifetime, not per-query: WAL
+        # traffic happens on the update path and recovery at load
+        # time, so EXPLAIN surfaces the cumulative counters (all-zero
+        # rows — i.e. a WAL-less engine — render nothing).
+        durability = {}
+        if registry.enabled:
+            durability = {
+                label: registry.counter(name).value
+                for label, name in self._DURABILITY_COUNTERS.items()}
         return render_explain(plan_text, result.trace, result.final,
-                              caches=caches, faults=faults)
+                              caches=caches, faults=faults,
+                              durability=durability)
 
     #: Registry counters surfaced in the EXPLAIN "faults" section
     #: (label -> counter name); zero-valued rows are not rendered.
@@ -283,6 +293,20 @@ class QueryExecutor:
         "retries": "storm.cluster.fault.retries",
         "stream failovers": "storm.cluster.fault.failovers",
         "degraded workers": "storm.cluster.fault.degraded",
+    }
+
+    #: Registry counters surfaced in the EXPLAIN "durability" section
+    #: (cumulative engine-lifetime values; zero rows not rendered).
+    _DURABILITY_COUNTERS = {
+        "wal appends": "storm.wal.appends",
+        "wal bytes appended": "storm.wal.bytes_appended",
+        "wal checkpoints": "storm.wal.checkpoints",
+        "wal segments pruned": "storm.wal.segments_pruned",
+        "recovery runs": "storm.recovery.runs",
+        "recovery records replayed": "storm.recovery.records_replayed",
+        "recovery ops replayed": "storm.recovery.ops_replayed",
+        "recovery bytes discarded": "storm.recovery.bytes_discarded",
+        "write crashes injected": "storm.dfs.write_crashes",
     }
 
     @staticmethod

@@ -17,14 +17,25 @@ simulation:
     record formats and the JSON document format.
 ``catalog``
     Metadata about imported/indexed datasets, itself stored as documents.
+``wal``
+    A checksummed, segment-based write-ahead log on the DFS: the commit
+    point of every update batch, with atomic checkpoints and torn-tail
+    detection.
+``recovery``
+    The crash-recovery driver: truncate torn WAL tails, replay
+    committed-but-unflushed batches, report a ``RecoveryReport``.
 """
 
 from repro.storage.catalog import Catalog, DatasetInfo
 from repro.storage.dfs import BlockStats, SimulatedDFS
 from repro.storage.document_store import Collection, DocumentStore
-from repro.storage.json_codec import (documents_to_records,
+from repro.storage.json_codec import (canonical_json,
+                                      documents_to_records,
                                       records_to_documents,
                                       rows_to_documents)
+from repro.storage.recovery import (RecoveryReport, checkpoint_store,
+                                    recover_store)
+from repro.storage.wal import TornTail, WalRecord, WriteAheadLog
 
 __all__ = [
     "BlockStats",
@@ -32,8 +43,15 @@ __all__ = [
     "Collection",
     "DatasetInfo",
     "DocumentStore",
+    "RecoveryReport",
     "SimulatedDFS",
+    "TornTail",
+    "WalRecord",
+    "WriteAheadLog",
+    "canonical_json",
+    "checkpoint_store",
     "documents_to_records",
     "records_to_documents",
+    "recover_store",
     "rows_to_documents",
 ]

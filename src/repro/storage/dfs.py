@@ -26,6 +26,16 @@ disk).  Failed attempts, failover-served reads and replica-exhausted
 reads are tallied in :class:`FailoverStats` and the
 ``storm.dfs.failover.*`` counters; when every replica fails the read
 raises :class:`~repro.errors.BlockReadError`.
+
+Writes are fault-gated too: a :meth:`~repro.faults.FaultPlan.
+crash_write` / :meth:`~repro.faults.FaultPlan.torn_write` schedule
+kills the ``nth`` write under a file-name prefix, leaving either the
+old contents (crash before any byte) or a *torn prefix* of the new
+ones, and raises :class:`~repro.errors.WriteCrashError` — the injected
+crash the durability layer (:mod:`repro.storage.wal`) recovers from.
+:meth:`SimulatedDFS.rename_file` is the atomic commit primitive
+(metadata-only, never torn): writers prepare a temp file and rename it
+over the target, so readers observe either the old or the new file.
 """
 
 from __future__ import annotations
@@ -35,7 +45,7 @@ import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.errors import BlockReadError, StorageError
+from repro.errors import BlockReadError, StorageError, WriteCrashError
 from repro.faults import FaultPlan
 from repro.obs import NULL_OBS, Observability
 
@@ -322,10 +332,42 @@ class SimulatedDFS:
 
     # -- file operations -----------------------------------------------------
 
-    def write_file(self, name: str, data: bytes) -> None:
-        """Create or replace a file (charges writes on every replica)."""
+    def write_file(self, name: str, data: bytes,
+                   _preserve: int = 0) -> None:
+        """Create or replace a file (charges writes on every replica).
+
+        ``_preserve`` marks a prefix of ``data`` that is *old* content
+        (appends pass the existing length): an injected torn write
+        never loses preserved bytes, only a suffix of the new ones —
+        mirroring how a real append tears.  Raises
+        :class:`~repro.errors.WriteCrashError` when a scheduled write
+        fault fires.
+        """
         if not name:
             raise StorageError("file name cannot be empty")
+        plan = self.faults
+        if plan is not None:
+            fault = plan.take_write_fault(name)
+            if fault is not None:
+                plan.tick()
+                registry = self.obs.registry
+                if registry.enabled:
+                    registry.counter("storm.dfs.write_crashes").inc()
+                if fault.keep_fraction is None:
+                    raise WriteCrashError(
+                        f"injected crash before write of {name!r} "
+                        f"at tick {plan.now}")
+                preserve = min(_preserve, len(data))
+                keep = preserve + int(fault.keep_fraction
+                                      * (len(data) - preserve))
+                self._commit_write(name, data[:keep])
+                raise WriteCrashError(
+                    f"injected torn write of {name!r}: kept {keep} of "
+                    f"{len(data)} bytes at tick {plan.now}")
+        self._commit_write(name, data)
+
+    def _commit_write(self, name: str, data: bytes) -> None:
+        """Apply a write that survived fault gating."""
         meta = _FileMeta(data=data)
         n_blocks = self._block_count(len(data))
         written_blocks = written_bytes = 0
@@ -352,12 +394,38 @@ class SimulatedDFS:
                 f.write(data)
 
     def append_file(self, name: str, data: bytes) -> None:
-        """Append bytes (new blocks placed fresh, existing untouched)."""
+        """Append bytes (new blocks placed fresh, existing untouched).
+
+        An injected torn write can only lose a suffix of the appended
+        bytes — the pre-existing contents always survive."""
         if name not in self._files:
             self.write_file(name, data)
             return
         old = self._files[name].data
-        self.write_file(name, old + data)
+        self.write_file(name, old + data, _preserve=len(old))
+
+    def rename_file(self, old: str, new: str) -> None:
+        """Atomically rename a file, replacing any existing target.
+
+        This is the durability layer's commit primitive: it is
+        metadata-only (no block I/O is charged, the placed blocks move
+        with the file) and is deliberately *not* fault-gated — a
+        rename either happens or it doesn't, it cannot tear.  Writers
+        that need atomic replacement write ``name + ".tmp"`` and
+        rename it over ``name``.
+        """
+        if not new:
+            raise StorageError("file name cannot be empty")
+        meta = self._get(old)
+        self._cache_invalidate(old)
+        self._cache_invalidate(new)
+        del self._files[old]
+        self._files[new] = meta
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.dfs.renames").inc()
+        if self.root is not None:
+            os.replace(self._disk_path(old), self._disk_path(new))
 
     def read_file(self, name: str) -> bytes:
         """Read a whole file (charges one replica per uncached block —

@@ -11,6 +11,13 @@ Documents persist as JSON-lines files on the :class:`SimulatedDFS`;
 :meth:`DocumentStore.flush` writes, construction reloads.  The store is
 the system of record STORM indexes — the data connector imports into it,
 and the update manager routes inserts/deletes through it.
+
+Flushes are *atomic*: each collection is written to a ``.tmp`` sibling
+and renamed over the target, so a crash mid-flush leaves the previous
+file intact (stale ``.tmp`` leftovers are swept on load).  Serialisation
+goes through :func:`~repro.storage.json_codec.canonical_json`, which
+raises a typed :class:`~repro.errors.StorageError` on values JSON
+cannot represent instead of silently coercing them.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import StorageError
 from repro.storage.dfs import SimulatedDFS
+from repro.storage.json_codec import canonical_json
 
 __all__ = ["DocumentStore", "Collection", "matches_filter"]
 
@@ -115,6 +123,15 @@ class Collection:
         """Delete by id; returns whether it existed."""
         return self._docs.pop(doc_id, None) is not None
 
+    def upsert_one(self, doc: Mapping[str, Any]) -> Any:
+        """Insert, or replace the existing document with the same
+        ``_id`` (WAL replay is idempotent because of this)."""
+        stored = dict(doc)
+        if "_id" not in stored:
+            return self.insert_one(stored)
+        self._docs[stored["_id"]] = stored
+        return stored["_id"]
+
     def delete_many(self, flt: Mapping[str, Any]) -> int:
         """Delete every document matching the filter; returns the count."""
         doomed = [d["_id"] for d in self._docs.values()
@@ -158,9 +175,10 @@ class Collection:
     # -- (de)serialisation --------------------------------------------------------
 
     def to_jsonl(self) -> bytes:
-        """Serialise to JSON-lines bytes."""
-        lines = [json.dumps(doc, sort_keys=True, default=str)
-                 for doc in self._docs.values()]
+        """Serialise to JSON-lines bytes (deterministic: sorted keys,
+        ids in insertion order).  Raises :class:`StorageError` on a
+        document JSON cannot represent — never coerces silently."""
+        lines = [canonical_json(doc) for doc in self._docs.values()]
         return ("\n".join(lines) + ("\n" if lines else "")).encode()
 
     @classmethod
@@ -189,6 +207,11 @@ class DocumentStore:
 
     def _load(self) -> None:
         for name in self.dfs.list_files(self.PREFIX):
+            if name.endswith(".tmp"):
+                # A crash between temp-write and rename left this
+                # behind; the target still holds the committed state.
+                self.dfs.delete_file(name)
+                continue
             coll_name = name[len(self.PREFIX):-len(".jsonl")]
             self.collections[coll_name] = Collection.from_jsonl(
                 coll_name, self.dfs.read_file(name))
@@ -200,6 +223,16 @@ class DocumentStore:
         if name not in self.collections:
             self.collections[name] = Collection(name)
         return self.collections[name]
+
+    def put_collection(self, coll: Collection) -> Collection:
+        """Register a pre-built collection, replacing any in-memory
+        collection with the same name.  The backing DFS file is left
+        untouched until the next :meth:`flush` — callers building a
+        replacement (``save_engine``) stay crash-safe this way."""
+        if not coll.name:
+            raise StorageError("collection name cannot be empty")
+        self.collections[coll.name] = coll
+        return coll
 
     def drop(self, name: str) -> None:
         """Delete a collection (and its DFS file)."""
@@ -215,11 +248,19 @@ class DocumentStore:
         return sorted(self.collections)
 
     def flush(self, name: str | None = None) -> None:
-        """Persist one collection (or all) to the DFS."""
+        """Persist one collection (or all) to the DFS, atomically.
+
+        Each collection is serialised into a ``.tmp`` sibling and
+        renamed over the target file, so a crash (injected or real)
+        mid-write never leaves a half-written or missing collection —
+        readers see the previous committed contents until the rename.
+        """
         names = [name] if name is not None else list(self.collections)
         for coll_name in names:
             coll = self.collections.get(coll_name)
             if coll is None:
                 raise StorageError(f"no collection named {coll_name!r}")
-            self.dfs.write_file(self._file_name(coll_name),
-                                coll.to_jsonl())
+            target = self._file_name(coll_name)
+            tmp = target + ".tmp"
+            self.dfs.write_file(tmp, coll.to_jsonl())
+            self.dfs.rename_file(tmp, target)

@@ -13,13 +13,33 @@ Three conversions live here:
 
 from __future__ import annotations
 
+import json
 from typing import Any, Iterable, Iterator, Mapping
 
 from repro.core.records import Record
-from repro.errors import SchemaError
+from repro.errors import SchemaError, StorageError
 
-__all__ = ["flatten", "rows_to_documents", "documents_to_records",
-           "records_to_documents"]
+__all__ = ["canonical_json", "flatten", "rows_to_documents",
+           "documents_to_records", "records_to_documents"]
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialise to deterministic JSON, or raise a typed error.
+
+    This is the one encoder the durable write path uses (document
+    store flushes, WAL records): keys are sorted so equal documents
+    produce byte-identical lines, ``NaN``/``±Infinity`` round-trip via
+    Python's extended literals, and a value JSON cannot represent
+    raises :class:`~repro.errors.StorageError` instead of being
+    silently coerced to a string — a coerced value would *load* fine
+    and corrupt the dataset quietly, which is worse than failing the
+    write.
+    """
+    try:
+        return json.dumps(obj, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise StorageError(
+            f"value is not JSON-serialisable: {exc}") from exc
 
 
 def flatten(doc: Mapping[str, Any], separator: str = ".",

@@ -1,0 +1,192 @@
+"""Crash recovery: checkpointing and WAL replay for the document store.
+
+The durability protocol has two halves:
+
+**Checkpoint** (:func:`checkpoint_store`) — the flush-commit path.  The
+WAL's current high-water LSN is stamped into the ``_wal`` meta
+collection, every collection is flushed atomically (temp-write +
+rename, data first, the meta collection *last* — its rename is the
+commit point of the whole checkpoint), a ``checkpoint`` record is
+appended to the WAL, and fully covered segments are pruned.  A crash
+anywhere in the sequence is safe: either the old checkpoint LSN is
+still the committed one (replay covers the gap), or the new one is and
+the extra replay work is skipped.
+
+**Recovery** (:func:`recover_store`) — the restart path.  The WAL's
+torn tail (if any) is truncated, every committed batch record with an
+LSN above the store's checkpoint is replayed into its collection
+(deletes before inserts, idempotently — replaying a batch that already
+reached the store is a no-op), dataset manifest record counts are
+refreshed, and a fresh checkpoint makes the recovered state durable.
+The :class:`RecoveryReport` says exactly what happened: segments
+scanned, records replayed, bytes discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs import NULL_OBS, Observability
+from repro.storage.document_store import DocumentStore
+from repro.storage.wal import WriteAheadLog
+
+__all__ = ["RecoveryReport", "checkpoint_store", "recover_store",
+           "stored_checkpoint_lsn", "WAL_META_COLLECTION"]
+
+#: Collection holding the store-side checkpoint LSN (the authoritative
+#: one: its atomic flush is what commits a checkpoint).
+WAL_META_COLLECTION = "_wal"
+_CHECKPOINT_DOC_ID = "checkpoint"
+
+
+@dataclass(slots=True)
+class RecoveryReport:
+    """What one recovery pass scanned, replayed and discarded."""
+
+    #: WAL segment files scanned.
+    segments_scanned: int = 0
+    #: Valid records seen in the log (all types).
+    records_scanned: int = 0
+    #: Batch records actually replayed (LSN above the checkpoint).
+    batches_replayed: int = 0
+    #: Individual insert/delete operations replayed.
+    ops_replayed: int = 0
+    #: Torn-tail bytes physically discarded.
+    bytes_discarded: int = 0
+    #: Why the tail was torn (None for a clean log).
+    torn_reason: str | None = None
+    #: Store checkpoint LSN recovery started from.
+    checkpoint_lsn: int = 0
+    #: Highest committed LSN after truncation.
+    last_lsn: int = 0
+    #: Collections that received replayed operations.
+    collections: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (for traces, benches and the CLI)."""
+        return {
+            "segments_scanned": self.segments_scanned,
+            "records_scanned": self.records_scanned,
+            "batches_replayed": self.batches_replayed,
+            "ops_replayed": self.ops_replayed,
+            "bytes_discarded": self.bytes_discarded,
+            "torn_reason": self.torn_reason,
+            "checkpoint_lsn": self.checkpoint_lsn,
+            "last_lsn": self.last_lsn,
+            "collections": list(self.collections),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (the CLI prints this)."""
+        lines = [
+            "recovery:",
+            f"  segments scanned   {self.segments_scanned}",
+            f"  records scanned    {self.records_scanned}",
+            f"  batches replayed   {self.batches_replayed}",
+            f"  ops replayed       {self.ops_replayed}",
+            f"  bytes discarded    {self.bytes_discarded}"
+            + (f" ({self.torn_reason})" if self.torn_reason else ""),
+            f"  checkpoint lsn     {self.checkpoint_lsn}",
+            f"  last lsn           {self.last_lsn}",
+        ]
+        if self.collections:
+            lines.append("  collections        "
+                         + ", ".join(self.collections))
+        return "\n".join(lines)
+
+
+def stored_checkpoint_lsn(store: DocumentStore) -> int:
+    """The store-side committed checkpoint LSN (0 before any)."""
+    coll = store.collections.get(WAL_META_COLLECTION)
+    if coll is None:
+        return 0
+    doc = coll.find_one({"_id": _CHECKPOINT_DOC_ID})
+    return int(doc["lsn"]) if doc else 0
+
+
+def checkpoint_store(store: DocumentStore, wal: WriteAheadLog,
+                     obs: Observability | None = None) -> int:
+    """Atomically checkpoint the store at the WAL's current LSN.
+
+    Returns the checkpoint LSN.  Data collections flush first; the
+    ``_wal`` meta collection flushes last, and its rename is the
+    commit point — a crash before it leaves the previous checkpoint
+    in force, so replay still covers every committed batch.
+    """
+    obs = obs if obs is not None else wal.obs
+    lsn = wal.last_lsn
+    meta = store.collection(WAL_META_COLLECTION)
+    meta.upsert_one({"_id": _CHECKPOINT_DOC_ID, "lsn": lsn})
+    for name in store.list_collections():
+        if name != WAL_META_COLLECTION:
+            store.flush(name)
+    store.flush(WAL_META_COLLECTION)  # the commit point
+    wal.append_checkpoint(lsn)
+    wal.prune(lsn)
+    return lsn
+
+
+def recover_store(store: DocumentStore, wal: WriteAheadLog,
+                  obs: Observability | None = None,
+                  checkpoint: bool = True,
+                  manifest_collection: str = "_datasets",
+                  dataset_prefix: str = "ds_") -> RecoveryReport:
+    """Bring the store to exactly the committed prefix of the WAL.
+
+    Steps: truncate the torn tail, replay batch records with LSN above
+    the store's checkpoint (deletes before inserts, upserts so replay
+    is idempotent), refresh ``record_count`` in the dataset manifest
+    for replayed collections, then (unless ``checkpoint=False``) write
+    a fresh checkpoint so recovery itself is durable and the log is
+    pruned.
+    """
+    obs = obs if obs is not None else wal.obs
+    report = RecoveryReport(checkpoint_lsn=stored_checkpoint_lsn(store))
+    report.segments_scanned = len(wal.segments())
+    torn = wal.truncate_torn()
+    if torn is not None:
+        report.bytes_discarded = torn.bytes_discarded
+        report.torn_reason = torn.reason
+    records, _ = wal.scan()
+    report.records_scanned = len(records)
+    report.last_lsn = wal.last_lsn
+    touched: list[str] = []
+    for rec in records:
+        if rec.type != "batch" or rec.lsn <= report.checkpoint_lsn:
+            continue
+        coll = store.collection(rec.payload["collection"])
+        for rid in rec.payload.get("deletes", ()):
+            coll.delete_one(rid)
+            report.ops_replayed += 1
+        for doc in rec.payload.get("inserts", ()):
+            coll.upsert_one(doc)
+            report.ops_replayed += 1
+        report.batches_replayed += 1
+        if coll.name not in touched:
+            touched.append(coll.name)
+    report.collections = touched
+    # Replay changes collection sizes; the dataset manifest's
+    # record_count entries (load_engine's corruption tripwire) must
+    # agree with the recovered truth before it is made durable.
+    manifest = store.collections.get(manifest_collection)
+    if manifest is not None and touched:
+        for entry in list(manifest.find()):
+            coll_name = dataset_prefix + str(entry.get("name"))
+            if coll_name in touched:
+                entry["record_count"] = len(
+                    store.collection(coll_name))
+                manifest.replace_one(entry["_id"], entry)
+    registry = obs.registry
+    if registry.enabled:
+        registry.counter("storm.recovery.runs").inc()
+        registry.counter("storm.recovery.segments_scanned").inc(
+            report.segments_scanned)
+        registry.counter("storm.recovery.records_replayed").inc(
+            report.batches_replayed)
+        registry.counter("storm.recovery.ops_replayed").inc(
+            report.ops_replayed)
+        registry.counter("storm.recovery.bytes_discarded").inc(
+            report.bytes_discarded)
+    if checkpoint:
+        checkpoint_store(store, wal, obs=obs)
+    return report

@@ -1,0 +1,340 @@
+"""Checksummed, segment-based write-ahead log on the simulated DFS.
+
+STORM's update manager mutates three places — the in-memory indexes,
+the document store, and (on flush) the DFS files.  None of those
+mutations is durable by itself, so a crash mid-batch loses or tears
+state.  The WAL fixes the contract: every batch is appended here
+*first*, and the append returning is the commit point.  Recovery
+(:mod:`repro.storage.recovery`) replays committed-but-unflushed
+batches on top of the last checkpoint and discards torn tails.
+
+Layout
+------
+
+The log lives under a DFS prefix (``wal/`` by default) as numbered
+segment files (``wal/00000001.seg`` ...).  A segment is a sequence of
+framed records::
+
+    +----------------+----------------+------------------------+
+    | length (4B BE) | CRC32 (4B BE)  | payload (JSON, length) |
+    +----------------+----------------+------------------------+
+
+The payload is one canonical-JSON object carrying a monotonically
+increasing ``lsn`` and a ``type``:
+
+``batch``
+    One update batch: ``collection``, ``dataset``, ``deletes`` (ids)
+    and ``inserts`` (documents).  Deletes are recorded — and replayed —
+    before inserts, so a delete+reinsert of the same id is a replace.
+``checkpoint``
+    A flush-commit marker: every effect up to ``checkpoint_lsn`` is
+    durably in the document store, so replay may start after it and
+    fully covered segments may be pruned.
+
+A torn tail (truncated header, short payload, CRC mismatch,
+undecodable JSON, or an LSN regression) marks the *end of the valid
+log*: scanning stops there, and :meth:`WriteAheadLog.truncate_torn`
+physically discards the damage.  Appending to a log with a known-torn
+tail raises :class:`~repro.errors.WalError` — run recovery first.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.errors import WalError, WriteCrashError
+from repro.obs import NULL_OBS, Observability
+from repro.storage.dfs import SimulatedDFS
+from repro.storage.json_codec import canonical_json
+
+__all__ = ["WalRecord", "TornTail", "WriteAheadLog", "WAL_PREFIX"]
+
+WAL_PREFIX = "wal/"
+
+#: Record framing: payload length + CRC32 of the payload, big-endian.
+_HEADER = struct.Struct(">II")
+
+
+@dataclass(frozen=True, slots=True)
+class WalRecord:
+    """One decoded, checksum-verified log record."""
+
+    lsn: int
+    type: str
+    payload: dict[str, Any]
+    segment: str
+    nbytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class TornTail:
+    """Where a scan stopped trusting the log, and what it would cut."""
+
+    segment: str
+    offset: int
+    bytes_discarded: int
+    reason: str
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed redo log over :class:`SimulatedDFS`.
+
+    ``segment_bytes`` is a soft roll threshold: a segment that has
+    reached it is closed and the next append opens a fresh one, which
+    bounds the cost of tail truncation and lets checkpoints prune
+    whole files.
+    """
+
+    def __init__(self, dfs: SimulatedDFS, segment_bytes: int = 65536,
+                 prefix: str = WAL_PREFIX,
+                 obs: Observability | None = None):
+        if segment_bytes < 1:
+            raise WalError("segment_bytes must be positive")
+        if not prefix:
+            raise WalError("WAL prefix cannot be empty")
+        self.dfs = dfs
+        self.segment_bytes = segment_bytes
+        self.prefix = prefix
+        self.obs = obs if obs is not None else NULL_OBS
+        #: Highest LSN durably appended (0 before any append).
+        self.last_lsn = 0
+        #: ``checkpoint_lsn`` of the newest checkpoint record seen.
+        self.checkpoint_lsn = 0
+        self._next_segment_index = 1
+        # segment name -> (first LSN, last LSN) for pruning.
+        self._segment_lsns: dict[str, tuple[int, int]] = {}
+        self._torn: TornTail | None = None
+        self._bootstrap()
+
+    # -- scanning ----------------------------------------------------------
+
+    def segments(self) -> list[str]:
+        """Sorted segment file names currently on the DFS."""
+        return self.dfs.list_files(self.prefix)
+
+    def scan(self) -> tuple[list[WalRecord], TornTail | None]:
+        """Every valid record in LSN order, plus the torn tail (if
+        any).  Scanning stops at the first frame that fails length,
+        CRC, JSON or LSN-monotonicity checks; everything from that
+        offset on (including later segments) counts as discarded."""
+        records: list[WalRecord] = []
+        segs = self.segments()
+        last_lsn = 0
+        for i, seg in enumerate(segs):
+            data = self.dfs.read_file(seg)
+            offset = 0
+            reason = None
+            while offset < len(data):
+                if len(data) - offset < _HEADER.size:
+                    reason = "truncated header"
+                    break
+                length, crc = _HEADER.unpack_from(data, offset)
+                payload = data[offset + _HEADER.size:
+                               offset + _HEADER.size + length]
+                if len(payload) < length:
+                    reason = "truncated payload"
+                    break
+                if zlib.crc32(payload) != crc:
+                    reason = "CRC mismatch"
+                    break
+                try:
+                    obj = json.loads(payload)
+                    lsn = int(obj["lsn"])
+                    rtype = str(obj["type"])
+                except (ValueError, KeyError, TypeError):
+                    reason = "undecodable payload"
+                    break
+                if lsn <= last_lsn:
+                    reason = "LSN regression"
+                    break
+                last_lsn = lsn
+                nbytes = _HEADER.size + length
+                records.append(WalRecord(lsn=lsn, type=rtype,
+                                         payload=obj, segment=seg,
+                                         nbytes=nbytes))
+                offset += nbytes
+            if reason is not None:
+                discarded = len(data) - offset
+                discarded += sum(self.dfs.file_size(later)
+                                 for later in segs[i + 1:])
+                return records, TornTail(segment=seg, offset=offset,
+                                         bytes_discarded=discarded,
+                                         reason=reason)
+        return records, None
+
+    def truncate_torn(self) -> TornTail | None:
+        """Physically discard the torn tail (no-op on a clean log).
+
+        The damaged segment is rewritten up to its last valid record
+        (deleted outright when nothing valid precedes the tear), and
+        every later segment is deleted.  After truncation the log is
+        clean and appendable again."""
+        records, torn = self.scan()
+        if torn is not None:
+            segs = self.segments()
+            cut = segs.index(torn.segment)
+            if torn.offset == 0:
+                self.dfs.delete_file(torn.segment)
+            else:
+                data = self.dfs.read_file(torn.segment)
+                self.dfs.write_file(torn.segment, data[:torn.offset])
+            for later in segs[cut + 1:]:
+                self.dfs.delete_file(later)
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter("storm.wal.truncations").inc()
+                registry.counter("storm.wal.bytes_truncated").inc(
+                    torn.bytes_discarded)
+        self._rebuild_state(records)
+        return torn
+
+    def _bootstrap(self) -> None:
+        """Adopt whatever log is already on the DFS (crash restart)."""
+        records, torn = self.scan()
+        self._rebuild_state(records)
+        self._torn = torn
+
+    def _rebuild_state(self, records: list[WalRecord]) -> None:
+        self._torn = None
+        self._segment_lsns = {}
+        self.last_lsn = 0
+        self.checkpoint_lsn = 0
+        for rec in records:
+            self.last_lsn = rec.lsn
+            first, _ = self._segment_lsns.get(rec.segment,
+                                              (rec.lsn, rec.lsn))
+            self._segment_lsns[rec.segment] = (first, rec.lsn)
+            if rec.type == "checkpoint":
+                self.checkpoint_lsn = int(
+                    rec.payload.get("checkpoint_lsn", 0))
+        indices = [int(name[len(self.prefix):].split(".")[0])
+                   for name in self.segments()]
+        self._next_segment_index = max(indices, default=0) + 1
+
+    @property
+    def torn(self) -> TornTail | None:
+        """The torn tail detected at construction (None once clean)."""
+        return self._torn
+
+    # -- appending ---------------------------------------------------------
+
+    def _segment_name(self, index: int) -> str:
+        return f"{self.prefix}{index:08d}.seg"
+
+    def _current_segment(self) -> str:
+        """The segment the next record lands in (rolling on size)."""
+        segs = self.segments()
+        if segs:
+            tail = segs[-1]
+            if self.dfs.file_size(tail) < self.segment_bytes:
+                return tail
+        name = self._segment_name(self._next_segment_index)
+        self._next_segment_index += 1
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.wal.segments_opened").inc()
+        return name
+
+    def append(self, record_type: str,
+               fields: Mapping[str, Any]) -> int:
+        """Frame, checksum and durably append one record; its LSN.
+
+        The append returning *is* the commit point: a crash afterwards
+        can always be recovered from the log, a crash during the write
+        (a :class:`~repro.errors.WriteCrashError` from the DFS) leaves
+        the record uncommitted and the log torn — this WAL object then
+        refuses further appends until :meth:`truncate_torn`.
+        """
+        if self._torn is not None:
+            raise WalError(
+                f"WAL tail is torn ({self._torn.reason} in "
+                f"{self._torn.segment!r}); run recovery before "
+                f"appending")
+        lsn = self.last_lsn + 1
+        obj = {"lsn": lsn, "type": record_type, **fields}
+        payload = canonical_json(obj).encode()
+        frame = _HEADER.pack(len(payload),
+                             zlib.crc32(payload)) + payload
+        segment = self._current_segment()
+        try:
+            self.dfs.append_file(segment, frame)
+        except WriteCrashError:
+            # The simulated process died mid-append; the segment may
+            # hold a torn prefix of this frame.  Poison this handle so
+            # a buggy caller cannot keep appending after the tear.
+            self._torn = TornTail(segment=segment, offset=-1,
+                                  bytes_discarded=0,
+                                  reason="crashed append")
+            raise
+        self.last_lsn = lsn
+        first, _ = self._segment_lsns.get(segment, (lsn, lsn))
+        self._segment_lsns[segment] = (first, lsn)
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.wal.appends").inc()
+            registry.counter("storm.wal.bytes_appended").inc(len(frame))
+            registry.counter(f"storm.wal.records.{record_type}").inc()
+        return lsn
+
+    def append_batch(self, collection: str, deletes: Iterable[int],
+                     inserts: Iterable[Mapping[str, Any]],
+                     dataset: str | None = None) -> int:
+        """Log one update batch (the commit point of an update).
+
+        Deletes are recorded before inserts and replay applies them in
+        that order, so a batch deleting and re-inserting the same id
+        is durably a *replace*."""
+        return self.append("batch", {
+            "collection": collection,
+            "dataset": dataset,
+            "deletes": [int(i) for i in deletes],
+            "inserts": [dict(d) for d in inserts],
+        })
+
+    def append_checkpoint(self, checkpoint_lsn: int) -> int:
+        """Log a flush-commit marker: all effects up to
+        ``checkpoint_lsn`` are durable in the document store."""
+        lsn = self.append("checkpoint",
+                          {"checkpoint_lsn": int(checkpoint_lsn)})
+        self.checkpoint_lsn = int(checkpoint_lsn)
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.wal.checkpoints").inc()
+        return lsn
+
+    # -- maintenance -------------------------------------------------------
+
+    def prune(self, upto_lsn: int) -> int:
+        """Delete segments whose every record has LSN <= ``upto_lsn``
+        (they are fully covered by a checkpoint); how many went.
+
+        The newest segment is always kept so the log retains its
+        checkpoint marker and the LSN high-water mark across
+        restarts."""
+        segs = self.segments()
+        pruned = 0
+        for seg in segs[:-1]:
+            span = self._segment_lsns.get(seg)
+            if span is not None and span[1] <= upto_lsn:
+                self.dfs.delete_file(seg)
+                self._segment_lsns.pop(seg, None)
+                pruned += 1
+        registry = self.obs.registry
+        if registry.enabled and pruned:
+            registry.counter("storm.wal.segments_pruned").inc(pruned)
+        return pruned
+
+    def size_bytes(self) -> int:
+        """Total bytes the log currently occupies on the DFS."""
+        return sum(self.dfs.file_size(s) for s in self.segments())
+
+    def __repr__(self) -> str:
+        return (f"<WriteAheadLog prefix={self.prefix!r} "
+                f"segments={len(self.segments())} "
+                f"last_lsn={self.last_lsn} "
+                f"checkpoint_lsn={self.checkpoint_lsn}"
+                f"{' TORN' if self._torn else ''}>")

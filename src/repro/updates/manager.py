@@ -1,4 +1,19 @@
-"""Batch application of inserts/deletes across store and indexes."""
+"""Batch application of inserts/deletes across store and indexes.
+
+With a :class:`~repro.storage.wal.WriteAheadLog` attached, the manager
+is *durable*: every batch is appended to the log (deletes before
+inserts) **before** any store or index mutation, so the append
+returning is the commit point — a crash afterwards is repaired by
+replay (:mod:`repro.storage.recovery`), a crash during the append
+leaves the batch uncommitted and untouched.  :meth:`UpdateManager.
+flush` then becomes an atomic checkpoint (flush-commit record +
+segment pruning), optionally driven automatically every
+``checkpoint_every`` batches.
+
+Durations use the monotonic ``time.perf_counter`` clock — wall-clock
+time can step backwards under NTP and would make throughput figures
+negative or infinite.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +26,8 @@ from repro.core.records import Record
 from repro.errors import UpdateError
 from repro.obs import NULL_OBS, Observability
 from repro.storage.document_store import DocumentStore
+from repro.storage.recovery import checkpoint_store
+from repro.storage.wal import WriteAheadLog
 
 __all__ = ["UpdateBatch", "UpdateResult", "UpdateManager"]
 
@@ -26,7 +43,12 @@ class UpdateBatch:
         return len(self.inserts) + len(self.deletes)
 
     def validate(self, dataset: Dataset) -> None:
-        """Reject batches that cannot apply cleanly (before mutating)."""
+        """Reject batches that cannot apply cleanly (before mutating).
+
+        A batch may delete an id and re-insert the same id: that is a
+        *replace*, and :meth:`UpdateManager.apply` (and WAL replay)
+        guarantee the delete lands before the insert.
+        """
         insert_ids = [r.record_id for r in self.inserts]
         if len(insert_ids) != len(set(insert_ids)):
             raise UpdateError("batch inserts contain duplicate ids")
@@ -51,8 +73,14 @@ class UpdateResult:
     seconds: float
 
     def throughput(self) -> float:
-        """Applied operations per second."""
+        """Applied operations per second.
+
+        A zero-op batch reports 0.0 (not ``inf``/``nan``); a non-empty
+        batch timed at zero elapsed seconds reports ``inf`` — the
+        monotonic clock guarantees ``seconds`` is never negative."""
         total = self.inserted + self.deleted
+        if total == 0:
+            return 0.0
         return total / self.seconds if self.seconds > 0 else float("inf")
 
 
@@ -67,7 +95,9 @@ class UpdateManager:
                  store: DocumentStore | None = None,
                  collection: str | None = None,
                  rebuild_churn_fraction: float | None = None,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 wal: "WriteAheadLog | None" = None,
+                 checkpoint_every: int | None = None):
         if (store is None) != (collection is None):
             raise UpdateError(
                 "provide both store and collection, or neither")
@@ -75,9 +105,23 @@ class UpdateManager:
                 and rebuild_churn_fraction <= 0:
             raise UpdateError(
                 "rebuild_churn_fraction must be positive")
+        if wal is not None and store is None:
+            raise UpdateError(
+                "a WAL needs a store/collection to recover into")
+        if checkpoint_every is not None:
+            if wal is None:
+                raise UpdateError("checkpoint_every needs a wal")
+            if checkpoint_every < 1:
+                raise UpdateError("checkpoint_every must be >= 1")
         self.dataset = dataset
         self.store = store
         self.collection = collection
+        # Durability: batches are logged here before any mutation.
+        self.wal = wal
+        self.checkpoint_every = checkpoint_every
+        self._batches_since_checkpoint = 0
+        #: LSN of the most recently committed batch (0 before any).
+        self.last_lsn = 0
         # Falls back to the dataset's sink so one engine-level
         # Observability captures update traffic too.
         self.obs = obs if obs is not None \
@@ -97,10 +141,23 @@ class UpdateManager:
         return self.store.collection(self.collection)
 
     def apply(self, batch: UpdateBatch) -> UpdateResult:
-        """Validate then apply one batch everywhere."""
+        """Validate then apply one batch everywhere.
+
+        With a WAL attached the batch is appended to the log *first*;
+        the append returning is the commit point.  Deletes apply
+        before inserts — in the log, in the store and in the indexes —
+        so a delete+reinsert of one id is a replace.
+        """
         batch.validate(self.dataset)
         name = getattr(self.dataset, "name", "?")
         start = time.perf_counter()
+        if self.wal is not None:
+            assert self.collection is not None
+            self.last_lsn = self.wal.append_batch(
+                self.collection,
+                deletes=batch.deletes,
+                inserts=(r.to_document() for r in batch.inserts),
+                dataset=name)
         with self.obs.tracer.span("update_batch", dataset=name,
                                   inserts=len(batch.inserts),
                                   deletes=len(batch.deletes)):
@@ -118,6 +175,11 @@ class UpdateManager:
             self._churn_since_rebuild += len(batch)
             if self._maybe_rebuild():
                 self.rebuilds += 1
+        self._batches_since_checkpoint += 1
+        if self.checkpoint_every is not None \
+                and self._batches_since_checkpoint \
+                >= self.checkpoint_every:
+            self.flush()
         elapsed = time.perf_counter() - start
         registry = self.obs.registry
         if registry.enabled:
@@ -170,6 +232,15 @@ class UpdateManager:
         return results
 
     def flush(self) -> None:
-        """Persist the backing collection (if any) to the DFS."""
-        if self.store is not None and self.collection is not None:
+        """Persist the backing collection (if any) to the DFS.
+
+        With a WAL this is a full atomic checkpoint: the store flushes
+        under the log's high-water LSN, a flush-commit record lands in
+        the log, and fully covered segments are pruned."""
+        if self.store is None or self.collection is None:
+            return
+        if self.wal is not None:
+            checkpoint_store(self.store, self.wal, obs=self.obs)
+        else:
             self.store.flush(self.collection)
+        self._batches_since_checkpoint = 0

@@ -17,7 +17,8 @@ from repro.core.records import Record
 from repro.distributed.cluster import NetworkModel, SimulatedCluster
 from repro.errors import (BlockReadError, ClusterError, FaultError,
                           NetworkTimeoutError, StorageError, StormError,
-                          StreamLostError, WorkerUnavailableError)
+                          StreamLostError, WorkerUnavailableError,
+                          WriteCrashError)
 from repro.faults import CrashWindow, FaultPlan
 from repro.obs import Observability
 from repro.storage.dfs import SimulatedDFS
@@ -343,3 +344,91 @@ class TestWorkerFaults:
         box = Rect((0, 0, 0), (100, 100, 100))
         host.replica_range_count(0, box)
         assert host.cost.delta_from(before).node_reads > 0
+
+
+class TestWriteFaults:
+    def test_validation(self):
+        plan = FaultPlan(seed=1)
+        with pytest.raises(StormError):
+            plan.crash_write("wal/", nth=0)
+        with pytest.raises(StormError):
+            plan.torn_write("wal/", keep_fraction=1.5)
+        with pytest.raises(StormError):
+            plan.torn_write("wal/", nth=-1)
+
+    def test_countdown_consumes_only_first_match(self):
+        plan = (FaultPlan(seed=1).crash_write("wal/", nth=2))
+        assert plan.take_write_fault("store/x") is None
+        assert plan.take_write_fault("wal/a") is None  # 1st of 2
+        fault = plan.take_write_fault("wal/b")
+        assert fault is not None and fault.keep_fraction is None
+        # One-shot: the spec is consumed.
+        assert plan.take_write_fault("wal/c") is None
+
+    def test_stacked_faults_fire_in_configuration_order(self):
+        plan = (FaultPlan(seed=1)
+                .crash_write("wal/", nth=1)
+                .torn_write("wal/", nth=1, keep_fraction=0.5))
+        first = plan.take_write_fault("wal/a")
+        second = plan.take_write_fault("wal/b")
+        assert first.keep_fraction is None
+        assert second.keep_fraction == 0.5
+
+    def test_round_trips_through_dict(self):
+        plan = (FaultPlan(seed=4)
+                .crash_write("wal/", nth=3)
+                .torn_write("store/", nth=1, keep_fraction=0.25))
+        spec = plan.to_dict()
+        assert spec["write_faults"] == [
+            {"match": "wal/", "nth": 3, "keep_fraction": None},
+            {"match": "store/", "nth": 1, "keep_fraction": 0.25}]
+        assert FaultPlan.from_dict(spec).to_dict() == spec
+
+    def test_crash_write_lands_no_bytes(self):
+        dfs = SimulatedDFS()
+        dfs.write_file("wal/seg", b"committed")
+        dfs.set_fault_plan(FaultPlan(seed=1).crash_write("wal/"))
+        with pytest.raises(WriteCrashError):
+            dfs.write_file("wal/seg", b"committedMORE")
+        assert dfs.read_file("wal/seg") == b"committed"
+
+    def test_torn_write_keeps_a_prefix_of_new_bytes(self):
+        dfs = SimulatedDFS()
+        dfs.set_fault_plan(
+            FaultPlan(seed=1).torn_write("f", keep_fraction=0.5))
+        with pytest.raises(WriteCrashError):
+            dfs.write_file("f", b"0123456789")
+        assert dfs.read_file("f") == b"01234"
+
+    def test_torn_append_never_tears_committed_bytes(self):
+        """An append that tears loses only a suffix of the *new*
+        bytes — everything previously committed survives."""
+        dfs = SimulatedDFS()
+        dfs.append_file("wal/seg", b"OLDBYTES")
+        dfs.set_fault_plan(
+            FaultPlan(seed=1).torn_write("wal/", keep_fraction=0.5))
+        with pytest.raises(WriteCrashError):
+            dfs.append_file("wal/seg", b"newnewnew")
+        data = dfs.read_file("wal/seg")
+        assert data.startswith(b"OLDBYTES")
+        assert len(data) < len(b"OLDBYTESnewnewnew")
+
+    def test_rename_is_not_fault_gated(self):
+        dfs = SimulatedDFS()
+        dfs.write_file("store/a.tmp", b"new")
+        dfs.set_fault_plan(FaultPlan(seed=1).crash_write("store/"))
+        dfs.rename_file("store/a.tmp", "store/a")  # must not raise
+        assert dfs.read_file("store/a") == b"new"
+
+    def test_write_crash_counter_flows_to_registry(self):
+        obs = Observability()
+        dfs = SimulatedDFS(obs=obs)
+        dfs.set_fault_plan(FaultPlan(seed=1).crash_write("wal/"))
+        with pytest.raises(WriteCrashError):
+            dfs.write_file("wal/seg", b"x")
+        registry = obs.registry
+        assert registry.counter("storm.dfs.write_crashes").value == 1
+
+    def test_write_crash_error_is_both_hierarchies(self):
+        assert issubclass(WriteCrashError, FaultError)
+        assert issubclass(WriteCrashError, StorageError)

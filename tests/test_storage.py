@@ -9,7 +9,8 @@ from repro.storage.catalog import Catalog, DatasetInfo
 from repro.storage.dfs import SimulatedDFS
 from repro.storage.document_store import (Collection, DocumentStore,
                                           matches_filter)
-from repro.storage.json_codec import (documents_to_records, flatten,
+from repro.storage.json_codec import (canonical_json,
+                                      documents_to_records, flatten,
                                       records_to_documents,
                                       rows_to_documents)
 
@@ -275,3 +276,110 @@ class TestCatalog:
         catalog.flush()
         again = Catalog(DocumentStore(store.dfs))
         assert again.get("osm").source == "csv:x"
+
+
+class TestDFSRename:
+    def test_rename_replaces_target_atomically(self):
+        dfs = SimulatedDFS()
+        dfs.write_file("store/a.jsonl", b"old")
+        dfs.write_file("store/a.jsonl.tmp", b"new contents")
+        dfs.rename_file("store/a.jsonl.tmp", "store/a.jsonl")
+        assert dfs.read_file("store/a.jsonl") == b"new contents"
+        assert not dfs.exists("store/a.jsonl.tmp")
+
+    def test_rename_missing_source_raises(self):
+        with pytest.raises(StorageError):
+            SimulatedDFS().rename_file("nope", "somewhere")
+
+    def test_rename_charges_no_block_io(self):
+        dfs = SimulatedDFS()
+        dfs.write_file("a", b"x" * 100)
+        written = dfs.total_blocks_written()
+        dfs.rename_file("a", "b")
+        assert dfs.total_blocks_written() == written
+        assert dfs.read_file("b") == b"x" * 100
+
+    def test_rename_persists_on_disk_root(self, tmp_path):
+        dfs = SimulatedDFS(root=str(tmp_path / "dfs"))
+        dfs.write_file("store/a.tmp", b"payload")
+        dfs.rename_file("store/a.tmp", "store/a")
+        again = SimulatedDFS(root=str(tmp_path / "dfs"))
+        assert again.read_file("store/a") == b"payload"
+        assert not again.exists("store/a.tmp")
+
+
+class TestJsonFidelity:
+    """Round-trip fidelity: what goes into a collection comes back
+    byte-identical through flush/reload — or raises a typed error.
+    No silent coercion (the old ``default=str`` path) is allowed."""
+
+    def roundtrip(self, doc):
+        coll = Collection("c")
+        coll.insert_one(doc)
+        payload = coll.to_jsonl()
+        again = Collection.from_jsonl("c", payload)
+        assert again.to_jsonl() == payload
+        return again.get(doc["_id"]), payload
+
+    def test_unicode_keys_and_values(self):
+        doc = {"_id": 1, "城市": "北京", "emoji": "🌧️",
+               "naïve": {"ключ": "значение"}}
+        back, _ = self.roundtrip(doc)
+        assert back == doc
+
+    def test_nan_and_infinities_round_trip(self):
+        import math
+        doc = {"_id": 1, "nan": float("nan"),
+               "pinf": float("inf"), "ninf": float("-inf")}
+        back, _ = self.roundtrip(doc)
+        assert math.isnan(back["nan"])
+        assert back["pinf"] == float("inf")
+        assert back["ninf"] == float("-inf")
+
+    def test_deeply_nested_payload(self):
+        doc = {"_id": 1, "payload": {
+            "a": [1, 2.5, None, True, {"b": [[], {}, "x"]}],
+            "c": {"d": {"e": {"f": [0.1, -7, "λ"]}}}}}
+        back, _ = self.roundtrip(doc)
+        assert back == doc
+
+    def test_float_precision_survives(self):
+        doc = {"_id": 1, "v": 0.1 + 0.2, "w": 1e-308, "x": 1e308}
+        back, _ = self.roundtrip(doc)
+        assert back["v"] == doc["v"]
+        assert back["w"] == doc["w"] and back["x"] == doc["x"]
+
+    def test_serialisation_is_deterministic(self):
+        coll = Collection("c")
+        coll.insert_one({"_id": 1, "b": 2, "a": 1})
+        assert coll.to_jsonl() == b'{"_id": 1, "a": 1, "b": 2}\n'
+
+    def test_non_serialisable_raises_typed_error(self):
+        coll = Collection("c")
+        coll.insert_one({"_id": 1, "v": {1, 2, 3}})
+        with pytest.raises(StorageError):
+            coll.to_jsonl()
+        coll2 = Collection("c")
+        coll2.insert_one({"_id": 1, "v": b"raw bytes"})
+        with pytest.raises(StorageError):
+            coll2.to_jsonl()
+
+    def test_canonical_json_error_names_the_problem(self):
+        with pytest.raises(StorageError) as err:
+            canonical_json({"when": object()})
+        assert "not JSON-serialisable" in str(err.value)
+
+    def test_fidelity_through_dfs_flush_and_reload(self, tmp_path):
+        dfs = SimulatedDFS(root=str(tmp_path / "dfs"))
+        store = DocumentStore(dfs)
+        doc = {"_id": 7, "城市": "東京",
+               "coords": [float("inf"), float("-inf")],
+               "nested": {"α": [1.5, {"β": None}]}}
+        store.collection("c").insert_one(doc)
+        store.flush("c")
+        raw = dfs.read_file("store/c.jsonl")
+        again = DocumentStore(SimulatedDFS(root=str(tmp_path / "dfs")))
+        assert again.collection("c").to_jsonl() == raw
+        back = again.collection("c").get(7)
+        assert back["城市"] == "東京"
+        assert back["coords"] == [float("inf"), float("-inf")]

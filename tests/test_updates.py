@@ -170,3 +170,66 @@ class TestApply:
                dataset.samplers["rs-tree"].sample_stream(
                    recent.to_rect(3), rng)}
         assert got == {r.record_id for r in fresh}
+
+
+class TestThroughput:
+    def test_zero_op_batch_reports_zero(self, dataset):
+        result = UpdateManager(dataset).apply(UpdateBatch())
+        assert result.inserted == 0 and result.deleted == 0
+        assert result.throughput() == 0.0
+
+    def test_zero_op_zero_seconds_is_still_zero(self):
+        from repro.updates.manager import UpdateResult
+        assert UpdateResult(0, 0, seconds=0.0).throughput() == 0.0
+        assert UpdateResult(0, 0, seconds=0.5).throughput() == 0.0
+
+    def test_nonzero_batch_divides(self):
+        from repro.updates.manager import UpdateResult
+        assert UpdateResult(3, 1, seconds=2.0).throughput() == 2.0
+        assert UpdateResult(1, 0, seconds=0.0).throughput() \
+            == float("inf")
+
+
+class TestDeleteBeforeInsertOrdering:
+    """A batch deleting and re-inserting one id is a replace — the
+    delete must land first in every layer (dataset, store, WAL)."""
+
+    def test_store_sees_the_replacement(self, dataset):
+        store = DocumentStore()
+        coll = store.collection("live")
+        coll.insert_many(r.to_document()
+                         for r in dataset.records.values())
+        manager = UpdateManager(dataset, store=store,
+                                collection="live")
+        old = dataset.lookup(5)
+        manager.apply(UpdateBatch(
+            inserts=[Record(5, lon=77.0, lat=77.0,
+                            attrs={"v": 123.0})],
+            deletes=[5]))
+        assert dataset.lookup(5).lon == 77.0 != old.lon
+        assert coll.get(5)["lon"] == 77.0
+        assert coll.count() == len(dataset)
+
+    def test_wal_replay_preserves_replace(self, dataset):
+        from repro.storage.dfs import SimulatedDFS
+        from repro.storage.recovery import (checkpoint_store,
+                                            recover_store)
+        from repro.storage.wal import WriteAheadLog
+        dfs = SimulatedDFS()
+        store = DocumentStore(dfs)
+        coll = store.collection("live")
+        coll.insert_many(r.to_document()
+                         for r in dataset.records.values())
+        wal = WriteAheadLog(dfs)
+        checkpoint_store(store, wal)
+        manager = UpdateManager(dataset, store=store,
+                                collection="live", wal=wal)
+        manager.apply(UpdateBatch(
+            inserts=[Record(5, lon=77.0, lat=77.0,
+                            attrs={"v": 123.0})],
+            deletes=[5]))
+        # Crash pre-flush; replay must reproduce the replace.
+        store2 = DocumentStore(dfs)
+        recover_store(store2, WriteAheadLog(dfs))
+        assert store2.collection("live").get(5)["lon"] == 77.0
+        assert store2.collection("live").count() == len(dataset)

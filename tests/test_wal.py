@@ -1,0 +1,516 @@
+"""Tests for the durable write path: WAL, checkpoints, recovery.
+
+The contract under test: after a crash at *any* point — before a WAL
+append, during one (torn tail), between append and flush, or inside a
+checkpoint — recovery restores exactly the committed prefix of
+updates.  The append returning is the commit point; nothing committed
+may be lost, nothing uncommitted may reappear.
+"""
+
+import random
+
+import pytest
+
+from repro.core.engine import Dataset, StormEngine
+from repro.core.records import Record
+from repro.errors import (StorageError, UpdateError, WalError,
+                          WriteCrashError)
+from repro.faults import FaultPlan
+from repro.obs import Observability
+from repro.query.executor import QueryExecutor
+from repro.storage.dfs import SimulatedDFS
+from repro.storage.document_store import DocumentStore
+from repro.storage.persistence import (DATASET_PREFIX, load_engine,
+                                       save_engine)
+from repro.storage.recovery import (WAL_META_COLLECTION,
+                                    checkpoint_store, recover_store,
+                                    stored_checkpoint_lsn)
+from repro.storage.wal import WriteAheadLog
+from repro.updates.manager import UpdateBatch, UpdateManager
+
+
+def make_records(n, seed=7, start_id=0):
+    rng = random.Random(seed)
+    return [Record(record_id=start_id + i, lon=rng.uniform(0, 100),
+                   lat=rng.uniform(0, 100), t=rng.uniform(0, 1000),
+                   attrs={"v": round(rng.gauss(10, 2), 6)})
+            for i in range(n)]
+
+
+def fresh(segment_bytes=65536):
+    dfs = SimulatedDFS(machines=4, replication=2)
+    store = DocumentStore(dfs)
+    wal = WriteAheadLog(dfs, segment_bytes=segment_bytes)
+    return dfs, store, wal
+
+
+class TestWalFraming:
+    def test_append_scan_roundtrip(self):
+        _, _, wal = fresh()
+        lsn1 = wal.append("batch", {"collection": "c", "deletes": [],
+                                    "inserts": [{"_id": 1}]})
+        lsn2 = wal.append_checkpoint(lsn1)
+        assert (lsn1, lsn2) == (1, 2)
+        records, torn = wal.scan()
+        assert torn is None
+        assert [r.lsn for r in records] == [1, 2]
+        assert records[0].type == "batch"
+        assert records[0].payload["inserts"] == [{"_id": 1}]
+        assert records[1].payload["checkpoint_lsn"] == lsn1
+
+    def test_lsns_are_monotonic_across_restart(self):
+        dfs, _, wal = fresh()
+        for _ in range(5):
+            wal.append("batch", {"collection": "c"})
+        reopened = WriteAheadLog(dfs)
+        assert reopened.last_lsn == 5
+        assert reopened.append("batch", {"collection": "c"}) == 6
+
+    def test_segments_roll_at_threshold(self):
+        _, _, wal = fresh(segment_bytes=64)
+        for _ in range(6):
+            wal.append("batch", {"collection": "c",
+                                 "inserts": [{"_id": 1, "pad": "x"}]})
+        assert len(wal.segments()) > 1
+        records, torn = wal.scan()
+        assert torn is None
+        assert [r.lsn for r in records] == list(range(1, 7))
+
+    def test_size_bytes_sums_segments(self):
+        _, _, wal = fresh(segment_bytes=64)
+        assert wal.size_bytes() == 0
+        for _ in range(4):
+            wal.append("batch", {"collection": "c"})
+        assert wal.size_bytes() == sum(
+            wal.dfs.file_size(s) for s in wal.segments())
+
+    def test_batch_payload_orders_deletes_before_inserts(self):
+        """The durable format itself encodes replace semantics."""
+        _, _, wal = fresh()
+        wal.append_batch("c", deletes=[3, 1],
+                         inserts=[{"_id": 1, "v": "new"}],
+                         dataset="live")
+        rec = wal.scan()[0][0]
+        keys = list(rec.payload)
+        assert keys.index("deletes") < keys.index("inserts")
+        assert rec.payload["deletes"] == [3, 1]
+        assert rec.payload["dataset"] == "live"
+
+    def test_init_validates(self):
+        dfs = SimulatedDFS()
+        with pytest.raises(WalError):
+            WriteAheadLog(dfs, segment_bytes=0)
+        with pytest.raises(WalError):
+            WriteAheadLog(dfs, prefix="")
+
+
+class TestTornTail:
+    def seed_log(self, n=4, segment_bytes=65536):
+        dfs, _, wal = fresh(segment_bytes=segment_bytes)
+        for i in range(n):
+            wal.append("batch", {"collection": "c",
+                                 "inserts": [{"_id": i}]})
+        return dfs, wal
+
+    def corrupt_tail(self, dfs, seg, cut=3):
+        data = dfs.read_file(seg)
+        dfs.write_file(seg, data[:-cut])
+
+    def test_truncated_payload_detected(self):
+        dfs, wal = self.seed_log()
+        seg = wal.segments()[-1]
+        self.corrupt_tail(dfs, seg)
+        records, torn = WriteAheadLog(dfs).scan()
+        assert [r.lsn for r in records] == [1, 2, 3]
+        assert torn is not None
+        assert torn.reason == "truncated payload"
+        assert torn.bytes_discarded > 0
+
+    def test_crc_mismatch_detected(self):
+        dfs, wal = self.seed_log()
+        seg = wal.segments()[-1]
+        data = bytearray(dfs.read_file(seg))
+        data[-1] ^= 0xFF  # flip a bit inside the last payload
+        dfs.write_file(seg, bytes(data))
+        records, torn = WriteAheadLog(dfs).scan()
+        assert len(records) == 3
+        assert torn.reason == "CRC mismatch"
+
+    def test_truncated_header_detected(self):
+        dfs, wal = self.seed_log(n=1)
+        seg = wal.segments()[-1]
+        data = dfs.read_file(seg)
+        dfs.write_file(seg, data + b"\x00\x01\x02")
+        _, torn = WriteAheadLog(dfs).scan()
+        assert torn.reason == "truncated header"
+        assert torn.bytes_discarded == 3
+
+    def test_later_segments_count_as_discarded(self):
+        dfs, wal = self.seed_log(n=8, segment_bytes=64)
+        segs = wal.segments()
+        assert len(segs) >= 3
+        self.corrupt_tail(dfs, segs[0])
+        later = sum(dfs.file_size(s) for s in segs[1:])
+        _, torn = WriteAheadLog(dfs).scan()
+        assert torn.segment == segs[0]
+        assert torn.bytes_discarded > later
+
+    def test_truncate_torn_makes_log_appendable(self):
+        dfs, wal = self.seed_log()
+        self.corrupt_tail(dfs, wal.segments()[-1])
+        reopened = WriteAheadLog(dfs)
+        assert reopened.torn is not None
+        with pytest.raises(WalError):
+            reopened.append("batch", {"collection": "c"})
+        torn = reopened.truncate_torn()
+        assert torn is not None and reopened.torn is None
+        assert reopened.last_lsn == 3
+        assert reopened.append("batch", {"collection": "c"}) == 4
+        records, still_torn = reopened.scan()
+        assert still_torn is None
+        assert [r.lsn for r in records] == [1, 2, 3, 4]
+
+    def test_truncate_deletes_fully_torn_segment(self):
+        dfs, wal = self.seed_log(n=8, segment_bytes=64)
+        segs = wal.segments()
+        # Tear the first record of a later segment: nothing valid
+        # precedes the tear in that file, so it is deleted outright.
+        dfs.write_file(segs[1], dfs.read_file(segs[1])[:6])
+        reopened = WriteAheadLog(dfs)
+        reopened.truncate_torn()
+        assert segs[1] not in reopened.segments()
+
+    def test_crashed_append_poisons_handle(self):
+        dfs, _, wal = fresh()
+        wal.append("batch", {"collection": "c"})
+        dfs.set_fault_plan(FaultPlan(seed=1).crash_write("wal/"))
+        with pytest.raises(WriteCrashError):
+            wal.append("batch", {"collection": "c"})
+        with pytest.raises(WalError):
+            wal.append("batch", {"collection": "c"})
+
+
+class TestCheckpointAndRecovery:
+    def seeded_store(self):
+        dfs, store, wal = fresh()
+        coll = store.collection("live")
+        coll.insert_many({"_id": i, "v": i} for i in range(10))
+        checkpoint_store(store, wal)
+        return dfs, store, wal
+
+    def test_checkpoint_commits_meta_lsn(self):
+        _, store, wal = self.seeded_store()
+        wal.append_batch("live", deletes=[], inserts=[{"_id": 99}])
+        lsn = checkpoint_store(store, wal)
+        assert lsn == wal.last_lsn - 1  # checkpoint record follows
+        assert stored_checkpoint_lsn(store) == lsn
+        reloaded = DocumentStore(store.dfs)
+        assert stored_checkpoint_lsn(reloaded) == lsn
+
+    def test_prune_keeps_newest_segment(self):
+        dfs, store, _ = self.seeded_store()
+        wal = WriteAheadLog(dfs, segment_bytes=64)
+        for i in range(8):
+            wal.append_batch("live", deletes=[],
+                             inserts=[{"_id": 100 + i}])
+        assert len(wal.segments()) > 2
+        checkpoint_store(store, wal)
+        assert len(wal.segments()) == 1
+        assert WriteAheadLog(dfs).last_lsn == wal.last_lsn
+
+    def test_replay_restores_committed_batches(self):
+        dfs, store, wal = self.seeded_store()
+        wal.append_batch("live", deletes=[0, 1],
+                         inserts=[{"_id": 50, "v": 50}])
+        wal.append_batch("live", deletes=[2],
+                         inserts=[{"_id": 51, "v": 51}])
+        # Crash: nothing flushed.  Restart from the DFS alone.
+        store2 = DocumentStore(dfs)
+        wal2 = WriteAheadLog(dfs)
+        report = recover_store(store2, wal2)
+        live = {d["_id"] for d in store2.collection("live").find()}
+        assert live == ({3, 4, 5, 6, 7, 8, 9} | {50, 51})
+        assert report.batches_replayed == 2
+        assert report.ops_replayed == 5
+        assert report.collections == ["live"]
+
+    def test_replay_is_idempotent(self):
+        """Crash between flush and checkpoint-commit re-replays the
+        already-applied batch; upsert/delete semantics absorb it."""
+        dfs, store, wal = self.seeded_store()
+        wal.append_batch("live", deletes=[0],
+                         inserts=[{"_id": 50, "v": 50}])
+        # The batch reached the store and was flushed, but the meta
+        # collection (the checkpoint commit point) never landed.
+        store.collection("live").delete_one(0)
+        store.collection("live").upsert_one({"_id": 50, "v": 50})
+        store.flush("live")
+        store2 = DocumentStore(dfs)
+        wal2 = WriteAheadLog(dfs)
+        report = recover_store(store2, wal2)
+        assert report.batches_replayed == 1  # replayed, harmlessly
+        live = {d["_id"] for d in store2.collection("live").find()}
+        assert live == set(range(1, 10)) | {50}
+
+    def test_replay_applies_deletes_before_inserts(self):
+        dfs, store, wal = self.seeded_store()
+        wal.append_batch("live", deletes=[3],
+                         inserts=[{"_id": 3, "v": "replaced"}])
+        store2 = DocumentStore(dfs)
+        report = recover_store(store2, WriteAheadLog(dfs))
+        assert report.ops_replayed == 2
+        assert store2.collection("live").get(3)["v"] == "replaced"
+
+    def test_recovery_checkpoint_is_durable(self):
+        dfs, store, wal = self.seeded_store()
+        wal.append_batch("live", deletes=[], inserts=[{"_id": 50}])
+        recover_store(DocumentStore(dfs), WriteAheadLog(dfs))
+        # A second restart finds everything checkpointed: no replay.
+        report = recover_store(DocumentStore(dfs), WriteAheadLog(dfs))
+        assert report.batches_replayed == 0
+
+    def test_no_checkpoint_mode_changes_nothing_durable(self):
+        dfs, store, wal = self.seeded_store()
+        before = stored_checkpoint_lsn(store)
+        wal.append_batch("live", deletes=[], inserts=[{"_id": 50}])
+        report = recover_store(DocumentStore(dfs), WriteAheadLog(dfs),
+                               checkpoint=False)
+        assert report.batches_replayed == 1
+        assert stored_checkpoint_lsn(DocumentStore(dfs)) == before
+
+    def test_report_shapes(self):
+        dfs, store, wal = self.seeded_store()
+        wal.append_batch("live", deletes=[0], inserts=[])
+        report = recover_store(DocumentStore(dfs), WriteAheadLog(dfs))
+        d = report.as_dict()
+        assert d["batches_replayed"] == 1 and d["ops_replayed"] == 1
+        text = report.render()
+        assert text.startswith("recovery:")
+        assert "batches replayed   1" in text
+        assert "live" in text
+
+    def test_recovery_counters_flow_to_registry(self):
+        dfs, store, wal = self.seeded_store()
+        wal.append_batch("live", deletes=[], inserts=[{"_id": 50}])
+        obs = Observability()
+        recover_store(DocumentStore(dfs), WriteAheadLog(dfs, obs=obs),
+                      obs=obs)
+        registry = obs.registry
+        assert registry.counter("storm.recovery.runs").value == 1
+        assert registry.counter(
+            "storm.recovery.records_replayed").value == 1
+        assert registry.counter("storm.wal.checkpoints").value == 1
+
+
+class TestUpdateManagerDurability:
+    def make_manager(self, **kwargs):
+        dfs, store, wal = fresh()
+        records = make_records(40)
+        dataset = Dataset("live", records, rs_buffer_size=8,
+                          build_ls=False)
+        coll = store.collection("live")
+        coll.insert_many(r.to_document() for r in records)
+        checkpoint_store(store, wal)
+        manager = UpdateManager(dataset, store=store,
+                                collection="live", wal=wal, **kwargs)
+        return dfs, manager
+
+    def test_wal_requires_store(self):
+        dataset = Dataset("live", make_records(5), build_ls=False)
+        with pytest.raises(UpdateError):
+            UpdateManager(dataset, wal=WriteAheadLog(SimulatedDFS()))
+
+    def test_checkpoint_every_validated(self):
+        dataset = Dataset("live", make_records(5), build_ls=False)
+        with pytest.raises(UpdateError):
+            UpdateManager(dataset, checkpoint_every=4)
+        dfs, _ = self.make_manager()
+        with pytest.raises(UpdateError):
+            self.make_manager(checkpoint_every=0)
+
+    def test_append_precedes_mutation(self):
+        """A crash on the WAL write leaves every layer untouched."""
+        dfs, manager = self.make_manager()
+        size = len(manager.dataset)
+        dfs.set_fault_plan(FaultPlan(seed=3).crash_write("wal/"))
+        with pytest.raises(WriteCrashError):
+            manager.apply(UpdateBatch(
+                inserts=make_records(2, start_id=1000), deletes=[0]))
+        assert len(manager.dataset) == size
+        assert 0 in manager.dataset.records
+        coll = manager.store.collection("live")
+        assert coll.count() == size and 1000 not in {
+            d["_id"] for d in coll.find()}
+
+    def test_committed_batch_is_in_the_log(self):
+        dfs, manager = self.make_manager()
+        manager.apply(UpdateBatch(
+            inserts=make_records(2, start_id=1000), deletes=[0, 1]))
+        assert manager.last_lsn == manager.wal.last_lsn
+        rec = manager.wal.scan()[0][-1]
+        assert rec.type == "batch"
+        assert rec.payload["deletes"] == [0, 1]
+        assert [d["_id"] for d in rec.payload["inserts"]] \
+            == [1000, 1001]
+
+    def test_checkpoint_every_flushes_automatically(self):
+        dfs, manager = self.make_manager(checkpoint_every=2)
+        start = stored_checkpoint_lsn(DocumentStore(dfs))
+        manager.insert(make_records(1, start_id=1000)[0])
+        assert stored_checkpoint_lsn(DocumentStore(dfs)) == start
+        manager.insert(make_records(1, start_id=1001)[0])
+        after = stored_checkpoint_lsn(DocumentStore(dfs))
+        assert after > start
+        reloaded = DocumentStore(dfs)
+        assert 1001 in {d["_id"]
+                        for d in reloaded.collection("live").find()}
+
+    def test_crash_then_recover_matches_committed_state(self):
+        dfs, manager = self.make_manager()
+        shadow = {d["_id"]: d for d
+                  in manager.store.collection("live").find()}
+        dfs.set_fault_plan(
+            FaultPlan(seed=3).torn_write("wal/", nth=3,
+                                         keep_fraction=0.5))
+        next_id = 1000
+        committed = 0
+        for b in range(5):
+            inserts = make_records(2, seed=b, start_id=next_id)
+            deletes = [sorted(manager.dataset.records)[0]]
+            next_id += 2
+            try:
+                manager.apply(UpdateBatch(inserts=inserts,
+                                          deletes=deletes))
+            except WriteCrashError:
+                break
+            committed += 1
+            for rid in deletes:
+                shadow.pop(rid)
+            for r in inserts:
+                shadow[r.record_id] = r.to_document()
+        assert committed == 2
+        store2 = DocumentStore(dfs)
+        report = recover_store(store2, WriteAheadLog(dfs))
+        live = {d["_id"]: d for d
+                in store2.collection("live").find()}
+        assert live == shadow
+        assert report.bytes_discarded > 0
+
+
+class TestSaveEngineAtomicity:
+    def build_engine(self, n=60):
+        engine = StormEngine(seed=11)
+        engine.create_dataset("alpha", make_records(n),
+                              build_ls=False)
+        return engine
+
+    def test_crash_mid_save_keeps_previous_dataset(self):
+        """Regression: drop-then-reinsert would lose the dataset if
+        the process died between the drop and the rewrite."""
+        dfs = SimulatedDFS()
+        store = DocumentStore(dfs)
+        save_engine(self.build_engine(60), store)
+        dfs.set_fault_plan(
+            FaultPlan(seed=5).torn_write(
+                "store/" + DATASET_PREFIX + "alpha", nth=1,
+                keep_fraction=0.3))
+        with pytest.raises(WriteCrashError):
+            save_engine(self.build_engine(80), store)
+        again = load_engine(DocumentStore(dfs))
+        assert len(again.dataset("alpha")) == 60
+
+    def test_crash_before_any_byte_keeps_previous_dataset(self):
+        dfs = SimulatedDFS()
+        store = DocumentStore(dfs)
+        save_engine(self.build_engine(60), store)
+        dfs.set_fault_plan(
+            FaultPlan(seed=5).crash_write(
+                "store/" + DATASET_PREFIX + "alpha"))
+        with pytest.raises(WriteCrashError):
+            save_engine(self.build_engine(80), store)
+        again = load_engine(DocumentStore(dfs))
+        assert len(again.dataset("alpha")) == 60
+
+    def test_stale_tmp_files_swept_on_load(self):
+        dfs = SimulatedDFS()
+        store = DocumentStore(dfs)
+        save_engine(self.build_engine(10), store)
+        dfs.write_file("store/ds_alpha.jsonl.tmp", b"torn half-")
+        store2 = DocumentStore(dfs)
+        assert not dfs.exists("store/ds_alpha.jsonl.tmp")
+        assert "ds_alpha.jsonl.tmp" not in store2.collections
+        assert len(load_engine(store2).dataset("alpha")) == 10
+
+    def test_save_with_wal_stamps_manifest(self):
+        dfs, store, wal = fresh()
+        wal.append_batch("x", deletes=[], inserts=[{"_id": 1}])
+        save_engine(self.build_engine(10), store, wal=wal)
+        entry = store.collection("_datasets").find_one(
+            {"name": "alpha"})
+        assert entry["checkpoint_lsn"] == 1
+        assert stored_checkpoint_lsn(store) >= 1
+
+    def test_load_engine_runs_recovery_first(self):
+        dfs, store, wal = fresh()
+        engine = self.build_engine(30)
+        save_engine(engine, store, wal=wal)
+        manager = UpdateManager(engine.dataset("alpha"), store=store,
+                                collection=DATASET_PREFIX + "alpha",
+                                wal=wal)
+        manager.apply(UpdateBatch(
+            inserts=make_records(3, start_id=1000), deletes=[0]))
+        # Crash without flushing; reload from the DFS alone.
+        store2 = DocumentStore(dfs)
+        again = load_engine(store2, wal=WriteAheadLog(dfs))
+        assert again.last_recovery.batches_replayed == 1
+        assert len(again.dataset("alpha")) == 32
+        assert 1002 in again.dataset("alpha").records
+        assert 0 not in again.dataset("alpha").records
+
+    def test_load_without_wal_has_no_report(self):
+        store = DocumentStore()
+        save_engine(self.build_engine(10), store)
+        assert load_engine(store).last_recovery is None
+
+    def test_wal_meta_collection_not_a_dataset(self):
+        """The _wal meta collection must never shadow a dataset."""
+        dfs, store, wal = fresh()
+        save_engine(self.build_engine(10), store, wal=wal)
+        again = load_engine(DocumentStore(dfs),
+                            wal=WriteAheadLog(dfs))
+        assert set(again.datasets) == {"alpha"}
+        assert WAL_META_COLLECTION in DocumentStore(dfs).collections
+
+
+class TestExplainDurability:
+    def test_durability_section_after_recovered_load(self):
+        dfs, store, wal = fresh()
+        engine = StormEngine(seed=11)
+        engine.create_dataset("alpha", make_records(200),
+                              build_ls=False)
+        save_engine(engine, store, wal=wal)
+        UpdateManager(engine.dataset("alpha"), store=store,
+                      collection=DATASET_PREFIX + "alpha",
+                      wal=wal).apply(UpdateBatch(
+                          inserts=make_records(4, start_id=1000)))
+        obs = Observability()
+        again = load_engine(DocumentStore(dfs),
+                            wal=WriteAheadLog(dfs, obs=obs), obs=obs)
+        executor = QueryExecutor(again, rng=random.Random(1))
+        report = executor.explain_report(
+            "ESTIMATE COUNT FROM alpha "
+            "WHERE REGION(0, 0, 100, 100)", obs=obs)
+        assert "durability:" in report
+        assert "recovery runs" in report
+        assert "recovery ops replayed" in report
+        assert "wal appends" in report
+
+    def test_no_durability_section_without_wal_traffic(self):
+        engine = StormEngine(seed=11, obs=Observability())
+        engine.create_dataset("alpha", make_records(100),
+                              build_ls=False)
+        executor = QueryExecutor(engine, rng=random.Random(1))
+        report = executor.explain_report(
+            "ESTIMATE COUNT FROM alpha "
+            "WHERE REGION(0, 0, 100, 100)", obs=engine.obs)
+        assert "durability:" not in report
