@@ -1,6 +1,11 @@
 PYTHON ?= python
 
-.PHONY: test lint bench bench-smoke chaos-smoke recovery-smoke check-links
+# Optional: make bench-smoke PROFILE=smoke.collapsed writes collapsed
+# stacks (flamegraph format) for the run alongside the JSON.
+PROFILE ?=
+
+.PHONY: test lint bench bench-smoke chaos-smoke recovery-smoke \
+	check-bench check-links
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -12,13 +17,19 @@ bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks -q
 
 bench-smoke:
-	PYTHONPATH=src $(PYTHON) -m repro.bench.smoke BENCH_sampling.json
+	PYTHONPATH=src $(PYTHON) -m repro.bench.smoke BENCH_sampling.json \
+		$(if $(PROFILE),--profile $(PROFILE))
+	$(PYTHON) tools/check_bench.py BENCH_sampling.json
 
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.chaos BENCH_chaos.json
 
 recovery-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.recovery BENCH_recovery.json
+	$(PYTHON) tools/check_bench.py BENCH_recovery.json
+
+check-bench:
+	$(PYTHON) tools/check_bench.py BENCH_sampling.json BENCH_recovery.json
 
 check-links:
 	$(PYTHON) tools/check_links.py

@@ -15,6 +15,7 @@ always carries the speedup context.
 
 from __future__ import annotations
 
+import argparse
 import json
 import random
 import sys
@@ -22,6 +23,7 @@ import time
 
 from repro.bench.harness import build_osm_dataset, fig3a_query
 from repro.core.sampling.base import take
+from repro.obs import profiled
 
 __all__ = ["run_smoke", "main"]
 
@@ -90,8 +92,29 @@ def run_smoke(n: int = N, k: int = K, repeats: int = REPEATS,
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    out = argv[0] if argv else "BENCH_sampling.json"
-    report = run_smoke()
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.smoke",
+        description="Sampling fast-path smoke benchmark.")
+    parser.add_argument("out", nargs="?", default="BENCH_sampling.json")
+    parser.add_argument("--profile", metavar="FILE",
+                        help="sample the run with the wall-clock "
+                             "profiler and write collapsed stacks "
+                             "(flamegraph format) to FILE")
+    parser.add_argument("--profile-hz", type=float, default=199.0,
+                        help="profiler sampling rate (default 199)")
+    args = parser.parse_args(argv)
+    out = args.out
+    if args.profile:
+        with profiled(args.profile, hz=args.profile_hz) as prof:
+            report = run_smoke()
+        report["profile"] = prof.summary()
+        top = prof.top_frames(1)
+        if top:
+            print(f"profile: {prof.samples} samples, "
+                  f"{len(prof.stacks)} stacks -> {args.profile}; "
+                  f"hottest frame {top[0][0]} ({top[0][1]})")
+    else:
+        report = run_smoke()
     with open(out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

@@ -21,7 +21,13 @@ Observability hooks:
   and prints the metrics dashboard;
 * in the REPL, ``stats`` prints the dashboard of everything run so far
   and ``EXPLAIN ANALYZE <query>`` runs the query under a trace and
-  prints the per-phase cost report.
+  prints the per-phase cost report;
+* ``stats --watch N`` re-renders the dashboard every N seconds;
+* ``--metrics-port PORT`` serves ``/metrics`` (Prometheus text),
+  ``/metrics.json`` and ``/health`` for the life of the process, and
+  the ``serve-metrics`` subcommand does only that;
+* ``--profile FILE`` runs the sampling profiler and writes collapsed
+  stacks (flamegraph format) to FILE on exit.
 
 Durability hooks:
 
@@ -38,15 +44,17 @@ Durability hooks:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import random
 import sys
+import time
 
 from repro.core.engine import StormEngine
 from repro.distributed.dataset import DistributedDataset
 from repro.errors import StormError
 from repro.faults import FaultPlan
-from repro.obs import (NULL_OBS, Observability, render_dashboard,
-                       write_jsonl)
+from repro.obs import (NULL_OBS, MetricsEndpoint, Observability,
+                       profiled, render_dashboard, write_jsonl)
 from repro.query.executor import QueryExecutor
 from repro.storage.dfs import SimulatedDFS
 from repro.storage.document_store import DocumentStore
@@ -106,6 +114,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "recover":
         return _recover_main(argv[1:])
+    if argv and argv[0] == "serve-metrics":
+        return _serve_metrics_main(argv[1:])
     stats_mode = bool(argv) and argv[0] == "stats"
     if stats_mode:
         argv = argv[1:]
@@ -144,7 +154,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--wal-segment-bytes", type=int, default=65536,
                         help="WAL segment roll threshold in bytes "
                              "(default 65536)")
+    parser.add_argument("--metrics-port", type=int, metavar="PORT",
+                        help="serve /metrics, /metrics.json and "
+                             "/health on PORT for the life of the "
+                             "process (0 = ephemeral port)")
+    parser.add_argument("--profile", metavar="FILE",
+                        help="run the sampling profiler and write "
+                             "collapsed stacks (flamegraph format) "
+                             "to FILE on exit")
+    parser.add_argument("--profile-hz", type=float, default=97.0,
+                        help="profiler sampling rate (default 97)")
+    parser.add_argument("--watch", type=int, metavar="N",
+                        help="stats mode: re-render the dashboard "
+                             "every N seconds (live registry)")
+    parser.add_argument("--watch-count", type=int, default=0,
+                        help="stats --watch: stop after this many "
+                             "renders (0 = until interrupted)")
     args = parser.parse_args(argv)
+    if args.watch is not None and not stats_mode:
+        print("error: --watch is only valid with the stats "
+              "subcommand", file=sys.stderr)
+        return 1
+    if args.watch is not None and args.watch < 1:
+        print("error: --watch must be >= 1 second", file=sys.stderr)
+        return 1
     if args.store_root and args.dataset:
         print("error: --store-root and --dataset are exclusive",
               file=sys.stderr)
@@ -161,8 +194,11 @@ def main(argv: list[str] | None = None) -> int:
         except StormError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-    # Instrumentation is opt-in: only --trace / stats pay for it.
-    obs = Observability() if (args.trace or stats_mode) else NULL_OBS
+    # Instrumentation is opt-in: only --trace / stats / the live
+    # endpoint / the profiler pay for it.
+    live = bool(args.trace or stats_mode
+                or args.metrics_port is not None or args.profile)
+    obs = Observability() if live else NULL_OBS
     try:
         if args.store_root:
             print(f"loading store at {args.store_root} ...",
@@ -191,35 +227,103 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 1
     try:
-        if stats_mode:
+        with contextlib.ExitStack() as stack:
+            if args.metrics_port is not None:
+                try:
+                    endpoint = MetricsEndpoint(
+                        obs.registry, port=args.metrics_port,
+                        health=_health_probe(obs.registry)).start()
+                except OSError as exc:
+                    print(f"error: cannot bind metrics port: {exc}",
+                          file=sys.stderr)
+                    return 1
+                stack.callback(endpoint.stop)
+                print(f"metrics: {endpoint.url}/metrics",
+                      file=sys.stderr)
+            if args.profile:
+                stack.enter_context(profiled(
+                    args.profile, hz=args.profile_hz,
+                    registry=obs.registry))
+            if stats_mode:
+                if args.query:
+                    rc = _run_one(executor, args.query, trace_file)
+                    if rc != 0:
+                        return rc
+                if args.watch is not None:
+                    return _watch_stats(obs.registry, args.watch,
+                                        args.watch_count)
+                print(render_dashboard(obs.registry))
+                return 0
             if args.query:
-                rc = _run_one(executor, args.query, trace_file)
-                if rc != 0:
-                    return rc
-            print(render_dashboard(obs.registry))
-            return 0
-        if args.query:
-            return _run_one(executor, args.query, trace_file)
-        print("storm> type a query, 'stats', or 'quit'",
-              file=sys.stderr)
-        while True:
-            try:
-                line = input("storm> ")
-            except EOFError:
-                return 0
-            if line.strip().lower() in ("quit", "exit"):
-                return 0
-            if not line.strip():
-                continue
-            if line.strip().lower() == "stats":
-                print(render_dashboard(executor.obs.registry))
-                continue
-            _run_one(executor, line, trace_file)
+                return _run_one(executor, args.query, trace_file)
+            print("storm> type a query, 'stats', or 'quit'",
+                  file=sys.stderr)
+            while True:
+                try:
+                    line = input("storm> ")
+                except EOFError:
+                    return 0
+                if line.strip().lower() in ("quit", "exit"):
+                    return 0
+                if not line.strip():
+                    continue
+                if line.strip().lower() == "stats":
+                    print(render_dashboard(executor.obs.registry))
+                    continue
+                _run_one(executor, line, trace_file)
     finally:
         if trace_file is not None:
             # One closing metrics snapshot summarises the session.
             write_jsonl(trace_file, (), registry=obs.registry)
             trace_file.close()
+
+
+def _health_probe(registry):
+    """Build the /health document source: WAL, recovery and cluster
+    coverage state read straight out of the live registry."""
+    def probe() -> dict:
+        snap = registry.snapshot()
+        gauges = snap["gauges"]
+        counters = snap["counters"]
+        coverage = gauges.get("storm.cluster.coverage", 1.0)
+        return {
+            "status": "ok" if coverage >= 1.0 else "degraded",
+            "cluster": {
+                "workers": int(gauges.get("storm.cluster.workers", 0)),
+                "coverage": coverage,
+                "crashes": counters.get(
+                    "storm.cluster.fault.crashes", 0),
+            },
+            "wal": {
+                "appends": counters.get("storm.wal.appends", 0),
+                "checkpoints": counters.get(
+                    "storm.wal.checkpoints", 0),
+            },
+            "recovery": {
+                "runs": counters.get("storm.recovery.runs", 0),
+                "records_replayed": counters.get(
+                    "storm.recovery.records_replayed", 0),
+            },
+        }
+    return probe
+
+
+def _watch_stats(registry, interval: int, count: int) -> int:
+    """``stats --watch N``: re-render the dashboard every N seconds
+    (``count`` bounds the renders; 0 means until interrupted)."""
+    renders = 0
+    try:
+        while True:
+            stamp = time.strftime("%H:%M:%S")
+            print(render_dashboard(registry,
+                                   title=f"storm metrics @ {stamp}"))
+            sys.stdout.flush()
+            renders += 1
+            if count and renders >= count:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _load_persisted(store_root: str, seed: int, obs: Observability,
@@ -239,6 +343,70 @@ def _load_persisted(store_root: str, seed: int, obs: Observability,
                                or report.bytes_discarded):
         print(report.render(), file=sys.stderr)
     return engine
+
+
+def _serve_metrics_main(argv: list[str]) -> int:
+    """``storm-query serve-metrics``: load datasets with a live
+    registry, optionally run one query, then serve /metrics,
+    /metrics.json and /health until interrupted (or --duration)."""
+    parser = argparse.ArgumentParser(
+        prog="storm-query serve-metrics",
+        description="Serve the live metrics endpoint over loaded "
+                    "datasets: /metrics (Prometheus text), "
+                    "/metrics.json (registry snapshot + window), "
+                    "/health (WAL/recovery/coverage status).")
+    parser.add_argument("--dataset", action="append", default=[],
+                        help="dataset(s) to load (repeatable; "
+                             "default osm)")
+    parser.add_argument("--n", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--replication", type=int, default=1)
+    parser.add_argument("--port", type=int, default=9188,
+                        help="port to bind (0 = ephemeral; "
+                             "default 9188)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--query",
+                        help="run this query once before serving, so "
+                             "the scrape has data")
+    parser.add_argument("--duration", type=float,
+                        help="serve for this many seconds then exit "
+                             "(default: until interrupted)")
+    args = parser.parse_args(argv)
+    obs = Observability()
+    try:
+        engine = build_engine(args.dataset or ["osm"], args.n,
+                              args.seed, obs=obs,
+                              workers=args.workers,
+                              replication=args.replication)
+        if args.query:
+            executor = QueryExecutor(engine,
+                                     rng=random.Random(args.seed))
+            print(executor.execute(args.query).summary())
+    except StormError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        endpoint = MetricsEndpoint(
+            obs.registry, host=args.host, port=args.port,
+            health=_health_probe(obs.registry)).start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"serving {endpoint.url}/metrics (Ctrl-C to stop)",
+          file=sys.stderr)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        endpoint.stop()
+    return 0
 
 
 def _recover_main(argv: list[str]) -> int:

@@ -232,6 +232,14 @@ class OnlineQuerySession:
             assert self._stream is not None
             k_before = self._k
             sspan = tracer.begin("sample_stream", cost=self.cost)
+            # Per-draw latency quantiles (p50 vs p99 is what separates
+            # a healthy stream from a degrading one); created once so
+            # the loop below pays one observe(), and skipped entirely
+            # on null registries (fake-clock tests stay undisturbed).
+            latency = registry.histogram(
+                "storm.sample.latency_seconds",
+                sampler=self.sampler.name,
+                **self.labels) if registry.enabled else None
             try:
                 lookup = self.lookup
                 while True:
@@ -241,7 +249,14 @@ class OnlineQuerySession:
                     # same sample counts as the one-at-a-time loop.
                     want = self.report_every \
                         - (self._k % self.report_every)
-                    batch = self.sampler.draw_batch(self._stream, want)
+                    if latency is None:
+                        batch = self.sampler.draw_batch(self._stream,
+                                                        want)
+                    else:
+                        drew_at = self.clock()
+                        batch = self.sampler.draw_batch(self._stream,
+                                                        want)
+                        latency.observe(self.clock() - drew_at)
                     if not batch:
                         break  # stream exhausted
                     self.estimator.absorb_batch(

@@ -26,13 +26,17 @@ from repro.errors import (ClusterError, NetworkTimeoutError,
 from repro.faults import FaultPlan
 from repro.index.cost import CostCounter, CostModel, DEFAULT_COST_MODEL
 from repro.index.hilbert_rtree import HilbertRTree
-from repro.obs import NULL_OBS, Observability
+from repro.obs import NULL_OBS, Observability, TraceContext
 
 __all__ = ["NetworkModel", "NetworkStats", "Worker", "SimulatedCluster"]
 
 # Rough per-record wire size (a JSON document with a few attributes).
 RECORD_WIRE_BYTES = 120
 MESSAGE_HEADER_BYTES = 64
+
+#: Per-worker trace-tally retention: old traces are evicted FIFO so a
+#: long-lived worker never accumulates unbounded per-trace state.
+TRACE_TALLY_RETENTION = 64
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,6 +162,13 @@ class Worker:
                                          rng=random.Random(seed))
         self._streams: dict[int, object] = {}
         self._next_stream = 0
+        # Distributed trace propagation: the coordinator sends a
+        # TraceContext with open_stream; every fetch on that handle is
+        # tallied under the originating trace id, so one query's work
+        # can be read back per worker (EXPLAIN's workers section).
+        #: trace id -> {"draws", "batches", "bytes"} (FIFO-bounded).
+        self.trace_tallies: dict[str, dict[str, int]] = {}
+        self._stream_traces: dict[int, str] = {}
 
     def load(self, records: Iterable[Record]) -> None:
         """Bulk-load this worker's shard."""
@@ -221,6 +232,9 @@ class Worker:
             if close is not None:
                 close()
         self._streams.clear()
+        # Trace *tallies* survive a crash (the work already happened);
+        # only the handle->trace routing dies with the handles.
+        self._stream_traces.clear()
 
     def _gate(self, op: str) -> None:
         """Raise WorkerUnavailableError when this op must fail.
@@ -305,14 +319,21 @@ class Worker:
         self._gate("worker.range_count")
         return self.tree.range_count(query, self.cost)
 
-    def open_stream(self, query: Rect, seed: int) -> int:
-        """Start a per-query sample stream; returns a stream handle."""
+    def open_stream(self, query: Rect, seed: int,
+                    trace: "TraceContext | None" = None) -> int:
+        """Start a per-query sample stream; returns a stream handle.
+
+        ``trace`` is the coordinator's propagated trace context: every
+        batch fetched on the returned handle is tallied under that
+        trace id (see :meth:`trace_tally`).
+        """
         self._gate("worker.open_stream")
         return self._register_stream(self.sampler.sample_stream(
-            query, random.Random(seed), cost=self.cost))
+            query, random.Random(seed), cost=self.cost), trace)
 
     def open_replica_stream(self, owner_id: int, query: Rect,
-                            seed: int) -> int:
+                            seed: int,
+                            trace: "TraceContext | None" = None) -> int:
         """Start a stream over a hosted replica shard (failover path).
 
         The handle lives in this worker's stream table, so a crash
@@ -321,12 +342,21 @@ class Worker:
         self._gate("worker.open_stream")
         replica = self._replica(owner_id)
         return self._register_stream(replica.sampler.sample_stream(
-            query, random.Random(seed), cost=self.cost))
+            query, random.Random(seed), cost=self.cost), trace)
 
-    def _register_stream(self, stream) -> int:
+    def _register_stream(self, stream,
+                         trace: "TraceContext | None" = None) -> int:
         handle = self._next_stream
         self._next_stream += 1
         self._streams[handle] = stream
+        if trace is not None:
+            self._stream_traces[handle] = trace.trace_id
+            if trace.trace_id not in self.trace_tallies:
+                while len(self.trace_tallies) >= TRACE_TALLY_RETENTION:
+                    oldest = next(iter(self.trace_tallies))
+                    del self.trace_tallies[oldest]
+                self.trace_tallies[trace.trace_id] = {
+                    "draws": 0, "batches": 0, "bytes": 0}
         return handle
 
     def fetch_batch(self, handle: int, n: int) -> list:
@@ -341,16 +371,32 @@ class Worker:
             out.append(entry)
             if len(out) >= n:
                 break
+        trace_id = self._stream_traces.get(handle)
+        if trace_id is not None:
+            tally = self.trace_tallies.get(trace_id)
+            if tally is not None:
+                tally["draws"] += len(out)
+                tally["batches"] += 1
+                tally["bytes"] += (MESSAGE_HEADER_BYTES
+                                   + len(out) * RECORD_WIRE_BYTES)
         return out
 
     def close_stream(self, handle: int) -> None:
         """Release a per-query stream handle (safe on a dead worker —
         a crash already dropped its handles)."""
+        self._stream_traces.pop(handle, None)
         stream = self._streams.pop(handle, None)
         if stream is not None:
             close = getattr(stream, "close", None)
             if close is not None:
                 close()
+
+    def trace_tally(self, trace_id: str) -> dict[str, int]:
+        """This worker's pull tallies for one trace (zeros if none)."""
+        tally = self.trace_tallies.get(trace_id)
+        if tally is None:
+            return {"draws": 0, "batches": 0, "bytes": 0}
+        return dict(tally)
 
     def open_stream_count(self) -> int:
         """Live stream handles (tests audit this for leaks)."""

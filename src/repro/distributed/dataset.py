@@ -109,9 +109,15 @@ class DistributedDataset:
         if with_replacement:
             raise StormError(
                 "the distributed sampler is without-replacement only")
+        use = obs if obs is not None else self.obs
+        # The distributed sampler emits its own spans (dist_fanout and
+        # the per-worker pull breakdown); rebind it so they land on the
+        # session's tracer — EXPLAIN runs under a private tracer and
+        # still has to see the whole trace under one id.
+        if use is not self.sampler.obs:
+            self.sampler.bind_observability(use)
         return OnlineQuerySession(self.sampler, estimator,
                                   self.to_rect(query), self.lookup,
                                   rng=rng, report_every=report_every,
-                                  obs=obs if obs is not None
-                                  else self.obs,
+                                  obs=use,
                                   labels={"dataset": self.name})

@@ -69,7 +69,8 @@ class _Source:
     """Coordinator-side state of one shard's stream."""
 
     __slots__ = ("owner", "serving", "handle", "remaining", "buffer",
-                 "next_batch", "emitted")
+                 "next_batch", "emitted", "draws", "batches", "bytes",
+                 "retries", "failovers")
 
     def __init__(self, owner: Worker, remaining: int, batch_size: int):
         self.owner = owner
@@ -81,6 +82,13 @@ class _Source:
         #: item ids already yielded from this shard — a re-opened
         #: stream replays the shard, so these are filtered out.
         self.emitted: set[int] = set()
+        # Per-shard pull accounting, surfaced as a ``worker_pull``
+        # span under the stream's ``dist_fanout`` span at close.
+        self.draws = 0
+        self.batches = 0
+        self.bytes = 0
+        self.retries = 0
+        self.failovers = 0
 
 
 class DistributedSampler(SpatialSampler):
@@ -131,10 +139,11 @@ class DistributedSampler(SpatialSampler):
 
     # -- fault-handling helpers -------------------------------------------
 
-    def _with_retry(self, fn: Callable, tallies: dict[str, int]
-                    ) -> object:
+    def _with_retry(self, fn: Callable, tallies: dict[str, int],
+                    src: "_Source | None" = None) -> object:
         """Run one exchange, retrying transient faults with
-        exponential backoff (accounted in simulated seconds)."""
+        exponential backoff (accounted in simulated seconds).
+        ``src`` additionally attributes retries to one shard."""
         registry = self.obs.registry
         delay = self.backoff_seconds
         attempt = 0
@@ -149,6 +158,8 @@ class DistributedSampler(SpatialSampler):
                     raise
                 attempt += 1
                 tallies["retries"] += 1
+                if src is not None:
+                    src.retries += 1
                 tallies["backoff_seconds"] += delay
                 delay *= self.backoff_factor
                 if registry.enabled:
@@ -157,7 +168,8 @@ class DistributedSampler(SpatialSampler):
 
     def _acquire_stream(self, src: _Source, rect: Rect,
                         rng: random.Random,
-                        tallies: dict[str, float]) -> bool:
+                        tallies: dict[str, float],
+                        trace=None) -> bool:
         """(Re-)open a shard's stream: primary first, then any live
         replica holder, each attempted with the retry/backoff policy
         (a transient fault should not cost a shard its stream).
@@ -182,12 +194,13 @@ class DistributedSampler(SpatialSampler):
                     node=serving.node)
                 if owner_id is None:
                     return serving.open_stream(rect,
-                                               rng.getrandbits(32))
+                                               rng.getrandbits(32),
+                                               trace=trace)
                 return serving.open_replica_stream(
-                    owner_id, rect, rng.getrandbits(32))
+                    owner_id, rect, rng.getrandbits(32), trace=trace)
 
             try:
-                handle = self._with_retry(open_once, tallies)
+                handle = self._with_retry(open_once, tallies, src)
             except _RETRYABLE:
                 continue
             src.serving = serving
@@ -214,10 +227,13 @@ class DistributedSampler(SpatialSampler):
                     node=src.serving.node)
                 return src.serving.fetch_batch(src.handle, ask)
 
-            batch = self._with_retry(exchange, tallies)
+            batch = self._with_retry(exchange, tallies, src)
             cluster.network.charge(
                 messages=0,
                 payload_bytes=len(batch) * RECORD_WIRE_BYTES)
+            src.batches += 1
+            src.bytes += (MESSAGE_HEADER_BYTES
+                          + len(batch) * RECORD_WIRE_BYTES)
             if not batch:
                 break
             out.extend(e for e in batch
@@ -243,6 +259,9 @@ class DistributedSampler(SpatialSampler):
             "dist_fanout", workers=len(workers),
             cost=cluster.total_worker_cost, net=cluster.network)
         registry = self.obs.registry
+        # The propagated trace context: workers tag their per-pull
+        # tallies with it (only a real tracer mints real trace ids).
+        trace = span.context() if self.obs.tracer.enabled else None
         tallies: dict[str, float] = {
             "errors": 0, "retries": 0, "failovers": 0, "degraded": 0,
             "backoff_seconds": 0.0}
@@ -275,7 +294,8 @@ class DistributedSampler(SpatialSampler):
                 continue
             known_total += count
             src = _Source(worker, count, self.batch_size)
-            if not self._acquire_stream(src, rect, rng, tallies):
+            if not self._acquire_stream(src, rect, rng, tallies,
+                                        trace=trace):
                 lost += count
                 tallies["degraded"] += 1
                 if registry.enabled:
@@ -284,6 +304,7 @@ class DistributedSampler(SpatialSampler):
                 continue
             if src.serving is not src.owner:
                 tallies["failovers"] += 1
+                src.failovers += 1
                 if registry.enabled:
                     registry.counter(
                         "storm.cluster.fault.failovers").inc()
@@ -310,8 +331,9 @@ class DistributedSampler(SpatialSampler):
                         batch = self._fetch_fresh(src, want, tallies)
                     except (*_RETRYABLE, StreamLostError):
                         if self._acquire_stream(src, rect, rng,
-                                                tallies):
+                                                tallies, trace=trace):
                             tallies["failovers"] += 1
+                            src.failovers += 1
                             if registry.enabled:
                                 registry.counter(
                                     "storm.cluster.fault.failovers"
@@ -343,6 +365,7 @@ class DistributedSampler(SpatialSampler):
                 entry = src.buffer.pop()
                 src.emitted.add(entry.item_id)
                 src.remaining -= 1
+                src.draws += 1
                 fen.add(idx, -1)
                 yield entry
         finally:
@@ -362,8 +385,33 @@ class DistributedSampler(SpatialSampler):
                 span.set("failovers", tallies["failovers"])
                 span.set("degraded_workers", tallies["degraded"])
             span.set("coverage", self.coverage)
+            if self.obs.tracer.enabled:
+                # Stitch the per-shard pull accounting under the
+                # fanout span: one worker_pull child per shard that
+                # saw any traffic, all sharing the stream's trace id.
+                for src in sources:
+                    if not (src.batches or src.retries
+                            or src.failovers):
+                        continue
+                    attrs = {"worker": src.owner.worker_id,
+                             "draws": src.draws,
+                             "batches": src.batches,
+                             "bytes": src.bytes,
+                             "retries": src.retries,
+                             "failovers": src.failovers}
+                    if src.serving is not None \
+                            and src.serving is not src.owner:
+                        attrs["served_by"] = src.serving.worker_id
+                    pull = self.obs.tracer.begin(
+                        "worker_pull", parent=span, **attrs)
+                    self.obs.tracer.end(pull)
             self.obs.tracer.end(span)
             if registry.enabled:
+                for src in sources:
+                    if src.draws:
+                        registry.counter(
+                            "storm.cluster.worker.draws",
+                            worker=src.owner.worker_id).inc(src.draws)
                 registry.counter("storm.cluster.messages").inc(
                     net_delta.messages)
                 registry.counter("storm.cluster.payload_bytes").inc(

@@ -21,20 +21,27 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs.endpoint import MetricsEndpoint
 from repro.obs.export import (metrics_record, render_dashboard,
                               span_records, write_jsonl)
 from repro.obs.explain import phase_costs, render_explain
 from repro.obs.metrics import (Counter, Gauge, Histogram,
                                MetricsRegistry, NullRegistry,
-                               NULL_REGISTRY, metric_key)
-from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+                               NULL_REGISTRY, escape_label_value,
+                               metric_key)
+from repro.obs.profile import SamplingProfiler, profiled
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import (NULL_TRACER, NullTracer, Span,
+                             TraceContext, Tracer)
 
 __all__ = ["Observability", "NULL_OBS", "MetricsRegistry",
            "NullRegistry", "NULL_REGISTRY", "Counter", "Gauge",
-           "Histogram", "metric_key", "Tracer", "NullTracer",
-           "NULL_TRACER", "Span", "span_records", "metrics_record",
-           "write_jsonl", "render_dashboard", "render_explain",
-           "phase_costs"]
+           "Histogram", "metric_key", "escape_label_value", "Tracer",
+           "NullTracer", "NULL_TRACER", "Span", "TraceContext",
+           "span_records", "metrics_record", "write_jsonl",
+           "render_dashboard", "render_explain", "phase_costs",
+           "SamplingProfiler", "profiled", "render_prometheus",
+           "MetricsEndpoint"]
 
 
 class Observability:

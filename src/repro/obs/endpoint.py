@@ -1,0 +1,152 @@
+"""Live telemetry endpoint: /metrics, /metrics.json and /health.
+
+A stdlib ``http.server`` running on a daemon thread, so any STORM
+process — the CLI REPL, a bench run, a soak loop — can expose its
+:class:`MetricsRegistry` while the work is still going.  Routes:
+
+* ``/metrics`` — Prometheus text format (see
+  :mod:`repro.obs.prometheus`): histogram buckets, quantile lines,
+  counters as ``_total``;
+* ``/metrics.json`` — the registry's deterministic
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, plus the
+  sliding-window histogram view under ``"window"``;
+* ``/health`` — a JSON status document assembled from an injectable
+  ``health`` callable (the CLI wires in WAL/recovery/cluster coverage
+  state); always answers 200 with ``"status": "ok"`` or 503 with
+  ``"status": "degraded"`` so load-balancer checks need no parsing.
+
+The endpoint publishes its own traffic as ``storm.http.requests``
+(labelled by route) into the same registry it serves — scraping is
+work too, and it should be visible on the dashboard it feeds.  Binding
+to port 0 picks an ephemeral port (tests); ``start()`` returns only
+after the socket is bound, so ``endpoint.port`` is always real.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import render_prometheus
+
+__all__ = ["MetricsEndpoint"]
+
+_ROUTES = ("/metrics", "/metrics.json", "/health")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; all state lives on the server object."""
+
+    server_version = "storm-obs/1.0"
+
+    # Server-attached attributes (set by MetricsEndpoint.start):
+    #   server.registry, server.health_fn
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        registry = self.server.registry
+        if path == "/metrics":
+            body = render_prometheus(registry).encode()
+            self._reply(200, body,
+                        "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/metrics.json":
+            doc = {"snapshot": registry.snapshot(),
+                   "window": registry.window_snapshot()}
+            self._reply(200, _json_bytes(doc), "application/json")
+        elif path == "/health":
+            doc = self._health_doc()
+            code = 200 if doc.get("status") == "ok" else 503
+            self._reply(code, _json_bytes(doc), "application/json")
+        else:
+            self._reply(404, b'{"error": "not found"}\n',
+                        "application/json")
+            return
+        if registry.enabled:
+            registry.counter("storm.http.requests", route=path).inc()
+
+    def _health_doc(self) -> dict:
+        health_fn = self.server.health_fn
+        if health_fn is None:
+            return {"status": "ok"}
+        try:
+            detail = health_fn()
+        except Exception as exc:  # health probe must never 500
+            return {"status": "degraded",
+                    "error": f"{type(exc).__name__}: {exc}"}
+        doc = dict(detail) if detail else {}
+        doc.setdefault("status", "ok")
+        return doc
+
+    def _reply(self, code: int, body: bytes, ctype: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:
+        pass  # the request counter is the access log
+
+
+def _json_bytes(doc: dict) -> bytes:
+    return (json.dumps(doc, sort_keys=True, default=str) + "\n").encode()
+
+
+class MetricsEndpoint:
+    """The registry's HTTP face, on a background daemon thread.
+
+    ``health`` is a zero-arg callable returning a JSON-ready dict; a
+    ``"status"`` key other than ``"ok"`` turns ``/health`` into a 503.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 health: "Callable[[], dict] | None" = None) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.health = health
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsEndpoint":
+        if self._server is not None:
+            raise RuntimeError("endpoint already started")
+        server = ThreadingHTTPServer((self.host, self.port), _Handler)
+        server.daemon_threads = True
+        server.registry = self.registry
+        server.health_fn = self.health
+        self.port = server.server_address[1]
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="storm-metrics-endpoint",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join()
+
+    def __enter__(self) -> "MetricsEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -74,6 +74,24 @@ def render_explain(plan_text: str, root: Span | None, final,
             lines.append(
                 f"network: messages={root.net.messages}"
                 f" payload_bytes={root.net.payload_bytes}")
+        pulls = root.find_all("worker_pull")
+        if pulls:
+            lines.append(f"workers (trace {root.trace_id}):")
+            width = max(len(str(p.attrs.get("worker", "?")))
+                        for p in pulls)
+            for pull in pulls:
+                a = pull.attrs
+                row = (f"  {str(a.get('worker', '?')):<{width}}"
+                       f"  draws={a.get('draws', 0)}"
+                       f" batches={a.get('batches', 0)}"
+                       f" retries={a.get('retries', 0)}"
+                       f" failovers={a.get('failovers', 0)}"
+                       f" bytes={a.get('bytes', 0)}")
+                served_by = a.get("served_by")
+                if served_by is not None \
+                        and served_by != a.get("worker"):
+                    row += f" (via {served_by})"
+                lines.append(row)
     if caches:
         rows = [(name, hits, misses)
                 for name, (hits, misses) in caches.items()

@@ -93,7 +93,9 @@ def render_dashboard(registry: MetricsRegistry,
             detail = f"count={_fmt(s['count'])}"
             if s["count"]:
                 detail += (f" mean={s['mean']:.6g}"
-                           f" min={s['min']:.6g} max={s['max']:.6g}")
+                           f" min={s['min']:.6g} max={s['max']:.6g}"
+                           f" p50={s['p50']:.6g} p90={s['p90']:.6g}"
+                           f" p99={s['p99']:.6g}")
             lines.append(f"  {name:<{width}}  {detail}")
     if len(lines) == 1:
         lines.append("  (no metrics recorded)")

@@ -19,14 +19,50 @@ The tracer's clock is injectable (tests pin it); span ids are
 sequential per tracer, so traces are deterministic under a fake clock.
 :class:`NullTracer` is the default everywhere: ``begin`` hands back a
 shared inert span and the whole trace machinery costs one method call.
+
+**Distributed propagation.**  Every span carries a ``trace_id``: root
+spans mint a fresh one, children inherit their parent's, so one query's
+whole tree — including the coordinator-side ``worker_pull`` spans the
+distributed sampler emits — shares a single id.  A span's
+:meth:`Span.context` packages ``(trace_id, span_id)`` as a
+:class:`TraceContext`, the value the coordinator sends across the
+simulated wire so workers can tag their own per-pull accounting with
+the originating trace (see ``repro.distributed.cluster.Worker``).
+
+**Threads.**  The open-span stack is thread-local: spans begun on a
+background thread (the profiler, the metrics endpoint) start their own
+roots instead of grafting into another thread's open query tree, so a
+traced query's leaf deltas keep summing exactly to its session totals
+no matter what other threads are doing.  Root/ids bookkeeping is
+lock-protected.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["Span", "TraceContext", "Tracer", "NullTracer",
+           "NULL_TRACER"]
+
+#: Process-wide trace-id source: deterministic under PYTHONHASHSEED
+#: (sequential), unique across tracers within one process.
+_TRACE_IDS = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return f"{next(_TRACE_IDS):08x}"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The propagatable identity of one span: what crosses the wire."""
+
+    trace_id: str
+    span_id: int
 
 
 def _snap(source):
@@ -48,12 +84,16 @@ class Span:
     properties are sugar for the conventional names.
     """
 
-    __slots__ = ("span_id", "name", "attrs", "start", "end", "children",
-                 "deltas", "_sources", "_before")
+    __slots__ = ("span_id", "trace_id", "parent_span_id", "name",
+                 "attrs", "start", "end", "children", "deltas",
+                 "_sources", "_before")
 
     def __init__(self, span_id: int, name: str, start: float,
-                 attrs: dict, sources: dict):
+                 attrs: dict, sources: dict, trace_id: str = "",
+                 parent_span_id: "int | None" = None):
         self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
         self.name = name
         self.attrs = attrs
         self.start = start
@@ -95,6 +135,10 @@ class Span:
         """Attach/overwrite one attribute after the span opened."""
         self.attrs[key] = value
 
+    def context(self) -> TraceContext:
+        """This span's propagatable identity (sent to workers)."""
+        return TraceContext(self.trace_id, self.span_id)
+
     def _close(self, end: float) -> None:
         self.end = end
         for key, src in self._sources.items():
@@ -127,7 +171,11 @@ class Span:
 
     def to_dict(self, parent_id: int | None = None) -> dict:
         """This span alone as a JSON-ready dict (children by id)."""
-        out: dict = {"span_id": self.span_id, "parent_id": parent_id,
+        if parent_id is None:
+            parent_id = self.parent_span_id
+        out: dict = {"span_id": self.span_id,
+                     "trace_id": self.trace_id,
+                     "parent_id": parent_id,
                      "name": self.name, "start": self.start,
                      "end": self.end, "duration": self.duration}
         if self.attrs:
@@ -180,12 +228,29 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self.clock = clock
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 0
 
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (spans begun on a background
+        thread become their own roots, never children of another
+        thread's open query)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def begin(self, name: str, *, cost=None, io=None, net=None,
-              **attrs) -> Span:
-        """Open a span as a child of the innermost open span."""
+              parent: "Span | None" = None, **attrs) -> Span:
+        """Open a span as a child of the innermost open span.
+
+        ``parent`` pins the span under an explicit open span instead
+        (it is then not pushed on the stack): the distributed sampler
+        uses this to attach per-worker ``worker_pull`` spans directly
+        under its ``dist_fanout`` span.
+        """
         sources = {}
         if cost is not None:
             sources["cost"] = cost
@@ -193,13 +258,28 @@ class Tracer:
             sources["io"] = io
         if net is not None:
             sources["net"] = net
-        span = Span(self._next_id, name, self.clock(), attrs, sources)
-        self._next_id += 1
-        if self._stack:
-            self._stack[-1].children.append(span)
+        stack = self._stack
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        if parent is not None:
+            span = Span(span_id, name, self.clock(), attrs, sources,
+                        trace_id=parent.trace_id,
+                        parent_span_id=parent.span_id)
+            parent.children.append(span)
+            return span
+        if stack:
+            top = stack[-1]
+            span = Span(span_id, name, self.clock(), attrs, sources,
+                        trace_id=top.trace_id,
+                        parent_span_id=top.span_id)
+            top.children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            span = Span(span_id, name, self.clock(), attrs, sources,
+                        trace_id=_new_trace_id())
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
         return span
 
     def end(self, span: Span) -> None:
@@ -225,14 +305,16 @@ class Tracer:
 
     def drain(self) -> list[Span]:
         """Return and clear the accumulated root spans."""
-        roots, self.roots = self.roots, []
+        with self._lock:
+            roots, self.roots = self.roots, []
         return roots
 
     def reset(self) -> None:
-        """Drop all spans, open and finished."""
-        self.roots = []
-        self._stack = []
-        self._next_id = 0
+        """Drop all spans, open and finished (this thread's stack)."""
+        with self._lock:
+            self.roots = []
+            self._next_id = 0
+        self._local.stack = []
 
 
 class _NullSpan(Span):
@@ -241,7 +323,7 @@ class _NullSpan(Span):
     __slots__ = ()
 
     def __init__(self):
-        super().__init__(-1, "null", 0.0, {}, {})
+        super().__init__(-1, "null", 0.0, {}, {}, trace_id="null")
 
     def set(self, key: str, value) -> None:
         pass
@@ -272,7 +354,7 @@ class NullTracer(Tracer):
     enabled = False
 
     def begin(self, name: str, *, cost=None, io=None, net=None,
-              **attrs) -> Span:
+              parent: "Span | None" = None, **attrs) -> Span:
         return _NULL_SPAN
 
     def end(self, span: Span) -> None:

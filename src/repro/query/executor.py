@@ -13,6 +13,7 @@ stop-condition outcome (an ``EXPLAIN ANALYZE``).
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, replace
 
 from repro.core.engine import StormEngine
@@ -187,7 +188,13 @@ class QueryExecutor:
             st_range, estimator, method=method, rng=self.rng,
             expected_k=spec.max_samples,
             with_replacement=spec.with_replacement, obs=used)
+        started = time.perf_counter()
         final = session.run_to_stop(self._stop(spec))
+        if used.registry.enabled:
+            used.registry.histogram(
+                "storm.query.latency_seconds",
+                task=spec.task.kind, dataset=spec.dataset).observe(
+                    time.perf_counter() - started)
         if chosen_by_optimizer and final.k > 0:
             # Close the loop: calibrate the optimizer with what the
             # chosen method actually cost.

@@ -1,0 +1,340 @@
+"""Distributed trace propagation: trace ids, cross-thread spans,
+worker-side tallies and the EXPLAIN per-worker breakdown."""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.engine import StormEngine
+from repro.core.estimators.aggregates import AvgEstimator
+from repro.core.geometry import Rect
+from repro.core.records import Record, STRange, attribute_getter
+from repro.core.session import OnlineQuerySession, StopCondition
+from repro.distributed.dataset import DistributedDataset
+from repro.distributed.dist_index import DistributedSTIndex
+from repro.distributed.dist_sampler import DistributedSampler
+from repro.index.cost import CostCounter
+from repro.obs import Observability, TraceContext, Tracer
+from repro.query.executor import QueryExecutor
+
+
+def make_records(n=1200, seed=77):
+    rng = random.Random(seed)
+    return [Record(i, lon=rng.uniform(0, 100),
+                   lat=rng.uniform(0, 100), t=rng.uniform(0, 1000),
+                   attrs={"v": rng.gauss(10.0, 2.0)})
+            for i in range(n)]
+
+
+QUERY = STRange(10, 10, 90, 90, 100, 900)
+
+
+class TestTraceIds:
+    def test_root_mints_children_inherit(self):
+        tracer = Tracer()
+        root = tracer.begin("query")
+        child = tracer.begin("phase")
+        grand = tracer.begin("leaf")
+        assert root.trace_id
+        assert child.trace_id == root.trace_id
+        assert grand.trace_id == root.trace_id
+        assert child.parent_span_id == root.span_id
+        tracer.end(grand)
+        tracer.end(child)
+        tracer.end(root)
+        second = tracer.begin("query")
+        assert second.trace_id != root.trace_id
+
+    def test_to_dict_carries_trace_and_parent(self):
+        tracer = Tracer()
+        root = tracer.begin("query")
+        child = tracer.begin("phase")
+        tracer.end(child)
+        tracer.end(root)
+        rows = root.flatten()
+        assert rows[0]["parent_id"] is None
+        assert rows[1]["parent_id"] == root.span_id
+        assert {r["trace_id"] for r in rows} == {root.trace_id}
+
+    def test_context_is_propagatable(self):
+        tracer = Tracer()
+        span = tracer.begin("fanout")
+        ctx = span.context()
+        assert ctx == TraceContext(span.trace_id, span.span_id)
+        tracer.end(span)
+
+    def test_explicit_parent_pins_without_stacking(self):
+        tracer = Tracer()
+        root = tracer.begin("fanout")
+        pinned = tracer.begin("worker_pull", parent=root, worker=3)
+        # The pinned span is a child of root but NOT the innermost
+        # open span: a regular begin still lands under root.
+        sibling = tracer.begin("other")
+        assert pinned in root.children
+        assert sibling in root.children
+        assert pinned.trace_id == root.trace_id
+        tracer.end(pinned)
+        tracer.end(sibling)
+        tracer.end(root)
+
+
+class TestThreadIsolation:
+    def test_background_spans_become_roots(self):
+        tracer = Tracer()
+        main_root = tracer.begin("query")
+        seen = {}
+
+        def background():
+            span = tracer.begin("bg_work")
+            seen["span"] = span
+            tracer.end(span)
+
+        t = threading.Thread(target=background)
+        t.start()
+        t.join()
+        tracer.end(main_root)
+        bg = seen["span"]
+        assert bg not in main_root.children
+        assert bg in tracer.roots
+        assert bg.trace_id != main_root.trace_id
+        assert bg.parent_span_id is None
+
+    def test_leaf_deltas_sum_despite_second_thread(self):
+        # Satellite: a second thread opening/closing its own spans
+        # must never graft into the main thread's open tree — the
+        # main trace's leaf deltas must still sum exactly to its
+        # session total.
+        tracer = Tracer()
+        cost = CostCounter()
+        stop = threading.Event()
+
+        def noisy():
+            while not stop.is_set():
+                span = tracer.begin("noise")
+                tracer.end(span)
+
+        t = threading.Thread(target=noisy)
+        root = tracer.begin("query", cost=cost)
+        t.start()
+        try:
+            for phase in range(5):
+                child = tracer.begin("phase", cost=cost)
+                cost.charge_node(phase)
+                cost.charge_sample(3)
+                tracer.end(child)
+        finally:
+            stop.set()
+            t.join()
+        tracer.end(root)
+        assert [c.name for c in root.children] == ["phase"] * 5
+        leaf_reads = sum(c.cost.node_reads for c in root.children)
+        leaf_samples = sum(c.cost.samples_emitted
+                           for c in root.children)
+        assert leaf_reads == root.cost.node_reads == 5
+        assert leaf_samples == root.cost.samples_emitted == 15
+        noise_roots = [r for r in tracer.roots if r.name == "noise"]
+        assert noise_roots
+        assert all(r.trace_id != root.trace_id for r in noise_roots)
+
+
+class TestWorkerTraceTallies:
+    def test_fetches_tallied_under_trace(self):
+        records = make_records(600)
+        index = DistributedSTIndex(records, n_workers=3, seed=3,
+                                   rs_buffer_size=16)
+        worker = index.cluster.workers[0]
+        rect = index.to_rect(QUERY)
+        ctx = TraceContext("feedface", 1)
+        handle = worker.open_stream(rect, seed=9, trace=ctx)
+        batch = worker.fetch_batch(handle, 8)
+        worker.fetch_batch(handle, 8)
+        worker.close_stream(handle)
+        tally = worker.trace_tally("feedface")
+        assert tally["batches"] == 2
+        assert tally["draws"] >= len(batch)
+        assert tally["bytes"] > 0
+        assert worker.trace_tally("unknown") == {
+            "draws": 0, "batches": 0, "bytes": 0}
+
+    def test_untraced_streams_tally_nothing(self):
+        records = make_records(300)
+        index = DistributedSTIndex(records, n_workers=2, seed=4,
+                                   rs_buffer_size=16)
+        worker = index.cluster.workers[0]
+        handle = worker.open_stream(index.to_rect(QUERY), seed=1)
+        worker.fetch_batch(handle, 4)
+        worker.close_stream(handle)
+        assert worker.trace_tallies == {}
+
+    def test_retention_is_bounded(self):
+        from repro.distributed.cluster import TRACE_TALLY_RETENTION
+        records = make_records(300)
+        index = DistributedSTIndex(records, n_workers=2, seed=5,
+                                   rs_buffer_size=16)
+        worker = index.cluster.workers[0]
+        rect = index.to_rect(QUERY)
+        for i in range(TRACE_TALLY_RETENTION + 10):
+            handle = worker.open_stream(
+                rect, seed=i, trace=TraceContext(f"t{i:04d}", i))
+            worker.close_stream(handle)
+        assert len(worker.trace_tallies) == TRACE_TALLY_RETENTION
+        assert "t0000" not in worker.trace_tallies
+        assert f"t{TRACE_TALLY_RETENTION + 9:04d}" \
+            in worker.trace_tallies
+
+    def test_tallies_survive_a_crash(self):
+        records = make_records(400)
+        index = DistributedSTIndex(records, n_workers=2, seed=6,
+                                   rs_buffer_size=16)
+        worker = index.cluster.workers[0]
+        rect = index.to_rect(QUERY)
+        handle = worker.open_stream(rect, seed=2,
+                                    trace=TraceContext("cafe", 7))
+        worker.fetch_batch(handle, 4)
+        worker.crash()
+        assert worker.trace_tally("cafe")["batches"] == 1
+
+
+class TestDistributedTrace:
+    def run_session(self, records, n_workers=3):
+        obs = Observability()
+        index = DistributedSTIndex(records, n_workers=n_workers,
+                                   seed=11, rs_buffer_size=16)
+        sampler = DistributedSampler(index, batch_size=16)
+        sampler.bind_observability(obs)
+        session = OnlineQuerySession(
+            sampler, AvgEstimator(attribute_getter("v")),
+            index.to_rect(QUERY), index.lookup,
+            rng=random.Random(12), report_every=32, obs=obs)
+        final = session.run_to_stop(StopCondition())
+        assert final.estimate.exact
+        return obs, index, final
+
+    def test_one_trace_id_spans_the_whole_query(self):
+        obs, index, final = self.run_session(make_records(800))
+        root = obs.tracer.roots[-1]
+        assert root.name == "query"
+        ids = {span.trace_id for span in root.walk()}
+        assert ids == {root.trace_id}
+        assert root.find("dist_fanout") is not None
+
+    def test_worker_pulls_stitched_under_fanout(self):
+        obs, index, final = self.run_session(make_records(800))
+        root = obs.tracer.roots[-1]
+        pulls = root.find_all("worker_pull")
+        assert pulls
+        assert all(p.trace_id == root.trace_id for p in pulls)
+        fanout = root.find("dist_fanout")
+        assert all(p in fanout.children for p in pulls)
+        drawn = sum(p.attrs["draws"] for p in pulls)
+        assert drawn == final.estimate.q
+        assert all(p.attrs["bytes"] > 0 for p in pulls)
+
+    def test_worker_side_tallies_match_coordinator(self):
+        obs, index, final = self.run_session(make_records(800))
+        root = obs.tracer.roots[-1]
+        trace_id = root.trace_id
+        worker_draws = sum(
+            w.trace_tally(trace_id)["draws"]
+            for w in index.cluster.workers)
+        assert worker_draws == final.estimate.q
+
+    def test_per_worker_draw_counters(self):
+        obs, index, final = self.run_session(make_records(800))
+        snap = obs.registry.snapshot()
+        labelled = {k: v for k, v in snap["counters"].items()
+                    if k.startswith("storm.cluster.worker.draws{")}
+        assert labelled
+        assert sum(labelled.values()) == final.estimate.q
+
+    def test_explain_analyze_shows_worker_breakdown(self):
+        records = make_records(900)
+        obs = Observability()
+        engine = StormEngine(seed=21, obs=obs)
+        engine.register(DistributedDataset(
+            "pts", records, n_workers=3, seed=22,
+            rs_buffer_size=16, obs=obs))
+        executor = QueryExecutor(engine, rng=random.Random(23),
+                                 obs=obs)
+        report = executor.explain_report(
+            "ESTIMATE AVG(v) FROM pts WHERE REGION(10, 10, 90, 90)")
+        assert "workers (trace " in report
+        worker_rows = [ln for ln in report.splitlines()
+                       if "draws=" in ln]
+        assert len(worker_rows) >= 2
+        assert all("bytes=" in ln for ln in worker_rows)
+
+    def test_jsonl_export_carries_trace_ids(self):
+        import io
+
+        from repro.obs import write_jsonl
+        obs, index, final = self.run_session(make_records(600))
+        out = io.StringIO()
+        write_jsonl(out, obs.tracer.drain(), registry=obs.registry)
+        import json
+        rows = [json.loads(line)
+                for line in out.getvalue().splitlines()]
+        spans = [r for r in rows if r.get("type") == "span"]
+        pulls = [r for r in spans if r["name"] == "worker_pull"]
+        assert pulls
+        trace_ids = {r["trace_id"] for r in spans}
+        assert len(trace_ids) == 1
+        metrics = [r for r in rows if r.get("type") == "metrics"]
+        hist = metrics[0]["histograms"]
+        lat = next(v for k, v in hist.items()
+                   if k.startswith("storm.sample.latency_seconds"))
+        assert "p99" in lat and "buckets" in lat
+
+    def test_session_latency_histogram_recorded(self):
+        obs, index, final = self.run_session(make_records(600))
+        snap = obs.registry.snapshot()
+        keys = [k for k in snap["histograms"]
+                if k.startswith("storm.sample.latency_seconds")]
+        assert keys
+        hist = snap["histograms"][keys[0]]
+        assert hist["count"] >= 1
+        assert hist["p99"] >= hist["p50"] >= 0.0
+
+
+class TestDegradedTraceStillStitches:
+    def test_failover_attributed_in_pulls(self):
+        records = make_records(800)
+        obs = Observability()
+        index = DistributedSTIndex(records, n_workers=3, seed=31,
+                                   rs_buffer_size=16, replication=2)
+        sampler = DistributedSampler(index, batch_size=16)
+        sampler.bind_observability(obs)
+        index.cluster.crash_worker(0)
+        session = OnlineQuerySession(
+            sampler, AvgEstimator(attribute_getter("v")),
+            index.to_rect(QUERY), index.lookup,
+            rng=random.Random(32), report_every=32, obs=obs)
+        final = session.run_to_stop(StopCondition())
+        root = obs.tracer.roots[-1]
+        pulls = root.find_all("worker_pull")
+        assert pulls
+        # The crashed worker's shard was served by a replica holder:
+        # its pull row carries served_by and a failover count.
+        failed_over = [p for p in pulls
+                       if p.attrs.get("served_by") is not None]
+        assert failed_over
+        assert all(p.attrs["failovers"] >= 1 for p in failed_over)
+        assert final.estimate.value == pytest.approx(
+            sum(r.attrs["v"] for r in records if QUERY.contains(r))
+            / sum(1 for r in records if QUERY.contains(r)),
+            rel=0.05)
+
+
+class TestRectCompat:
+    def test_worker_open_stream_signature_backwards_compatible(self):
+        # Positional (query, seed) callers predate the trace kwarg.
+        records = make_records(200)
+        index = DistributedSTIndex(records, n_workers=2, seed=41,
+                                   rs_buffer_size=16)
+        worker = index.cluster.workers[0]
+        rect = index.to_rect(QUERY)
+        assert isinstance(rect, Rect)
+        handle = worker.open_stream(rect, 5)
+        assert worker.fetch_batch(handle, 2) is not None
+        worker.close_stream(handle)

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Bench regression gate: fresh bench JSON vs the committed baseline.
+
+``make bench-smoke`` (and CI) produce fresh ``BENCH_sampling.json`` /
+``BENCH_recovery.json`` files; this script compares the throughput
+figures in a fresh file against the committed baseline and fails the
+build when any figure regressed past a tolerance band.  Correctness
+flags in the recovery bench (``ok``/``state_matches``) are enforced
+exactly — a wrong recovery is a failure at any speed.
+
+Baselines come from ``git show HEAD:<file>`` by default (the committed
+state of the working tree, which is what a CI checkout has), or from
+``--baseline PATH`` for testing and local comparisons.
+
+Throughput on shared CI runners is noisy, so the default tolerance is
+wide (a fresh run may be 50% below baseline before the gate trips) —
+the gate exists to catch order-of-magnitude regressions (an
+accidentally-disabled cache, a quadratic loop), not 5% jitter.  Checks
+that a metric *improved* never fail.
+
+Usage::
+
+    python tools/check_bench.py BENCH_sampling.json
+    python tools/check_bench.py BENCH_sampling.json BENCH_recovery.json
+    python tools/check_bench.py fresh.json --baseline old.json \
+        --tolerance 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+DEFAULT_TOLERANCE = 0.5
+
+
+class BaselineUnavailable(Exception):
+    """The baseline could not be loaded (not fatal: gate is skipped)."""
+
+
+def load_baseline(path: str, baseline_path: "str | None") -> dict:
+    """The baseline document: an explicit file, or HEAD's copy."""
+    if baseline_path is not None:
+        try:
+            with open(baseline_path) as f:
+                return json.load(f)
+        except (OSError, ValueError) as exc:
+            raise BaselineUnavailable(
+                f"cannot read baseline {baseline_path}: {exc}")
+    proc = subprocess.run(["git", "show", f"HEAD:{path}"],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise BaselineUnavailable(
+            f"no committed baseline for {path} "
+            f"({proc.stderr.strip() or 'git show failed'})")
+    try:
+        return json.loads(proc.stdout)
+    except ValueError as exc:
+        raise BaselineUnavailable(
+            f"committed {path} is not valid JSON: {exc}")
+
+
+def _metrics(doc: dict) -> dict[str, float]:
+    """The comparable throughput figures of one bench document.
+
+    Returns a flat ``label -> value`` dict; labels are stable across
+    runs so fresh and baseline line up by key.
+    """
+    out: dict[str, float] = {}
+    samplers = doc.get("samplers")
+    if isinstance(samplers, dict):
+        for method in sorted(samplers):
+            value = samplers[method].get("samples_per_sec")
+            if isinstance(value, (int, float)):
+                out[f"samplers.{method}.samples_per_sec"] = value
+    replay = doc.get("replay")
+    if isinstance(replay, dict):
+        value = replay.get("ops_per_second")
+        if isinstance(value, (int, float)):
+            out["replay.ops_per_second"] = value
+    return out
+
+
+def _correctness(doc: dict) -> list[tuple[str, bool]]:
+    """(label, ok) correctness flags that must hold exactly."""
+    out: list[tuple[str, bool]] = []
+    if "ok" in doc:
+        out.append(("ok", bool(doc["ok"])))
+    for i, scenario in enumerate(doc.get("scenarios", [])):
+        if isinstance(scenario, dict) and "ok" in scenario:
+            name = scenario.get("scenario", str(i))
+            out.append((f"scenarios.{name}.ok", bool(scenario["ok"])))
+    return out
+
+
+def check_file(path: str, baseline_path: "str | None",
+               tolerance: float) -> list[str]:
+    """Compare one fresh bench file; returns failure messages."""
+    with open(path) as f:
+        fresh = json.load(f)
+    failures: list[str] = []
+    for label, ok in _correctness(fresh):
+        if not ok:
+            failures.append(f"{path}: {label} is false "
+                            f"(correctness gate, no tolerance)")
+    try:
+        baseline = load_baseline(path, baseline_path)
+    except BaselineUnavailable as exc:
+        print(f"note: {exc}; skipping throughput gate for {path}")
+        return failures
+    fresh_metrics = _metrics(fresh)
+    base_metrics = _metrics(baseline)
+    compared = 0
+    for label in sorted(base_metrics):
+        base = base_metrics[label]
+        if base <= 0 or label not in fresh_metrics:
+            continue
+        value = fresh_metrics[label]
+        floor = base * (1.0 - tolerance)
+        compared += 1
+        status = "ok" if value >= floor else "FAIL"
+        print(f"{path}: {label}  fresh={value:,.1f}  "
+              f"baseline={base:,.1f}  floor={floor:,.1f}  [{status}]")
+        if value < floor:
+            failures.append(
+                f"{path}: {label} regressed: {value:,.1f} < "
+                f"{floor:,.1f} (baseline {base:,.1f}, "
+                f"tolerance {tolerance:.0%})")
+    if not compared:
+        print(f"note: {path}: no comparable metrics found")
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_bench",
+        description="Fail when fresh bench results regressed past a "
+                    "tolerance band vs the committed baselines.")
+    parser.add_argument("files", nargs="+",
+                        help="fresh bench JSON file(s) to check")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="compare against this file instead of "
+                             "HEAD's copy (single-file runs only)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional drop below baseline "
+                             f"(default {DEFAULT_TOLERANCE})")
+    args = parser.parse_args(argv)
+    if args.baseline is not None and len(args.files) != 1:
+        parser.error("--baseline only applies to a single file")
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+    failures: list[str] = []
+    for path in args.files:
+        try:
+            failures.extend(check_file(path, args.baseline,
+                                       args.tolerance))
+        except (OSError, ValueError) as exc:
+            failures.append(f"{path}: unreadable: {exc}")
+    if failures:
+        print("bench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
