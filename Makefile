@@ -5,7 +5,7 @@ PYTHON ?= python
 PROFILE ?=
 
 .PHONY: test lint bench bench-smoke chaos-smoke recovery-smoke \
-	check-bench check-links
+	updates-smoke check-bench check-links
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -28,8 +28,13 @@ recovery-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.recovery BENCH_recovery.json
 	$(PYTHON) tools/check_bench.py BENCH_recovery.json
 
+updates-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.updates BENCH_updates.json
+	$(PYTHON) tools/check_bench.py BENCH_updates.json
+
 check-bench:
-	$(PYTHON) tools/check_bench.py BENCH_sampling.json BENCH_recovery.json
+	$(PYTHON) tools/check_bench.py BENCH_sampling.json \
+		BENCH_recovery.json BENCH_updates.json
 
 check-links:
 	$(PYTHON) tools/check_links.py

@@ -105,6 +105,10 @@ class Dataset:
             sampler.bind_observability(self.obs)
         self.optimizer = QueryOptimizer(self.samplers)
         self._sample_first_dirty = False
+        #: Tiered ingest path (see :mod:`repro.storage.lsm`); when
+        #: attached, inserts/deletes route through the memtable and
+        #: tombstones instead of mutating the main tree directly.
+        self.lsm = None
         self._publish_shape()
 
     def _publish_shape(self) -> None:
@@ -141,15 +145,22 @@ class Dataset:
     # -- updates -----------------------------------------------------------
 
     def insert(self, record: Record) -> None:
-        """Insert one record into the store and every index."""
+        """Insert one record into the store and every index.
+
+        With an LSM attached, the record lands in the memtable (no
+        main-tree mutation, so the canonical-set cache stays hot).
+        """
         if record.record_id in self.records:
             raise UpdateError(
                 f"record {record.record_id} already in {self.name}")
         self.records[record.record_id] = record
-        key = record.key(self.dims)
-        self.tree.insert(record.record_id, key)
-        if self.forest is not None:
-            self.forest.insert(record.record_id, key)
+        if self.lsm is not None:
+            self.lsm.insert(record)
+        else:
+            key = record.key(self.dims)
+            self.tree.insert(record.record_id, key)
+            if self.forest is not None:
+                self.forest.insert(record.record_id, key)
         self._sample_first_dirty = True
         registry = self.obs.registry
         if registry.enabled:
@@ -163,12 +174,16 @@ class Dataset:
         record = self.records.pop(record_id, None)
         if record is None:
             return False
-        key = record.key(self.dims)
-        if not self.tree.delete(record_id, key):
-            raise UpdateError(
-                f"record {record_id} present in store but not in index")
-        if self.forest is not None:
-            self.forest.delete(record_id, key)
+        if self.lsm is not None:
+            self.lsm.delete(record)
+        else:
+            key = record.key(self.dims)
+            if not self.tree.delete(record_id, key):
+                raise UpdateError(
+                    f"record {record_id} present in store but not in "
+                    f"index")
+            if self.forest is not None:
+                self.forest.delete(record_id, key)
         self._sample_first_dirty = True
         registry = self.obs.registry
         if registry.enabled:
@@ -187,7 +202,28 @@ class Dataset:
         and LS levels are re-drawn, so post-rebuild samples are as fresh
         as after an initial load.
         """
-        ordered = list(self.records.values())
+        if self.lsm is not None:
+            # A compaction *is* the LSM's rebuild: it folds every run
+            # and tombstone into one fresh bulk load of the main tree.
+            self.lsm.seal()
+            self.lsm.compact()
+            return
+        self._rebuild_indexes(self.records.values())
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter("storm.dataset.rebuilds",
+                             dataset=self.name).inc()
+
+    def _rebuild_indexes(self, records: Iterable[Record]) -> None:
+        """Bulk-load the main tree (and forest) from ``records``.
+
+        The swap is atomic from a sampler's point of view: bulk load
+        builds an all-new node graph, so canonical sets pinned by
+        in-flight snapshot streams keep the old graph alive and stay
+        valid.  With an LSM attached this is the compaction primitive
+        — ``records`` is then the main-tier subset, not the full store.
+        """
+        ordered = list(records)
         self.tree.bulk_load(
             (r.record_id, r.key(self.dims)) for r in ordered)
         if self.forest is not None:
@@ -197,21 +233,42 @@ class Dataset:
         self._sample_first_dirty = True
         registry = self.obs.registry
         if registry.enabled:
-            registry.counter("storm.dataset.rebuilds",
-                             dataset=self.name).inc()
             self._publish_shape()
+
+    # -- tiered ingest (LSM) ---------------------------------------------
+
+    def attach_lsm(self, lsm) -> None:
+        """Adopt a tiered ingest path (``LSMTree.open`` calls this).
+
+        Registers the snapshot-pinned tiered sampler; from here on
+        ``sampler_for`` routes every default query through it, since
+        the per-tree samplers only see the main tier.
+        """
+        from repro.core.sampling.tiered import TieredSampler
+        self.lsm = lsm
+        sampler = TieredSampler(self)
+        sampler.bind_observability(self.obs)
+        self.samplers[sampler.name] = sampler
 
     # -- sessions ------------------------------------------------------------
 
     def sampler_for(self, query: Rect, method: str | None = None,
                     expected_k: int | None = None) -> SpatialSampler:
-        """Resolve a sampler: explicit method or optimizer choice."""
+        """Resolve a sampler: explicit method or optimizer choice.
+
+        With an LSM attached the default is always the tiered sampler
+        — the per-tree samplers only cover the main tier, so letting
+        the optimizer pick one would silently miss memtable and run
+        records.  An explicit ``method`` still wins (diagnostics).
+        """
         if method is not None:
             if method not in self.samplers:
                 raise StormError(
                     f"unknown sampling method {method!r}; available: "
                     f"{sorted(self.samplers)}")
             sampler = self.samplers[method]
+        elif self.lsm is not None:
+            sampler = self.samplers["lsm-tiered"]
         else:
             sampler = self.optimizer.choose(query, expected_k).sampler
         if sampler.name == "sample-first" and self._sample_first_dirty:

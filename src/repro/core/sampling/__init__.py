@@ -27,6 +27,11 @@ Implementations, in the order the paper introduces them:
     pre-shuffled sample buffers, combined with lazy canonical-set
     exploration and Fenwick-tree weighted node selection.
 
+``TieredSampler``
+    The LSM-era merge: one exactly-uniform stream over main tree +
+    sealed runs + memtable, with tombstone masking and per-query
+    snapshot pinning (see :mod:`repro.storage.lsm`).
+
 ``repro.core.sampling.weighted`` holds the shared O(1)/O(log n)
 weighted-draw structures (:class:`AliasTable`, :class:`FenwickSampler`)
 the hot paths select sources with.
@@ -39,11 +44,13 @@ from repro.core.sampling.query_first import QueryFirstSampler
 from repro.core.sampling.random_path import RandomPathSampler
 from repro.core.sampling.rs_tree import RSTreeSampler
 from repro.core.sampling.sample_first import SampleFirstSampler
+from repro.core.sampling.tiered import LSMSnapshot, TieredSampler
 from repro.core.sampling.weighted import AliasTable, FenwickSampler
 
 __all__ = [
     "AliasTable",
     "FenwickSampler",
+    "LSMSnapshot",
     "LSTree",
     "LSTreeSampler",
     "QueryFirstSampler",
@@ -52,5 +59,6 @@ __all__ = [
     "SampleFirstSampler",
     "SamplerStats",
     "SpatialSampler",
+    "TieredSampler",
     "streaming_shuffle",
 ]

@@ -218,8 +218,25 @@ class RSTreeSampler(SpatialSampler):
 
     def sample_stream(self, query: Rect, rng: random.Random,
                       cost: CostCounter | None = None) -> Iterator[Entry]:
+        # A generator, so the canonical set materialises lazily at the
+        # first draw — its exploration cost lands inside the consumer's
+        # "sample_stream" trace span, not at open time.
         cost = cost if cost is not None else self.tree.cost
-        canon = self.tree.canonical_set(query, cost)
+        yield from self.sample_stream_from_canon(
+            self.tree.canonical_set(query, cost), rng, cost)
+
+    def sample_stream_from_canon(self, canon, rng: random.Random,
+                                 cost: CostCounter | None = None
+                                 ) -> Iterator[Entry]:
+        """Stream from an already-materialised canonical set.
+
+        Snapshot consumers (the LSM tiered sampler) pin the canonical
+        set they opened with and keep drawing from it even after the
+        main tree is atomically swapped by a compaction — the old node
+        graph stays alive and immutable, so the pinned stream remains
+        exactly uniform over the snapshot's population.
+        """
+        cost = cost if cost is not None else self.tree.cost
         nodes = canon.nodes
         residual_iter = streaming_shuffle(canon.residual, rng)
         # Source 0..len(nodes)-1 are canonical nodes; the last source is
@@ -293,7 +310,14 @@ class RSTreeSampler(SpatialSampler):
         possible.)
         """
         cost = cost if cost is not None else self.tree.cost
-        canon = self.tree.canonical_set(query, cost)
+        yield from self.sample_stream_with_replacement_from_canon(
+            self.tree.canonical_set(query, cost), rng, cost)
+
+    def sample_stream_with_replacement_from_canon(
+            self, canon, rng: random.Random,
+            cost: CostCounter | None = None) -> Iterator[Entry]:
+        """With-replacement draws from a pinned canonical set."""
+        cost = cost if cost is not None else self.tree.cost
         residual = list(canon.residual)
         weights = [n.count for n in canon.nodes] + [len(residual)]
         if sum(weights) == 0:

@@ -45,6 +45,11 @@ class HilbertRTree(RTree):
             raise IndexError_(
                 f"bounds are {bounds.dim}-d but the tree is {dims}-d")
         self.encoder = HilbertEncoder(bounds, bits=bits)
+        # Populated for the duration of a bulk load: item_id -> key,
+        # encoded once as a batch and shared by the sort partition and
+        # the lhv recomputation (previously each entry was encoded
+        # twice through the scalar codec — the dominant build cost).
+        self._bulk_keys: dict[int, int] | None = None
 
     # ------------------------------------------------------------------
     # key helpers
@@ -52,6 +57,11 @@ class HilbertRTree(RTree):
 
     def entry_key(self, entry: Entry) -> int:
         """Hilbert key of a leaf entry's point."""
+        cache = self._bulk_keys
+        if cache is not None:
+            key = cache.get(entry.item_id)
+            if key is not None:
+                return key
         return self.encoder.key(entry.point)
 
     # ------------------------------------------------------------------
@@ -60,12 +70,19 @@ class HilbertRTree(RTree):
 
     def bulk_load(self, items: Iterable[tuple[int, Sequence[float]]]) -> None:
         """STR-free bulk load: sort by Hilbert key, chunk, set lhv."""
-        super().bulk_load(items)
-        if self.root is not None:
-            self._recompute_lhv(self.root)
+        try:
+            super().bulk_load(items)
+            if self.root is not None:
+                self._recompute_lhv(self.root)
+        finally:
+            self._bulk_keys = None
 
     def _partition_entries(self, entries: list[Entry]) -> list[list[Entry]]:
-        return _even_chunks(sorted(entries, key=self.entry_key),
+        keys = self.encoder.keys([e.point for e in entries])
+        cache = {e.item_id: k for e, k in zip(entries, keys)}
+        self._bulk_keys = cache
+        return _even_chunks(sorted(entries,
+                                   key=lambda e: cache[e.item_id]),
                             self.leaf_capacity)
 
     def _partition_nodes(self, nodes: list[Node]) -> list[list[Node]]:
@@ -74,8 +91,14 @@ class HilbertRTree(RTree):
 
     def _recompute_lhv(self, node: Node) -> int:
         if node.is_leaf:
-            node.lhv = max((self.entry_key(e) for e in node.entries or []),
-                           default=0)
+            entries = node.entries or []
+            if self._bulk_keys is not None and entries:
+                # Bulk loads chunk entries in sorted key order, so the
+                # leaf maximum is simply the last entry's key.
+                node.lhv = self.entry_key(entries[-1])
+            else:
+                node.lhv = max((self.entry_key(e) for e in entries),
+                               default=0)
         else:
             node.lhv = max(self._recompute_lhv(c)
                            for c in node.children or [])

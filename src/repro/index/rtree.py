@@ -220,10 +220,11 @@ class RTree:
         ``items`` is an iterable of ``(item_id, point)``.  Replaces any
         existing contents.
         """
-        entries = [Entry(item_id, tuple(float(c) for c in point))
+        entries = [Entry(item_id, tuple(map(float, point)))
                    for item_id, point in items]
+        dims = self.dims
         for e in entries:
-            if len(e.point) != self.dims:
+            if len(e.point) != dims:
                 raise IndexError_(
                     f"point {e.point} has wrong dimensionality")
         self._bump_version()

@@ -41,6 +41,11 @@ __all__ = ["QueryExecutor", "QueryResult"]
 
 _DEFAULT_SAMPLE_CAP = 2000
 
+#: Plan line when a tiered ingest path (LSM) is attached: the per-tree
+#: samplers only cover the main tier, so the method is not negotiable.
+_TIERED_PLAN_TEXT = ("method fixed by tiered ingest: lsm-tiered "
+                     "(per-tree samplers only see the main tier)")
+
 
 @dataclass(slots=True)
 class QueryResult:
@@ -174,12 +179,20 @@ class QueryExecutor:
                 return QueryResult(
                     spec=spec, final=None,
                     explanation=self._fixed_plan_text(dataset))
+            if spec.method is None and \
+                    getattr(dataset, "lsm", None) is not None:
+                return QueryResult(spec=spec, final=None,
+                                   explanation=_TIERED_PLAN_TEXT)
             plan = optimizer.choose(rect, expected_k=spec.max_samples)
             return QueryResult(spec=spec, final=None,
                                explanation=plan.explain())
         estimator = self._estimator(spec, st_range)
         method = spec.method
-        chosen_by_optimizer = method is None and optimizer is not None
+        # With a tiered ingest path attached the per-tree samplers only
+        # see the main tier, so the optimizer must not pick one — the
+        # dataset routes method=None to the tiered sampler itself.
+        chosen_by_optimizer = method is None and optimizer is not None \
+            and getattr(dataset, "lsm", None) is None
         if chosen_by_optimizer:
             method = optimizer.choose(
                 rect, expected_k=spec.max_samples).method
@@ -224,6 +237,8 @@ class QueryExecutor:
             plan_text = f"method forced via USING: {spec.method}"
         elif optimizer is None:
             plan_text = self._fixed_plan_text(dataset)
+        elif getattr(dataset, "lsm", None) is not None:
+            plan_text = _TIERED_PLAN_TEXT
         else:
             plan_text = optimizer.choose(
                 rect, expected_k=spec.max_samples).explain()
@@ -286,6 +301,15 @@ class QueryExecutor:
             durability = {
                 label: registry.counter(name).value
                 for label, name in self._DURABILITY_COUNTERS.items()}
+        # Tiered-ingest shape rides in the durability section: the
+        # tiers are what the WAL's committed-but-uncompacted suffix
+        # currently looks like (zero rows render nothing, so datasets
+        # without an LSM attached are unaffected).
+        lsm = getattr(dataset, "lsm", None)
+        if lsm is not None:
+            durability.update({
+                f"lsm {key.replace('_', ' ')}": value
+                for key, value in lsm.tier_shape().items()})
         return render_explain(plan_text, result.trace, result.final,
                               caches=caches, faults=faults,
                               durability=durability)

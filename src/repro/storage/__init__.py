@@ -24,6 +24,10 @@ simulation:
 ``recovery``
     The crash-recovery driver: truncate torn WAL tails, replay
     committed-but-unflushed batches, report a ``RecoveryReport``.
+``lsm``
+    The tiered ingest path: WAL-backed memtable, sealed immutable
+    runs (mini RS-trees, committed by temp-write + rename) and
+    compaction into the main tree, with snapshot-pinned sampling.
 """
 
 from repro.storage.catalog import Catalog, DatasetInfo
@@ -33,6 +37,7 @@ from repro.storage.json_codec import (canonical_json,
                                       documents_to_records,
                                       records_to_documents,
                                       rows_to_documents)
+from repro.storage.lsm import LSMTree, Memtable, SealedRun
 from repro.storage.recovery import (RecoveryReport, checkpoint_store,
                                     recover_store)
 from repro.storage.wal import TornTail, WalRecord, WriteAheadLog
@@ -43,7 +48,10 @@ __all__ = [
     "Collection",
     "DatasetInfo",
     "DocumentStore",
+    "LSMTree",
+    "Memtable",
     "RecoveryReport",
+    "SealedRun",
     "SimulatedDFS",
     "TornTail",
     "WalRecord",

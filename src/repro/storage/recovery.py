@@ -105,13 +105,22 @@ def stored_checkpoint_lsn(store: DocumentStore) -> int:
 
 
 def checkpoint_store(store: DocumentStore, wal: WriteAheadLog,
-                     obs: Observability | None = None) -> int:
+                     obs: Observability | None = None,
+                     lsm=None) -> int:
     """Atomically checkpoint the store at the WAL's current LSN.
 
     Returns the checkpoint LSN.  Data collections flush first; the
     ``_wal`` meta collection flushes last, and its rename is the
     commit point — a crash before it leaves the previous checkpoint
     in force, so replay still covers every committed batch.
+
+    With a tiered ingest path attached (``lsm``), its manifest is
+    re-persisted at the checkpoint LSN *before* segment pruning: the
+    store now durably holds every batch up to ``lsn``, so memtable
+    replay may start above it — but the run-victim tombstones those
+    batches created only live in the manifest, and pruning their
+    segments without persisting it first would resurrect dead run
+    copies.
     """
     obs = obs if obs is not None else wal.obs
     lsn = wal.last_lsn
@@ -121,6 +130,8 @@ def checkpoint_store(store: DocumentStore, wal: WriteAheadLog,
         if name != WAL_META_COLLECTION:
             store.flush(name)
     store.flush(WAL_META_COLLECTION)  # the commit point
+    if lsm is not None:
+        lsm.checkpoint_manifest(lsn)
     wal.append_checkpoint(lsn)
     wal.prune(lsn)
     return lsn

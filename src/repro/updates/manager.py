@@ -150,6 +150,11 @@ class UpdateManager:
         """
         batch.validate(self.dataset)
         name = getattr(self.dataset, "name", "?")
+        if len(batch) == 0:
+            # A no-op batch must be a true no-op: no WAL record, no
+            # checkpoint-cadence tick, and — critically — no index
+            # version bump invalidating canonical-set caches.
+            return UpdateResult(inserted=0, deleted=0, seconds=0.0)
         start = time.perf_counter()
         if self.wal is not None:
             assert self.collection is not None
@@ -173,8 +178,21 @@ class UpdateManager:
             self.total_inserted += len(batch.inserts)
             self.total_deleted += len(batch.deletes)
             self._churn_since_rebuild += len(batch)
+            lsm = getattr(self.dataset, "lsm", None)
+            if lsm is not None:
+                # The whole batch is now applied: any seal triggered by
+                # a *later* batch may safely stamp this LSN as its
+                # replay origin (a mid-batch seal keeps the previous
+                # batch's LSN, so replay never splits a batch).
+                lsm.applied_lsn = max(lsm.applied_lsn, self.last_lsn)
             if self._maybe_rebuild():
                 self.rebuilds += 1
+            elif lsm is not None and lsm.should_compact():
+                # Checkpoint first so the store durably covers every
+                # run record, then fold runs into the main tree and
+                # prune the WAL segments the checkpoint released.
+                self.flush()
+                lsm.compact()
         self._batches_since_checkpoint += 1
         if self.checkpoint_every is not None \
                 and self._batches_since_checkpoint \
@@ -240,7 +258,8 @@ class UpdateManager:
         if self.store is None or self.collection is None:
             return
         if self.wal is not None:
-            checkpoint_store(self.store, self.wal, obs=self.obs)
+            checkpoint_store(self.store, self.wal, obs=self.obs,
+                             lsm=getattr(self.dataset, "lsm", None))
         else:
             self.store.flush(self.collection)
         self._batches_since_checkpoint = 0

@@ -4,7 +4,8 @@ import pytest
 
 from repro.core.geometry import Rect
 from repro.errors import GeometryError
-from repro.index.hilbert import HilbertEncoder, hilbert_index, hilbert_point
+from repro.index.hilbert import (HilbertEncoder, hilbert_index,
+                                 hilbert_index_batch, hilbert_point)
 
 
 class TestHilbertIndex:
@@ -96,3 +97,50 @@ class TestHilbertEncoder:
     def test_rejects_silly_bits(self):
         with pytest.raises(GeometryError):
             HilbertEncoder(Rect((0, 0), (1, 1)), bits=0)
+
+
+class TestBatchCodec:
+    """hilbert_index_batch and HilbertEncoder.keys must agree with the
+    scalar codec bit-for-bit — the bulk-load fast path is only a fast
+    path if it computes the same curve."""
+
+    def test_batch_matches_scalar_all_dims(self):
+        import itertools
+        import random as _random
+        rng = _random.Random(5)
+        for dim, bits in itertools.product((1, 2, 3), (4, 8, 16)):
+            limit = 1 << bits
+            pts = [tuple(rng.randrange(limit) for _ in range(dim))
+                   for _ in range(200)]
+            want = [hilbert_index(p, bits) for p in pts]
+            assert hilbert_index_batch(pts, bits) == want
+
+    def test_overflow_guard_falls_back_to_scalar(self):
+        # 3 dims x 21 bits = 63 curve bits > the int64 budget: the
+        # batch path must detour through the scalar codec, not wrap.
+        pts = [(1, 2, 3), ((1 << 21) - 1,) * 3]
+        want = [hilbert_index(p, 21) for p in pts]
+        assert hilbert_index_batch(pts, 21) == want
+
+    def test_empty_batch(self):
+        assert hilbert_index_batch([], 8) == []
+
+    def test_batch_rejects_out_of_grid(self):
+        with pytest.raises(GeometryError):
+            hilbert_index_batch([(0, 16)], 4)
+        with pytest.raises(GeometryError):
+            hilbert_index_batch([(-1, 0)], 4)
+
+    def test_encoder_keys_match_scalar(self):
+        import random as _random
+        rng = _random.Random(9)
+        enc = HilbertEncoder(Rect((0, 0), (100, 50)), bits=10)
+        pts = [(rng.uniform(-10, 110), rng.uniform(-10, 60))
+               for _ in range(300)]
+        assert enc.keys(pts) == [enc.key(p) for p in pts]
+        assert enc.keys([]) == []
+
+    def test_encoder_keys_shape_check(self):
+        enc = HilbertEncoder(Rect((0, 0), (1, 1)), bits=4)
+        with pytest.raises(GeometryError):
+            enc.keys([(0.5, 0.5, 0.5)])

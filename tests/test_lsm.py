@@ -1,0 +1,315 @@
+"""Uniformity and snapshot-isolation tests for the tiered LSM path.
+
+Definition 1 does not weaken under ingest: with records spread across
+the main tree, sealed runs, and the memtable — with tombstones masking
+dead copies in every tier — the merged stream must still be an exact
+uniform without-replacement permutation of ``P ∩ Q``.  The chi-square
+matrix checks that at sparse/medium/dense fill ratios; the snapshot
+suite checks that streams opened mid-ingest are isolated from every
+concurrent mutation (insert, delete, seal, compaction).
+
+Chi-square thresholds use the 0.001 quantile with fixed seeds, matching
+``test_sampler_uniformity``; the ``stat`` marker lets CI retry the
+statistical subset once before failing.
+"""
+
+import random
+
+import pytest
+from scipy import stats
+
+from repro.core.engine import Dataset
+from repro.core.geometry import Rect
+from repro.core.records import Record
+from repro.core.sampling.base import take
+from repro.storage.lsm import LSMTree, Memtable, SealedRun
+from repro.errors import StorageError
+
+
+def make_records(n, seed=5, start_id=0):
+    rng = random.Random(seed)
+    return [Record(record_id=start_id + i, lon=rng.uniform(0, 100),
+                   lat=rng.uniform(0, 100), t=rng.uniform(0, 1000),
+                   attrs={"v": rng.gauss(10, 2)})
+            for i in range(n)]
+
+
+def tiered_dataset(seed=11, n_main=300, n_new=260, memtable_limit=64,
+                   deletes=30):
+    """A dataset with every tier populated and tombstones in each.
+
+    ``n_main`` records seed the main tree; ``n_new`` flow through the
+    memtable, sealing runs along the way; ``deletes`` random victims
+    then scatter tombstones across whichever tiers they live in.
+    """
+    base = make_records(n_main, seed=seed)
+    dataset = Dataset("tiers", base, dims=2, rs_buffer_size=16,
+                      build_ls=False, seed=seed)
+    lsm = LSMTree(dataset, memtable_limit=memtable_limit,
+                  compact_after_runs=999)
+    dataset.attach_lsm(lsm)
+    for r in make_records(n_new, seed=seed * 3 + 1, start_id=10_000):
+        dataset.insert(r)
+    rng = random.Random(seed * 7 + 2)
+    for rid in rng.sample(sorted(dataset.records), deletes):
+        dataset.delete(rid)
+    return dataset, lsm
+
+
+def live_in_range(dataset, rect):
+    return {rid for rid, r in dataset.records.items()
+            if rect.contains_point(r.key(dataset.dims))}
+
+
+def rect_for_ratio(dataset, ratio, center=(50.0, 50.0)):
+    """A centred square rect whose live fill ratio is ~``ratio``."""
+    target = max(2, round(ratio * len(dataset.records)))
+    lo_w, hi_w = 0.0, 50.0
+    for _ in range(40):
+        w = (lo_w + hi_w) / 2
+        rect = Rect((center[0] - w, center[1] - w),
+                    (center[0] + w, center[1] + w))
+        count = len(live_in_range(dataset, rect))
+        if count < target:
+            lo_w = w
+        else:
+            hi_w = w
+    return Rect((center[0] - hi_w, center[1] - hi_w),
+                (center[0] + hi_w, center[1] + hi_w))
+
+
+def chi_square_pvalue(counts, in_range, total_draws):
+    expected = total_draws / len(in_range)
+    chi2 = sum((counts.get(rid, 0) - expected) ** 2 / expected
+               for rid in in_range)
+    return stats.chi2.sf(chi2, df=len(in_range) - 1)
+
+
+def run_trials(dataset, rect, k, seed, trials, with_replacement=False):
+    sampler = dataset.samplers["lsm-tiered"]
+    counts = {}
+    for trial in range(trials):
+        rng = random.Random(seed * 1_000_003 + trial)
+        if with_replacement:
+            stream = sampler.sample_stream_with_replacement(rect, rng)
+        else:
+            stream = sampler.sample_stream(rect, rng)
+        for entry in take(stream, k):
+            counts[entry.item_id] = counts.get(entry.item_id, 0) + 1
+    return chi_square_pvalue(counts, live_in_range(dataset, rect),
+                             trials * k)
+
+
+@pytest.mark.stat
+class TestTieredUniformity:
+    """Chi-square matrix: sparse, medium, dense fill ratios.
+
+    The tier composition is identical across ratios (same dataset);
+    what changes is how much of each tier the query covers.
+    """
+
+    def test_fill_ratio_001(self):
+        dataset, _ = tiered_dataset(seed=31)
+        rect = rect_for_ratio(dataset, 0.01)
+        assert 2 <= len(live_in_range(dataset, rect)) <= 12
+        assert run_trials(dataset, rect, k=1, seed=1,
+                          trials=2500) > 1e-3
+
+    def test_fill_ratio_01(self):
+        dataset, _ = tiered_dataset(seed=32)
+        rect = rect_for_ratio(dataset, 0.1)
+        assert run_trials(dataset, rect, k=4, seed=2,
+                          trials=1500) > 1e-3
+
+    def test_fill_ratio_05(self):
+        dataset, _ = tiered_dataset(seed=33)
+        rect = rect_for_ratio(dataset, 0.5)
+        assert run_trials(dataset, rect, k=8, seed=3,
+                          trials=1200) > 1e-3
+
+    def test_with_replacement_medium_ratio(self):
+        dataset, _ = tiered_dataset(seed=34)
+        rect = rect_for_ratio(dataset, 0.1)
+        assert run_trials(dataset, rect, k=4, seed=4, trials=1500,
+                          with_replacement=True) > 1e-3
+
+
+EVERYTHING = Rect((0, 0), (100, 100))
+
+
+class TestExactness:
+    """The merged WOR stream is a permutation of the live range."""
+
+    def test_full_drain_equals_live_set(self):
+        dataset, _ = tiered_dataset(seed=41)
+        sampler = dataset.samplers["lsm-tiered"]
+        q = sampler.range_count(EVERYTHING)
+        got = [e.item_id for e in
+               sampler.sample_stream(EVERYTHING, random.Random(9))]
+        assert q == len(got) == len(set(got))
+        assert set(got) == set(dataset.records)
+
+    def test_partial_rect_drain(self):
+        dataset, _ = tiered_dataset(seed=42)
+        rect = Rect((20, 20), (70, 70))
+        sampler = dataset.samplers["lsm-tiered"]
+        q = sampler.range_count(rect)
+        truth = live_in_range(dataset, rect)
+        got = {e.item_id for e in
+               sampler.sample_stream(rect, random.Random(10))}
+        assert q == len(truth) and got == truth
+
+    def test_tombstones_mask_every_tier(self):
+        dataset, lsm = tiered_dataset(seed=43, deletes=0)
+        in_main = next(rid for rid in dataset.records
+                       if rid not in lsm._run_of
+                       and rid not in lsm.memtable)
+        in_run = next(iter(lsm._run_of))
+        in_mem = next(iter(lsm.memtable.records))
+        for rid in (in_main, in_run, in_mem):
+            assert dataset.delete(rid)
+        got = {e.item_id for e in
+               dataset.samplers["lsm-tiered"].sample_stream(
+                   EVERYTHING, random.Random(11))}
+        assert got == set(dataset.records)
+        assert not {in_main, in_run, in_mem} & got
+
+    def test_default_sampler_is_tiered(self):
+        dataset, _ = tiered_dataset(seed=44)
+        assert dataset.sampler_for(EVERYTHING).name == "lsm-tiered"
+
+
+class TestSnapshotIsolation:
+    """Streams opened mid-ingest never see concurrent mutations."""
+
+    def test_insert_after_open_is_invisible(self):
+        dataset, _ = tiered_dataset(seed=51)
+        sampler = dataset.samplers["lsm-tiered"]
+        truth = set(dataset.records)
+        q = sampler.range_count(EVERYTHING)
+        stream = sampler.sample_stream(EVERYTHING, random.Random(12))
+        first = [next(stream) for _ in range(5)]
+        for r in make_records(100, seed=512, start_id=50_000):
+            dataset.insert(r)
+        got = {e.item_id for e in first} | \
+            {e.item_id for e in stream}
+        assert got == truth and q == len(truth)
+
+    def test_delete_after_open_still_streams(self):
+        """Classic snapshot semantics: the stream covers records that
+        were live at open, even if deleted mid-stream."""
+        dataset, _ = tiered_dataset(seed=52)
+        sampler = dataset.samplers["lsm-tiered"]
+        truth = set(dataset.records)
+        sampler.range_count(EVERYTHING)
+        stream = sampler.sample_stream(EVERYTHING, random.Random(13))
+        victims = random.Random(14).sample(sorted(truth), 20)
+        for rid in victims:
+            dataset.delete(rid)
+        assert {e.item_id for e in stream} == truth
+
+    def test_seal_and_compaction_mid_stream(self):
+        """A seal moves memtable→run and a compaction swaps the main
+        tree's node graph; the pinned snapshot survives both."""
+        dataset, lsm = tiered_dataset(seed=53)
+        sampler = dataset.samplers["lsm-tiered"]
+        truth = set(dataset.records)
+        assert lsm.runs and lsm.memtable.records
+        sampler.range_count(EVERYTHING)
+        stream = sampler.sample_stream(EVERYTHING, random.Random(15))
+        first = [next(stream) for _ in range(10)]
+        lsm.seal()
+        lsm.compact()
+        assert not lsm.runs and not lsm.memtable.records
+        got = {e.item_id for e in first} | \
+            {e.item_id for e in stream}
+        assert got == truth
+
+    def test_wr_stream_is_isolated(self):
+        dataset, lsm = tiered_dataset(seed=54)
+        sampler = dataset.samplers["lsm-tiered"]
+        truth = set(dataset.records)
+        sampler.range_count(EVERYTHING)
+        stream = sampler.sample_stream_with_replacement(
+            EVERYTHING, random.Random(16))
+        drawn = set()
+        for _ in range(50):
+            drawn.add(next(stream).item_id)
+        for r in make_records(50, seed=541, start_id=60_000):
+            dataset.insert(r)
+        lsm.seal()
+        lsm.compact()
+        for _ in range(200):
+            drawn.add(next(stream).item_id)
+        assert drawn <= truth
+
+    def test_canonical_cache_stays_hot_under_ingest(self):
+        """Memtable inserts must not bump the main tree's structural
+        version — repeated queries hit the canonical-set cache."""
+        dataset, _ = tiered_dataset(seed=55)
+        sampler = dataset.samplers["lsm-tiered"]
+        rect = Rect((10, 10), (90, 90))
+        sampler.range_count(rect)
+        take(sampler.sample_stream(rect, random.Random(17)), 4)
+        hits0 = dataset.tree.canon_hits
+        for i in range(10):
+            dataset.insert(Record(record_id=70_000 + i, lon=50.0,
+                                  lat=50.0, attrs={}))
+            sampler.range_count(rect)
+            take(sampler.sample_stream(rect, random.Random(18 + i)), 4)
+        assert dataset.tree.canon_hits - hits0 >= 10
+
+
+class TestTierMechanics:
+    """Unit-level behaviour of the memtable and sealed runs."""
+
+    def test_memtable_duplicate_insert_raises(self):
+        mem = Memtable(2)
+        mem.insert(Record(record_id=1, lon=1.0, lat=2.0, attrs={}))
+        with pytest.raises(StorageError):
+            mem.insert(Record(record_id=1, lon=3.0, lat=4.0, attrs={}))
+
+    def test_memtable_in_range(self):
+        mem = Memtable(2)
+        mem.insert(Record(record_id=1, lon=10.0, lat=10.0, attrs={}))
+        mem.insert(Record(record_id=2, lon=90.0, lat=90.0, attrs={}))
+        rect = Rect((0, 0), (50, 50))
+        assert [r.record_id for r in mem.in_range(rect)] == [1]
+        assert mem.remove(1).record_id == 1
+        assert mem.remove(1) is None
+
+    def test_sealed_run_tree_is_lazy_and_consistent(self):
+        records = make_records(64, seed=61)
+        run = SealedRun(7, records, EVERYTHING, 2)
+        assert run._tree is None
+        rect = Rect((0, 0), (50, 50))
+        expect = sum(1 for r in records
+                     if rect.contains_point(r.key(2)))
+        assert run.range_count(rect) == expect
+        assert run._tree is not None
+        got = {e.item_id for e in
+               run.sampler.sample_stream(EVERYTHING,
+                                         random.Random(19))}
+        assert got == {r.record_id for r in records}
+
+    def test_seal_then_compact_counts(self):
+        dataset, lsm = tiered_dataset(seed=62)
+        run_records = lsm.run_records()
+        assert run_records > 0
+        lsm.seal()
+        moved = lsm.compact()
+        assert moved >= run_records
+        assert lsm.tier_shape()["sealed_runs"] == 0
+        assert lsm.tier_shape()["memtable_records"] == 0
+
+    def test_explain_reports_tier_shape(self):
+        from repro.core.engine import StormEngine
+        from repro.query.executor import QueryExecutor
+        dataset, _ = tiered_dataset(seed=63)
+        engine = StormEngine(seed=63)
+        engine.register(dataset)
+        executor = QueryExecutor(engine, rng=random.Random(63))
+        report = executor.explain_report(
+            "ESTIMATE COUNT FROM tiers WHERE REGION(0, 0, 100, 100)")
+        assert "lsm memtable records" in report
+        assert "lsm sealed runs" in report

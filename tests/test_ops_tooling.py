@@ -113,6 +113,73 @@ class TestCheckBench:
         assert rc == 0
 
 
+INGEST_DOC = {"ok": True,
+              "ingest": {"inserts_per_sec": 50_000.0,
+                         "speedup_vs_per_record": 12.0,
+                         "query_p99_seconds": 0.005}}
+
+
+class TestCheckBenchIngest:
+    """Gating of the updates bench: ingest.* metrics and the
+    lower-is-better latency direction."""
+
+    def test_ingest_metrics_extracted(self):
+        metrics = check_bench._metrics(INGEST_DOC)
+        assert metrics == {"ingest.inserts_per_sec": 50_000.0,
+                           "ingest.speedup_vs_per_record": 12.0,
+                           "ingest.query_p99_seconds": 0.005}
+
+    def test_throughput_drop_fails(self, tmp_path, capsys):
+        slow = {"ok": True,
+                "ingest": dict(INGEST_DOC["ingest"],
+                               inserts_per_sec=1_000.0)}
+        fresh = _write(tmp_path / "fresh.json", slow)
+        base = _write(tmp_path / "base.json", INGEST_DOC)
+        assert check_bench.main([fresh, "--baseline", base]) == 1
+        assert "inserts_per_sec" in capsys.readouterr().err
+
+    def test_p99_latency_gates_upward(self, tmp_path, capsys):
+        # Ten times the baseline p99 is a regression even though the
+        # raw number "went up" — *_seconds metrics invert direction.
+        slow = {"ok": True,
+                "ingest": dict(INGEST_DOC["ingest"],
+                               query_p99_seconds=0.05)}
+        fresh = _write(tmp_path / "fresh.json", slow)
+        base = _write(tmp_path / "base.json", INGEST_DOC)
+        assert check_bench.main([fresh, "--baseline", base]) == 1
+        assert "query_p99_seconds" in capsys.readouterr().err
+
+    def test_p99_inside_ceiling_passes(self, tmp_path):
+        near = {"ok": True,
+                "ingest": dict(INGEST_DOC["ingest"],
+                               query_p99_seconds=0.0051)}
+        fresh = _write(tmp_path / "fresh.json", near)
+        base = _write(tmp_path / "base.json", INGEST_DOC)
+        assert check_bench.main([fresh, "--baseline", base]) == 0
+
+    def test_ok_false_fails_even_without_baseline(self, tmp_path):
+        # Correctness is gated unconditionally — "record, don't gate"
+        # applies only to throughput comparisons.
+        bad = dict(INGEST_DOC, ok=False)
+        fresh = _write(tmp_path / "fresh.json", bad)
+        rc = check_bench.main(
+            [fresh, "--baseline", str(tmp_path / "absent.json")])
+        assert rc == 1
+
+    def test_missing_git_binary_skips_gate(self, tmp_path, capsys,
+                                           monkeypatch):
+        # No git in PATH (bare CI containers) must behave exactly
+        # like a baseline absent from HEAD: record, don't gate.
+        def no_git(*args, **kwargs):
+            raise FileNotFoundError("git")
+
+        monkeypatch.setattr(check_bench.subprocess, "run", no_git,
+                            raising=True)
+        fresh = _write(tmp_path / "fresh.json", INGEST_DOC)
+        assert check_bench.main([fresh]) == 0
+        assert "skipping throughput gate" in capsys.readouterr().out
+
+
 QUERY = ("ESTIMATE COUNT FROM osm "
          "WHERE REGION(-125, 25, -65, 50)")
 

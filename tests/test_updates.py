@@ -190,6 +190,51 @@ class TestThroughput:
             == float("inf")
 
 
+class TestEmptyBatchIsTrueNoop:
+    """Regression: an empty batch used to bump the tree's structural
+    version, invalidating every cached canonical set for nothing, and
+    ticked the checkpoint cadence.  It must leave all durable and
+    structural state untouched."""
+
+    def test_no_version_bump_or_wal_append(self, dataset):
+        from repro.storage.dfs import SimulatedDFS
+        from repro.storage.wal import WriteAheadLog
+        dfs = SimulatedDFS()
+        store = DocumentStore()
+        store.collection("live").insert_many(
+            r.to_document() for r in dataset.records.values())
+        wal = WriteAheadLog(dfs)
+        manager = UpdateManager(dataset, store=store,
+                                collection="live", wal=wal)
+        version = dataset.tree.version
+        lsn = wal.last_lsn
+        batches = manager.applied_batches
+        result = manager.apply(UpdateBatch())
+        assert result.inserted == result.deleted == 0
+        assert dataset.tree.version == version
+        assert wal.last_lsn == lsn
+        assert manager.applied_batches == batches
+
+    def test_no_checkpoint_cadence_tick(self, dataset):
+        from repro.storage.dfs import SimulatedDFS
+        from repro.storage.recovery import checkpoint_store
+        from repro.storage.wal import WriteAheadLog
+        dfs = SimulatedDFS()
+        store = DocumentStore(dfs)
+        store.collection("live").insert_many(
+            r.to_document() for r in dataset.records.values())
+        wal = WriteAheadLog(dfs)
+        checkpoint_store(store, wal)
+        manager = UpdateManager(dataset, store=store,
+                                collection="live", wal=wal,
+                                checkpoint_every=2)
+        lsn = wal.checkpoint_lsn
+        for _ in range(10):
+            manager.apply(UpdateBatch())
+        # Ten no-ops never reach the every-2-batches checkpoint.
+        assert wal.checkpoint_lsn == lsn
+
+
 class TestDeleteBeforeInsertOrdering:
     """A batch deleting and re-inserting one id is a replace — the
     delete must land first in every layer (dataset, store, WAL)."""

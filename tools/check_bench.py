@@ -49,8 +49,14 @@ def load_baseline(path: str, baseline_path: "str | None") -> dict:
         except (OSError, ValueError) as exc:
             raise BaselineUnavailable(
                 f"cannot read baseline {baseline_path}: {exc}")
-    proc = subprocess.run(["git", "show", f"HEAD:{path}"],
-                          capture_output=True, text=True)
+    try:
+        proc = subprocess.run(["git", "show", f"HEAD:{path}"],
+                              capture_output=True, text=True)
+    except OSError as exc:
+        # No git binary (bare containers) must mean "record, don't
+        # gate", exactly like a file absent from HEAD — not a build
+        # failure.
+        raise BaselineUnavailable(f"cannot invoke git: {exc}")
     if proc.returncode != 0:
         raise BaselineUnavailable(
             f"no committed baseline for {path} "
@@ -80,7 +86,19 @@ def _metrics(doc: dict) -> dict[str, float]:
         value = replay.get("ops_per_second")
         if isinstance(value, (int, float)):
             out["replay.ops_per_second"] = value
+    ingest = doc.get("ingest")
+    if isinstance(ingest, dict):
+        for key in ("inserts_per_sec", "speedup_vs_per_record",
+                    "query_p99_seconds"):
+            value = ingest.get(key)
+            if isinstance(value, (int, float)):
+                out[f"ingest.{key}"] = value
     return out
+
+
+def _lower_is_better(label: str) -> bool:
+    """Latency-style metrics regress *upward* (``*_seconds`` keys)."""
+    return label.endswith("_seconds")
 
 
 def _correctness(doc: dict) -> list[tuple[str, bool]]:
@@ -118,8 +136,22 @@ def check_file(path: str, baseline_path: "str | None",
         if base <= 0 or label not in fresh_metrics:
             continue
         value = fresh_metrics[label]
-        floor = base * (1.0 - tolerance)
         compared += 1
+        if _lower_is_better(label):
+            # Wider headroom upward: 1/(1-tol) mirrors the throughput
+            # floor, so p99 gating trips at the same relative slowdown.
+            ceil = base / (1.0 - tolerance)
+            status = "ok" if value <= ceil else "FAIL"
+            print(f"{path}: {label}  fresh={value:,.6f}  "
+                  f"baseline={base:,.6f}  ceiling={ceil:,.6f}  "
+                  f"[{status}]")
+            if value > ceil:
+                failures.append(
+                    f"{path}: {label} regressed: {value:,.6f} > "
+                    f"{ceil:,.6f} (baseline {base:,.6f}, "
+                    f"tolerance {tolerance:.0%})")
+            continue
+        floor = base * (1.0 - tolerance)
         status = "ok" if value >= floor else "FAIL"
         print(f"{path}: {label}  fresh={value:,.1f}  "
               f"baseline={base:,.1f}  floor={floor:,.1f}  [{status}]")
