@@ -21,7 +21,7 @@ from repro.core.estimators.aggregates import (AvgEstimator, CountEstimator,
                                               SumEstimator)
 from repro.core.estimators.base import OnlineEstimator
 from repro.core.estimators.groupby import GroupByEstimator
-from repro.core.estimators.kde import GridSpec, OnlineKDE
+from repro.core.estimators import GridSpec, OnlineKDE
 from repro.core.estimators.text import ShortTextEstimator
 from repro.core.estimators.trajectory import TrajectoryEstimator
 from repro.core.geometry import Rect

@@ -15,7 +15,10 @@ import bisect
 import math
 from typing import Callable
 
-from scipy import stats as _stats
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    from scipy import stats as _stats
+except ImportError:  # pragma: no cover
+    _stats = None
 
 from repro.core.estimators.base import Estimate, OnlineEstimator, \
     RunningStats
@@ -35,13 +38,47 @@ __all__ = [
 ]
 
 
+def _scipy_stats():
+    """scipy.stats, or a typed error where no stdlib fallback exists.
+
+    AVG/SUM/COUNT/proportion intervals degrade gracefully without scipy
+    (see :mod:`repro.core.estimators.intervals`); the chi-square and
+    binomial quantiles below have no reasonable stdlib substitute.
+    """
+    if _stats is None:
+        raise EstimatorError(
+            "this estimator's confidence interval requires scipy, "
+            "which is not installed")
+    return _stats
+
+
 class AvgEstimator(OnlineEstimator):
     """Sample mean of an attribute — unbiased for the population mean."""
 
     def __init__(self, attribute: AttributeAccessor):
         super().__init__()
         self.attribute = attribute
+        # Accessors built by `attribute_getter` advertise their source
+        # attribute; coordinate-backed ones unlock the columnar path.
+        self._column = getattr(attribute, "attribute_name", None)
         self.stats = RunningStats()
+
+    @property
+    def supports_columns(self) -> bool:  # type: ignore[override]
+        return self._column in ("lon", "lat", "t")
+
+    def absorb_columns(self, lons, lats, ts) -> bool:
+        if self._column == "lon":
+            values = lons
+        elif self._column == "lat":
+            values = lats
+        elif self._column == "t" and ts is not None:
+            values = ts
+        else:
+            return False
+        self.stats.add_many(values)
+        self.k += len(values)
+        return True
 
     def update(self, record: Record) -> None:
         self.stats.add(self.attribute(record))
@@ -71,6 +108,17 @@ class SumEstimator(OnlineEstimator):
     def set_population_size(self, q: int) -> None:
         super().set_population_size(q)
         self._avg.set_population_size(q)
+
+    @property
+    def supports_columns(self) -> bool:  # type: ignore[override]
+        return self._avg.supports_columns
+
+    def absorb_columns(self, lons, lats, ts) -> bool:
+        self._avg.k = self.k
+        if not self._avg.absorb_columns(lons, lats, ts):
+            return False
+        self.k = self._avg.k
+        return True
 
     def update(self, record: Record) -> None:
         self._avg.k = self.k
@@ -108,6 +156,18 @@ class CountEstimator(OnlineEstimator):
         super().__init__()
         self.predicate = predicate
         self.hits = 0
+
+    @property
+    def supports_columns(self) -> bool:  # type: ignore[override]
+        return self.predicate is None
+
+    def absorb_columns(self, lons, lats, ts) -> bool:
+        if self.predicate is not None:
+            return False
+        n = len(lons)
+        self.hits += n
+        self.k += n
+        return True
 
     def update(self, record: Record) -> None:
         if self.predicate is None or self.predicate(record):
@@ -188,8 +248,9 @@ class VarianceEstimator(OnlineEstimator):
         s2 = self.stats.variance
         df = self.k - 1
         alpha = 1.0 - level
-        lo = df * s2 / float(_stats.chi2.ppf(1 - alpha / 2, df))
-        hi = df * s2 / float(_stats.chi2.ppf(alpha / 2, df))
+        chi2 = _scipy_stats().chi2
+        lo = df * s2 / float(chi2.ppf(1 - alpha / 2, df))
+        hi = df * s2 / float(chi2.ppf(alpha / 2, df))
         value = s2
         if self.report_std:
             value = math.sqrt(s2)
@@ -229,8 +290,9 @@ class QuantileEstimator(OnlineEstimator):
         idx = min(k - 1, max(0, math.ceil(self.quantile * k) - 1))
         value = self.values[idx]
         # Binomial bracket: indices [l, u) covering the quantile w.p. level.
-        lo_idx = int(_stats.binom.ppf((1 - level) / 2, k, self.quantile))
-        hi_idx = int(_stats.binom.ppf((1 + level) / 2, k, self.quantile))
+        binom = _scipy_stats().binom
+        lo_idx = int(binom.ppf((1 - level) / 2, k, self.quantile))
+        hi_idx = int(binom.ppf((1 + level) / 2, k, self.quantile))
         lo_idx = max(0, min(lo_idx, k - 1))
         hi_idx = max(0, min(hi_idx, k - 1))
         interval = ConfidenceInterval(self.values[lo_idx],

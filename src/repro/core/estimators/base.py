@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.core.blocks import numpy_or_none as _numpy_or_none
 from repro.core.estimators.intervals import ConfidenceInterval
 from repro.core.records import Record
 from repro.errors import EstimatorError
@@ -91,6 +92,48 @@ class OnlineEstimator(ABC):
             self.k += 1
             self.update(record)
 
+    #: Whether :meth:`absorb_columns` may succeed for this estimator.
+    #: Subclasses that can consume coordinate columns directly (AVG over
+    #: lon/lat/t, unfiltered COUNT, the KDE) override this — possibly as
+    #: a property, since it can depend on configuration.
+    supports_columns: bool = False
+
+    def absorb_columns(self, lons: "Sequence[float]",
+                       lats: "Sequence[float]",
+                       ts: "Sequence[float] | None") -> bool:
+        """Absorb a batch given as parallel coordinate columns.
+
+        The columnar fast path: a sampler batch arrives as three
+        parallel sequences (``ts`` is ``None`` on 2-d indexes) and the
+        estimator folds them in without any :class:`Record` being
+        built.  Returns ``True`` when the batch was absorbed — the
+        implementation must then have advanced ``self.k`` by the batch
+        length — or ``False`` to make the caller fall back to the
+        per-record path.
+        """
+        return False
+
+    def absorb_entry_batch(self, entries, lookup) -> None:
+        """Absorb a batch of raw index entries.
+
+        ``entries`` are index ``Entry`` objects (``item_id`` + point
+        key); ``lookup`` maps an item id to its :class:`Record`.  When
+        the estimator consumes only coordinates, the columns are read
+        straight off the entry points and no Record is materialised;
+        otherwise every entry is resolved through ``lookup`` and fed to
+        :meth:`absorb_batch` — identical semantics either way.
+        """
+        if not entries:
+            return
+        if self.supports_columns:
+            points = [e.point for e in entries]
+            lons = [p[0] for p in points]
+            lats = [p[1] for p in points]
+            ts = [p[2] for p in points] if len(points[0]) > 2 else None
+            if self.absorb_columns(lons, lats, ts):
+                return
+        self.absorb_batch([lookup(e.item_id) for e in entries])
+
     @abstractmethod
     def update(self, record: Record) -> None:
         """Absorb one record's contribution."""
@@ -133,6 +176,39 @@ class RunningStats:
             self.min = x
         if x > self.max:
             self.max = x
+
+    def add_many(self, values: "Sequence[float]") -> None:
+        """Absorb a batch of values in one call.
+
+        With numpy available the batch's moments are computed
+        vectorised and folded in with one Chan et al. merge step
+        (exactly :meth:`merge` against a throwaway accumulator, so the
+        result matches the parallel-aggregation path bit-for-bit in
+        structure); tiny batches and the stdlib path take the Welford
+        loop.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        np = _numpy_or_none()
+        if np is not None and n >= 16:
+            arr = np.asarray(values, dtype=np.float64)
+            bmean = float(arr.mean())
+            bm2 = float(((arr - bmean) ** 2).sum())
+            total = self.n + n
+            delta = bmean - self.mean
+            self.mean += delta * n / total
+            self._m2 += bm2 + delta * delta * self.n * n / total
+            self.n = total
+            bmin = float(arr.min())
+            bmax = float(arr.max())
+            if bmin < self.min:
+                self.min = bmin
+            if bmax > self.max:
+                self.max = bmax
+            return
+        for x in values:
+            self.add(x)
 
     @property
     def variance(self) -> float:

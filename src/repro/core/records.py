@@ -13,9 +13,26 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.core.geometry import Point, Rect
-from repro.errors import GeometryError
+from repro.errors import GeometryError, StorageError
 
 __all__ = ["Record", "STRange", "AttributeAccessor", "attribute_getter"]
+
+
+def _coerce_record_id(raw: Any) -> int:
+    """Record ids must be integers; tolerate integral floats/strings."""
+    if isinstance(raw, bool):
+        raise StorageError(f"record _id must be an integer, got {raw!r}")
+    if isinstance(raw, int):
+        return raw
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise StorageError(
+            f"record _id must be numeric, got {raw!r}") from None
+    if not value.is_integer():
+        raise StorageError(
+            f"record _id must be integral, got {raw!r}")
+    return int(value)
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,10 +80,18 @@ class Record:
 
     @classmethod
     def from_document(cls, doc: Mapping[str, Any]) -> "Record":
-        """Inverse of :meth:`to_document`."""
+        """Inverse of :meth:`to_document`.
+
+        Some connectors hand back ``_id`` as a float or a numeric
+        string (``3.0``, ``"17"``): integral values are coerced, while
+        anything non-numeric or with a fractional part raises a typed
+        :class:`~repro.errors.StorageError` instead of a bare
+        ``ValueError``.
+        """
         attrs = {k: v for k, v in doc.items()
                  if k not in ("_id", "lon", "lat", "t")}
-        return cls(record_id=int(doc["_id"]), lon=float(doc["lon"]),
+        return cls(record_id=_coerce_record_id(doc["_id"]),
+                   lon=float(doc["lon"]),
                    lat=float(doc["lat"]), t=float(doc.get("t", 0.0)),
                    attrs=attrs)
 
@@ -179,6 +204,10 @@ def attribute_getter(name: str, default: float | None = None
                 f"record {record.record_id} has no attribute {name!r}")
         return float(value)
 
+    # Estimators introspect this to decide whether the accessor reads a
+    # coordinate column (lon/lat/t) and therefore qualifies for the
+    # columnar absorb fast path.
+    get.attribute_name = name  # type: ignore[attr-defined]
     return get
 
 

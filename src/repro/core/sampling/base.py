@@ -87,7 +87,7 @@ class SpatialSampler(ABC):
             return stream
         registry.counter("storm.sampler.streams",
                          sampler=self.name).inc()
-        return _counted(stream, registry.counter(
+        return _CountedStream(stream, registry.counter(
             "storm.sampler.samples", sampler=self.name))
 
     @abstractmethod
@@ -120,12 +120,17 @@ class SpatialSampler(ABC):
     def draw_batch(self, stream: Iterator[Entry], k: int) -> list[Entry]:
         """Pull up to k entries from an open stream in one call.
 
-        The batched fast path sessions and estimators use: one C-level
-        ``islice`` pull per batch instead of one Python iteration per
-        sample, amortising generator resumption and per-sample
-        instrumentation.  Returns fewer than k entries only at stream
+        The batched fast path sessions and estimators use.  Streams
+        that implement their own ``draw_batch`` (the RS-tree canonical
+        stream composes whole batches with one multivariate-
+        hypergeometric source allocation) get it called directly;
+        plain generators fall back to one C-level ``islice`` pull per
+        batch.  Returns fewer than k entries only at stream
         exhaustion.
         """
+        batched = getattr(stream, "draw_batch", None)
+        if batched is not None:
+            return batched(k)
         return list(islice(stream, k))
 
     def sample(self, query: Rect, k: int, rng: random.Random,
@@ -147,11 +152,43 @@ class SpatialSampler(ABC):
         return f"<{type(self).__name__} {self.name!r}>"
 
 
-def _counted(stream: Iterator[Entry], counter) -> Iterator[Entry]:
-    """Pass-through that tallies each emitted sample."""
-    for entry in stream:
-        counter.inc()
-        yield entry
+class _CountedStream:
+    """Pass-through that tallies each emitted sample.
+
+    A delegating iterator rather than a generator so instrumented
+    streams keep their ``draw_batch`` and ``close`` fast paths — a
+    generator wrapper would hide them and silently drop instrumented
+    sessions back to per-sample pulls.
+    """
+
+    __slots__ = ("_stream", "_counter")
+
+    def __init__(self, stream: Iterator[Entry], counter):
+        self._stream = stream
+        self._counter = counter
+
+    def __iter__(self) -> _CountedStream:
+        return self
+
+    def __next__(self) -> Entry:
+        entry = next(self._stream)
+        self._counter.inc()
+        return entry
+
+    def draw_batch(self, k: int) -> list[Entry]:
+        batched = getattr(self._stream, "draw_batch", None)
+        if batched is not None:
+            batch = batched(k)
+        else:
+            batch = list(islice(self._stream, k))
+        if batch:
+            self._counter.inc(len(batch))
+        return batch
+
+    def close(self) -> None:
+        close = getattr(self._stream, "close", None)
+        if close is not None:
+            close()
 
 
 def take(stream: Iterator[Entry], k: int) -> list[Entry]:

@@ -259,8 +259,10 @@ class OnlineQuerySession:
                         latency.observe(self.clock() - drew_at)
                     if not batch:
                         break  # stream exhausted
-                    self.estimator.absorb_batch(
-                        [lookup(e.item_id) for e in batch])
+                    # Column-capable estimators absorb the batch's
+                    # coordinates straight off the index entries; the
+                    # rest get Records via lookup as before.
+                    self.estimator.absorb_entry_batch(batch, lookup)
                     self._k += len(batch)
                     k = self._k
                     boundary = (k % self.report_every == 0) \

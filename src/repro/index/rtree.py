@@ -27,6 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.core.blocks import ColumnBlock
 from repro.core.geometry import Point, Rect
 from repro.errors import IndexError_
 from repro.index.cost import CostCounter
@@ -52,10 +53,18 @@ class Node:
     ``buffer_pos`` belong to the RS-tree sampler (a pre-shuffled sample of
     the subtree and a consumption cursor); the plain R-tree leaves them
     ``None``/0.
+
+    ``block`` is a leaf's packed columnar twin (see
+    :mod:`repro.core.blocks`): built lazily on the first scan, it lets
+    rect filters run one pass over contiguous typed arrays instead of N
+    per-Entry tuple comparisons.  The Entry list stays the write-side
+    source of truth; every mutation drops the block alongside the sample
+    buffer and the next scan rebuilds it.
     """
 
     __slots__ = ("node_id", "mbr", "children", "entries", "count", "parent",
-                 "lhv", "sample_buffer", "buffer_pos")
+                 "lhv", "sample_buffer", "buffer_pos", "fill_epoch",
+                 "block")
 
     def __init__(self, node_id: int, mbr: Rect,
                  children: "list[Node] | None" = None,
@@ -70,6 +79,11 @@ class Node:
         self.lhv = 0  # largest Hilbert value (Hilbert R-tree only)
         self.sample_buffer: list[Entry] | None = None
         self.buffer_pos = 0
+        # Bumped on every buffer (re)fill; streams compare epochs to
+        # prove a buffer slice cannot repeat an already-drawn entry
+        # (duplicates only arise across refills of the same node).
+        self.fill_epoch = 0
+        self.block: ColumnBlock | None = None
         if entries is not None:
             self.count = len(entries)
         else:
@@ -184,6 +198,13 @@ class RTree:
             = OrderedDict()
         self.canon_hits = 0
         self.canon_misses = 0
+        #: Vectorised leaf-scan tallies: whole-block rect filters run
+        #: and entries they admitted.  EXPLAIN ANALYZE deltas these per
+        #: query (see ``QueryExecutor.explain_report``).
+        self.vector_filters = 0
+        self.vector_filter_hits = 0
+        #: Leaf blocks packed since construction (storm.blocks.leaf_builds).
+        self.leaf_blocks_built = 0
 
     def bind_observability(self, obs: Observability) -> None:
         """Attach a live registry/tracer pair (datasets do this)."""
@@ -307,6 +328,26 @@ class RTree:
         """Hook for samplers that cache per-node state (RS-tree)."""
         node.sample_buffer = None
         node.buffer_pos = 0
+        node.block = None
+
+    def _leaf_block(self, node: Node) -> ColumnBlock:
+        """The leaf's packed columnar twin, building it on first scan."""
+        block = node.block
+        if block is None:
+            block = node.block = ColumnBlock.from_entries(
+                node.entries or [], self.dims)
+            self.leaf_blocks_built += 1
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter("storm.blocks.leaf_builds").inc()
+        return block
+
+    def _scan_leaf(self, node: Node, query: Rect) -> list[int]:
+        """Vectorised partial-leaf filter: positions of in-range entries."""
+        hits = self._leaf_block(node).indices_in(query.lo, query.hi)
+        self.vector_filters += 1
+        self.vector_filter_hits += len(hits)
+        return hits
 
     def _split(self, node: Node) -> None:
         """Split an overflowing node and propagate upward."""
@@ -442,11 +483,10 @@ class RTree:
             cost.charge_node(node.node_id)
             if node.is_leaf:
                 cost.charge_entries(node.members())
-                before = len(result)
-                for e in node.entries:  # type: ignore[union-attr]
-                    if query.contains_point(e.point):
-                        result.append(e)
-                cost.charge_report(len(result) - before)
+                entries = node.entries
+                hits = self._scan_leaf(node, query)
+                result.extend(entries[i] for i in hits)  # type: ignore[index]
+                cost.charge_report(len(hits))
             else:
                 # Push in reverse so children pop in layout order — range
                 # scans then read consecutive blocks (sequential I/O).
@@ -470,8 +510,10 @@ class RTree:
                 total += node.count
             elif node.is_leaf:
                 cost.charge_entries(node.members())
-                total += sum(1 for e in node.entries  # type: ignore[union-attr]
-                             if query.contains_point(e.point))
+                count = self._leaf_block(node).count_in(query.lo, query.hi)
+                self.vector_filters += 1
+                self.vector_filter_hits += count
+                total += count
             else:
                 # Push in reverse so children pop in layout order — range
                 # scans then read consecutive blocks (sequential I/O).
@@ -530,9 +572,10 @@ class RTree:
                 nodes.append(node)
             elif node.is_leaf:
                 cost.charge_entries(node.members())
-                for e in node.entries:  # type: ignore[union-attr]
-                    if query.contains_point(e.point):
-                        residual.append(e)
+                entries = node.entries
+                residual.extend(
+                    entries[i]  # type: ignore[index]
+                    for i in self._scan_leaf(node, query))
             else:
                 # Push in reverse so children pop in layout order — range
                 # scans then read consecutive blocks (sequential I/O).
@@ -558,6 +601,27 @@ class RTree:
     def bounds(self) -> Rect | None:
         """The root MBR, or None when empty."""
         return None if self.root is None else self.root.mbr
+
+    def leaf_block_stats(self) -> tuple[int, int]:
+        """(total leaves, leaves currently holding a packed block).
+
+        EXPLAIN ANALYZE reports this as the leaf storage format:
+        packed leaves scan columnar, the rest scan their Entry lists
+        until a query touches them.
+        """
+        leaves = packed = 0
+        if self.root is None:
+            return 0, 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaves += 1
+                if node.block is not None:
+                    packed += 1
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+        return leaves, packed
 
     def node_count(self) -> int:
         """Total number of nodes (for space accounting)."""

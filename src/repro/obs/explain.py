@@ -33,6 +33,7 @@ def phase_costs(root: Span,
 def render_explain(plan_text: str, root: Span | None, final,
                    model: CostModel = DEFAULT_COST_MODEL,
                    caches: "dict[str, tuple[int, int]] | None" = None,
+                   index: "dict[str, object] | None" = None,
                    faults: "dict[str, object] | None" = None,
                    durability: "dict[str, object] | None" = None
                    ) -> str:
@@ -51,7 +52,10 @@ def render_explain(plan_text: str, root: Span | None, final,
     WAL/recovery event name (e.g. ``"wal appends"``, ``"recovery
     records replayed"``) to its cumulative count — these are
     engine-lifetime tallies (recovery runs at load time, not per
-    query) and, like faults, an all-zero dict is skipped.
+    query) and, like faults, an all-zero dict is skipped.  ``index``
+    describes the leaf storage the query scanned (columnar block vs
+    record-list) and this query's vectorized-filter activity; falsy
+    rows are skipped like the other tables.
     """
     lines = ["plan:"]
     lines.extend("  " + line for line in plan_text.splitlines())
@@ -104,7 +108,8 @@ def render_explain(plan_text: str, root: Span | None, final,
                 lines.append(
                     f"  {name:<{width}}  hits={hits} misses={misses}"
                     f" hit_rate={rate:.1%}")
-    for title, table in (("faults:", faults),
+    for title, table in (("index:", index),
+                         ("faults:", faults),
                          ("durability:", durability)):
         if not table:
             continue

@@ -21,12 +21,12 @@ from repro.core.estimators.aggregates import (AvgEstimator, CountEstimator,
                                               QuantileEstimator,
                                               SumEstimator,
                                               VarianceEstimator)
+from repro.core.estimators import GridSpec, OnlineKDE, OnlineKMeans
 from repro.core.estimators.base import OnlineEstimator
-from repro.core.estimators.clustering import OnlineKMeans
 from repro.core.estimators.groupby import GroupByEstimator
-from repro.core.estimators.kde import GridSpec, OnlineKDE
 from repro.core.estimators.text import ShortTextEstimator
 from repro.core.estimators.timeseries import TimeHistogramEstimator
+from repro.core.blocks import backend_name as blocks_backend
 from repro.core.estimators.trajectory import TrajectoryEstimator
 from repro.core.records import STRange, attribute_getter
 from repro.core.session import ProgressPoint, StopCondition
@@ -251,6 +251,8 @@ class QueryExecutor:
         tree = getattr(dataset, "tree", None)
         canon_before = (tree.canon_hits, tree.canon_misses) \
             if tree is not None else (0, 0)
+        vec_before = (getattr(tree, "vector_filters", 0),
+                      getattr(tree, "vector_filter_hits", 0))
         registry = local.registry
         if registry.enabled:
             fault_before = {
@@ -266,6 +268,23 @@ class QueryExecutor:
             caches["canonical-set"] = (
                 tree.canon_hits - canon_before[0],
                 tree.canon_misses - canon_before[1])
+        # Leaf storage format and this query's vectorized-filter
+        # activity (columnar leaves answer rect/time containment in
+        # one pass over typed arrays; see repro.core.blocks).
+        index = {}
+        if tree is not None and hasattr(tree, "leaf_block_stats"):
+            leaves, packed = tree.leaf_block_stats()
+            if packed:
+                index["leaf storage"] = (
+                    f"columnar ({packed}/{leaves} leaves packed,"
+                    f" {blocks_backend()} backend)")
+            else:
+                index["leaf storage"] = (
+                    f"record-list ({leaves} leaves, no blocks built)")
+            index["vectorized filters"] = \
+                getattr(tree, "vector_filters", 0) - vec_before[0]
+            index["vectorized filter hits"] = \
+                getattr(tree, "vector_filter_hits", 0) - vec_before[1]
         faults = {}
         if registry.enabled:
             caches["dfs-block"] = (
@@ -311,7 +330,7 @@ class QueryExecutor:
                 f"lsm {key.replace('_', ' ')}": value
                 for key, value in lsm.tier_shape().items()})
         return render_explain(plan_text, result.trace, result.final,
-                              caches=caches, faults=faults,
+                              caches=caches, index=index, faults=faults,
                               durability=durability)
 
     #: Registry counters surfaced in the EXPLAIN "faults" section

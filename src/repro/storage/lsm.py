@@ -55,6 +55,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Iterable
 
+from repro.core.blocks import RecordBlock, is_block_payload
 from repro.core.records import Record
 from repro.core.sampling.rs_tree import RSTreeSampler
 from repro.errors import StorageError
@@ -182,11 +183,17 @@ class SealedRun:
         return self.tree.range_count(rect)
 
     def to_payload(self) -> bytes:
-        """Serialised run file contents (canonical JSON)."""
-        docs = [self.records[rid].to_document()
-                for rid in sorted(self.records)]
-        return canonical_json(
-            {"run_id": self.run_id, "records": docs}).encode()
+        """Serialised run file contents (columnar block wire format).
+
+        One :class:`~repro.core.blocks.RecordBlock` per run: packed
+        id/lon/lat/t columns plus the JSON attrs side-table, ~5-10x
+        denser than the per-record JSON documents it replaced.
+        Restores still accept the legacy JSON layout (see
+        ``LSMTree._restore_runs``), so pre-existing run files load.
+        """
+        block = RecordBlock.from_records(
+            self.records[rid] for rid in sorted(self.records))
+        return block.encode(meta={"run_id": self.run_id})
 
 
 class LSMTree:
@@ -300,7 +307,7 @@ class LSMTree:
         return self.prefix + "MANIFEST.json"
 
     def _run_file_name(self, run_id: int) -> str:
-        return f"{self.prefix}run-{run_id:08d}.json"
+        return f"{self.prefix}run-{run_id:08d}.run"
 
     def _load_manifest(self) -> dict | None:
         if self.dfs is None or not self.dfs.exists(self._manifest_name()):
@@ -331,9 +338,22 @@ class LSMTree:
                 # happen (the run renames first); a missing file means
                 # external damage — fail loudly rather than under-count.
                 raise StorageError(f"manifest names missing run {name!r}")
-            doc = json.loads(self.dfs.read_file(name))
-            records = [Record.from_document(d) for d in doc["records"]]
-            run = self._build_run(int(doc["run_id"]), records, file=name)
+            data = self.dfs.read_file(name)
+            if is_block_payload(data):
+                block, meta = RecordBlock.decode(data)
+                records = list(block.records())
+                run_id = int(meta["run_id"])
+                registry = self.obs.registry
+                if registry.enabled:
+                    registry.counter("storm.blocks.decoded").inc()
+            else:
+                # Legacy canonical-JSON run file from before the
+                # columnar wire format.
+                doc = json.loads(data)
+                records = [Record.from_document(d)
+                           for d in doc["records"]]
+                run_id = int(doc["run_id"])
+            run = self._build_run(run_id, records, file=name)
             self.runs.append(run)
         live_runs = {run.run_id for run in self.runs}
         for spec in manifest.get("tombstones", []):
@@ -497,9 +517,17 @@ class LSMTree:
             else None
         run = self._build_run(run_id, frozen, file=file)
         if self.dfs is not None:
+            payload = run.to_payload()
             tmp = run.file + ".tmp"
-            self.dfs.write_file(tmp, run.to_payload())
+            self.dfs.write_file(tmp, payload)
             self.dfs.rename_file(tmp, run.file)
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter("storm.blocks.encoded").inc()
+                registry.counter("storm.blocks.encoded_bytes").inc(
+                    len(payload))
+                registry.counter("storm.blocks.encoded_points").inc(
+                    len(run.records))
         self.runs.append(run)
         for rid in run.records:
             self._run_of[rid] = run_id

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.records import (Record, STRange, attribute_getter,
                                 iter_in_range)
-from repro.errors import GeometryError
+from repro.errors import GeometryError, StorageError
 
 
 class TestRecord:
@@ -29,6 +29,22 @@ class TestRecord:
     def test_from_document_defaults_time(self):
         r = Record.from_document({"_id": 1, "lon": 1, "lat": 2})
         assert r.t == 0.0
+
+    @pytest.mark.parametrize("raw,expect", [
+        (3.0, 3), ("17", 17), ("  42 ", 42), (-8.0, -8), ("0", 0),
+    ])
+    def test_from_document_coerces_integral_ids(self, raw, expect):
+        # Regression: some connectors hand back _id as a float or a
+        # numeric string; integral values must coerce losslessly.
+        r = Record.from_document({"_id": raw, "lon": 1, "lat": 2})
+        assert r.record_id == expect
+        assert isinstance(r.record_id, int)
+
+    @pytest.mark.parametrize("raw", [3.5, "3.5", "abc", None, True,
+                                     float("nan")])
+    def test_from_document_rejects_non_integral_ids(self, raw):
+        with pytest.raises(StorageError):
+            Record.from_document({"_id": raw, "lon": 1, "lat": 2})
 
     def test_frozen(self):
         r = Record(1, lon=1.0, lat=2.0)

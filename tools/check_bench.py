@@ -81,6 +81,11 @@ def _metrics(doc: dict) -> dict[str, float]:
             value = samplers[method].get("samples_per_sec")
             if isinstance(value, (int, float)):
                 out[f"samplers.{method}.samples_per_sec"] = value
+    cache = doc.get("block_cache")
+    if isinstance(cache, dict):
+        value = cache.get("bytes_per_point")
+        if isinstance(value, (int, float)):
+            out["block_cache.bytes_per_point"] = value
     replay = doc.get("replay")
     if isinstance(replay, dict):
         value = replay.get("ops_per_second")
@@ -97,8 +102,9 @@ def _metrics(doc: dict) -> dict[str, float]:
 
 
 def _lower_is_better(label: str) -> bool:
-    """Latency-style metrics regress *upward* (``*_seconds`` keys)."""
-    return label.endswith("_seconds")
+    """Metrics that regress *upward*: latencies (``*_seconds``) and
+    storage density (``bytes_per_point``)."""
+    return label.endswith("_seconds") or label.endswith("bytes_per_point")
 
 
 def _correctness(doc: dict) -> list[tuple[str, bool]]:
