@@ -5,7 +5,7 @@ PYTHON ?= python
 PROFILE ?=
 
 .PHONY: test lint bench bench-smoke chaos-smoke recovery-smoke \
-	updates-smoke check-bench check-links
+	updates-smoke serve-smoke check-bench check-links
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -32,9 +32,13 @@ updates-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.updates BENCH_updates.json
 	$(PYTHON) tools/check_bench.py BENCH_updates.json
 
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.server BENCH_server.json
+	$(PYTHON) tools/check_bench.py BENCH_server.json
+
 check-bench:
 	$(PYTHON) tools/check_bench.py BENCH_sampling.json \
-		BENCH_recovery.json BENCH_updates.json
+		BENCH_recovery.json BENCH_updates.json BENCH_server.json
 
 check-links:
 	$(PYTHON) tools/check_links.py

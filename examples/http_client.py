@@ -1,0 +1,107 @@
+"""Query-service demo: the full HTTP API from a stdlib client.
+
+The paper's demo is a map UI polling progressively tightening
+estimates; this is the wire-level equivalent.  The script starts a
+:class:`~repro.server.http.StormServer` in-process on an ephemeral
+port, then speaks plain HTTP to it the way any remote client would:
+
+1. a one-shot query (``POST /v1/query``) — block until the final
+   estimate;
+2. a progressive stream (``POST /v1/stream``) — NDJSON frames printed
+   as the confidence interval tightens;
+3. a detached session stream — launch, "disconnect", and poll frames
+   by index (``?from=N``), the resume pattern for flaky clients.
+
+Everything here is urllib + json; the full endpoint reference is
+docs/service.md.
+
+Run:  PYTHONPATH=src python examples/http_client.py
+"""
+
+import json
+import time
+import urllib.request
+
+from repro.server import QueryService, ServerConfig, StormServer
+from repro.workloads import OSMWorkload
+from repro import StormEngine
+
+QUERY = ("ESTIMATE AVG(altitude) FROM osm "
+         "WHERE REGION(-114, 37, -109, 42) WITHIN ERROR 1% "
+         "SAMPLES 20000")
+
+
+def request(url: str, method: str = "GET", body: dict | None = None):
+    req = urllib.request.Request(
+        url, method=method,
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={"X-Storm-Tenant": "demo",
+                 "Content-Type": "application/json"})
+    return urllib.request.urlopen(req, timeout=60)
+
+
+def main() -> None:
+    print("== The query service over HTTP ==")
+    engine = StormEngine(seed=7)
+    engine.create_dataset("osm", OSMWorkload(n=50_000,
+                                             seed=7).generate())
+    service = QueryService(engine, ServerConfig(quantum=64))
+    with StormServer(service) as server:
+        print(f"serving {server.url} (open access)\n")
+
+        print("-- one-shot: POST /v1/query --")
+        with request(server.url + "/v1/query", "POST",
+                     {"query": QUERY, "seed": 42}) as resp:
+            doc = json.load(resp)
+        final = doc["result"]
+        est = final["estimate"]
+        print(f"{est['value']:.1f} m after k={final['k']} samples "
+              f"({doc['progress_frames']} progress frames, "
+              f"reason: {final['reason']!r})\n")
+
+        print("-- progressive: POST /v1/stream (NDJSON) --")
+        with request(server.url + "/v1/stream", "POST",
+                     {"query": QUERY, "seed": 42}) as resp:
+            for line in resp:
+                frame = json.loads(line)
+                est = frame.get("estimate") or {}
+                ci = est.get("interval")
+                width = (f"±{(ci['hi'] - ci['lo']) / 2:.1f}"
+                         if ci else "  (no interval yet)")
+                print(f"  [{frame['frame']:>8}] k={frame['k']:>6} "
+                      f"avg={est['value']:.1f} {width}")
+                if frame["frame"] in ("end", "error"):
+                    break
+        print()
+
+        print("-- detached: sessions + poll/resume --")
+        with request(server.url + "/v1/sessions", "POST",
+                     {"name": "demo-session"}) as resp:
+            session = json.load(resp)["session"]
+        with request(
+                server.url + f"/v1/sessions/{session}/streams",
+                "POST", {"query": QUERY, "seed": 1}) as resp:
+            stream = json.load(resp)["stream"]
+        print(f"launched {stream} in {session}; polling ...")
+        cursor, polls = 0, 0
+        while True:
+            polls += 1
+            with request(server.url + f"/v1/sessions/{session}"
+                         f"/streams/{stream}?from={cursor}") as resp:
+                doc = json.load(resp)
+            cursor = doc["next"]
+            if doc["state"] in ("done", "error", "cancelled"):
+                break
+            time.sleep(0.05)
+        final = doc["frames"][-1] if doc["frames"] else {}
+        print(f"{polls} polls, {cursor} frames total; final "
+              f"estimate {final.get('estimate', {}).get('value'):.1f}"
+              f" (state: {doc['state']})")
+        with request(server.url + f"/v1/sessions/{session}",
+                     "DELETE") as resp:
+            json.load(resp)
+        print("session closed; server drains on exit")
+
+
+if __name__ == "__main__":
+    main()

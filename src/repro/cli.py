@@ -26,6 +26,9 @@ Observability hooks:
 * ``--metrics-port PORT`` serves ``/metrics`` (Prometheus text),
   ``/metrics.json`` and ``/health`` for the life of the process, and
   the ``serve-metrics`` subcommand does only that;
+* the ``serve`` subcommand runs the full multi-tenant query service
+  over HTTP — progressive NDJSON streams, named sessions, fair
+  scheduling and admission control (see docs/service.md);
 * ``--profile FILE`` runs the sampling profiler and writes collapsed
   stacks (flamegraph format) to FILE on exit.
 
@@ -116,6 +119,8 @@ def main(argv: list[str] | None = None) -> int:
         return _recover_main(argv[1:])
     if argv and argv[0] == "serve-metrics":
         return _serve_metrics_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     stats_mode = bool(argv) and argv[0] == "stats"
     if stats_mode:
         argv = argv[1:]
@@ -406,6 +411,154 @@ def _serve_metrics_main(argv: list[str]) -> int:
         pass
     finally:
         endpoint.stop()
+    return 0
+
+
+def _parse_tokens(pairs: list[str]) -> dict[str, str]:
+    """``--token TENANT=TOKEN`` pairs -> token -> tenant map."""
+    tokens: dict[str, str] = {}
+    for pair in pairs:
+        tenant, sep, token = pair.partition("=")
+        if not sep or not tenant or not token:
+            raise StormError(
+                f"--token wants TENANT=TOKEN, got {pair!r}")
+        tokens[token] = tenant
+    return tokens
+
+
+def _parse_quotas(pairs: list[str]):
+    """``--quota TENANT=STREAMS:SAMPLES:WEIGHT`` pairs (each field
+    may be empty to keep the default)."""
+    from repro.server import TenantQuota
+    quotas = {}
+    for pair in pairs:
+        tenant, sep, spec = pair.partition("=")
+        if not sep or not tenant:
+            raise StormError(
+                f"--quota wants TENANT=STREAMS:SAMPLES:WEIGHT, "
+                f"got {pair!r}")
+        parts = (spec.split(":") + ["", "", ""])[:3]
+        try:
+            quotas[tenant] = TenantQuota(
+                max_concurrent_streams=int(parts[0])
+                if parts[0] else None,
+                max_samples=int(parts[1]) if parts[1] else None,
+                weight=float(parts[2]) if parts[2] else 1.0)
+        except ValueError as exc:
+            raise StormError(f"bad --quota {pair!r}: {exc}")
+    return quotas
+
+
+def _serve_main(argv: list[str]) -> int:
+    """``storm-query serve``: run the multi-tenant query service.
+
+    Loads datasets with a live registry and serves the full HTTP API
+    (see docs/service.md) until interrupted or ``--duration``.
+    """
+    from repro.server import QueryService, ServerConfig, StormServer
+    parser = argparse.ArgumentParser(
+        prog="storm-query serve",
+        description="Serve the multi-tenant STORM query service: "
+                    "progressive NDJSON query streams with fair "
+                    "scheduling, admission control, sessions and "
+                    "per-tenant metrics (docs/service.md).")
+    parser.add_argument("--dataset", action="append", default=[],
+                        help="dataset(s) to load (repeatable; "
+                             "default osm)")
+    parser.add_argument("--n", type=int, default=20_000,
+                        help="records per dataset (default 20000)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="shard datasets across N simulated "
+                             "workers (0 = local index)")
+    parser.add_argument("--replication", type=int, default=1)
+    parser.add_argument("--port", type=int, default=9189,
+                        help="port to bind (0 = ephemeral; "
+                             "default 9189)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--max-streams", type=int, default=8,
+                        help="streams scheduled concurrently "
+                             "(default 8)")
+    parser.add_argument("--queue-depth", type=int, default=16,
+                        help="admitted-but-waiting streams beyond "
+                             "--max-streams; past this the server "
+                             "answers 429 (default 16)")
+    parser.add_argument("--quantum", type=int, default=64,
+                        help="samples per scheduling quantum "
+                             "(default 64)")
+    parser.add_argument("--stream-buffer", type=int, default=64,
+                        help="frames buffered per attached stream "
+                             "before backpressure parks it "
+                             "(default 64)")
+    parser.add_argument("--drain-seconds", type=float, default=10.0,
+                        help="graceful-shutdown drain budget "
+                             "(default 10)")
+    parser.add_argument("--token", action="append", default=[],
+                        metavar="TENANT=TOKEN",
+                        help="auth token for TENANT (repeatable; "
+                             "none = open access)")
+    parser.add_argument("--quota", action="append", default=[],
+                        metavar="TENANT=STREAMS:SAMPLES:WEIGHT",
+                        help="per-tenant quota override; empty "
+                             "fields keep defaults (repeatable)")
+    parser.add_argument("--fault-plan", metavar="FILE",
+                        help="JSON fault plan; rate for op "
+                             "'server.quantum' fails scheduler "
+                             "quanta (chaos testing)")
+    parser.add_argument("--duration", type=float,
+                        help="serve for this many seconds then "
+                             "drain and exit (default: until "
+                             "interrupted)")
+    args = parser.parse_args(argv)
+    faults = None
+    if args.fault_plan:
+        try:
+            faults = FaultPlan.from_json(args.fault_plan)
+        except StormError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    obs = Observability()
+    try:
+        config = ServerConfig(
+            max_streams=args.max_streams,
+            queue_depth=args.queue_depth,
+            quantum=args.quantum,
+            stream_buffer=args.stream_buffer,
+            drain_seconds=args.drain_seconds,
+            tokens=_parse_tokens(args.token),
+            quotas=_parse_quotas(args.quota))
+        engine = build_engine(args.dataset or ["osm"], args.n,
+                              args.seed, obs=obs,
+                              workers=args.workers,
+                              replication=args.replication)
+        service = QueryService(engine, config, obs=obs,
+                               faults=faults, seed=args.seed)
+    except StormError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    server = StormServer(service, host=args.host, port=args.port)
+    try:
+        server.start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    mode = "token auth" if config.tokens else "open access"
+    print(f"serving {server.url} ({mode}; Ctrl-C drains and stops)",
+          file=sys.stderr)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        drained = server.stop()
+        print("drained cleanly" if drained
+              else "drain budget exceeded; streams cancelled",
+              file=sys.stderr)
     return 0
 
 

@@ -95,7 +95,9 @@ class DistributedDataset:
                 expected_k: int | None = None,
                 report_every: int = 16,
                 with_replacement: bool = False,
-                obs: Observability | None = None) -> OnlineQuerySession:
+                obs: Observability | None = None,
+                labels: dict[str, object] | None = None
+                ) -> OnlineQuerySession:
         """An online session over the cluster.
 
         ``method`` must be omitted (or ``"distributed-rs"``): the
@@ -116,8 +118,11 @@ class DistributedDataset:
         # still has to see the whole trace under one id.
         if use is not self.sampler.obs:
             self.sampler.bind_observability(use)
+        merged: dict[str, object] = {"dataset": self.name}
+        if labels:
+            merged.update(labels)
         return OnlineQuerySession(self.sampler, estimator,
                                   self.to_rect(query), self.lookup,
                                   rng=rng, report_every=report_every,
                                   obs=use,
-                                  labels={"dataset": self.name})
+                                  labels=merged)

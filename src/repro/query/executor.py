@@ -367,9 +367,20 @@ class QueryExecutor:
         name = getattr(sampler, "name", "fixed")
         return f"method fixed at build time: {name}"
 
-    def session(self, query: "str | QuerySpec"):
+    def session(self, query: "str | QuerySpec", *,
+                rng: random.Random | None = None,
+                obs: Observability | None = None,
+                labels: dict[str, object] | None = None,
+                report_every: int = 16):
         """The interactive path: an OnlineQuerySession the caller drives
-        (and may abandon at any time — the paper's exploration mode)."""
+        (and may abandon at any time — the paper's exploration mode).
+
+        The keyword hooks exist for re-entrant callers that multiplex
+        many sessions over one executor — the query service hands every
+        stream its own seeded ``rng`` (streams must not share draw
+        state), tags sessions with tenant ``labels``, and sets
+        ``report_every`` to its scheduling quantum.
+        """
         spec = parse(query) if isinstance(query, str) else query
         if spec.explain:
             raise StormError("EXPLAIN queries have no session")
@@ -377,6 +388,9 @@ class QueryExecutor:
         st_range = spec.st_range()
         estimator = self._estimator(spec, st_range)
         return dataset.session(
-            st_range, estimator, method=spec.method, rng=self.rng,
+            st_range, estimator, method=spec.method,
+            rng=rng if rng is not None else self.rng,
             expected_k=spec.max_samples,
-            with_replacement=spec.with_replacement), self._stop(spec)
+            report_every=report_every,
+            with_replacement=spec.with_replacement,
+            obs=obs, labels=labels), self._stop(spec)

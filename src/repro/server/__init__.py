@@ -1,0 +1,32 @@
+"""repro.server — the multi-tenant STORM query service.
+
+STORM's premise is *online* reasoning: an analyst issues a query and
+watches the confidence interval tighten while samples accumulate.
+This package is the service layer that delivers that interaction to
+remote clients — many of them at once, against one engine:
+
+* :mod:`repro.server.protocol` — the wire contract: JSON request
+  bodies, NDJSON progressive-result frames (progress / end / error),
+  and :class:`~repro.server.protocol.ApiError` status mapping;
+* :mod:`repro.server.scheduler` — a deficit-round-robin scheduler
+  that time-slices every live sample stream against the engine, one
+  ``draw_batch`` quantum at a time, on a single engine thread;
+* :mod:`repro.server.service` — the HTTP-agnostic core: tenant
+  authentication, named sessions, quota + admission control with
+  backpressure, graceful drain;
+* :mod:`repro.server.http` — the stdlib ``ThreadingHTTPServer``
+  front end: JSON endpoints, the chunked NDJSON streaming endpoint,
+  and the ``/metrics`` + ``/health`` operational routes.
+
+``docs/service.md`` is the full API reference; ``storm-query serve``
+is the CLI entry point.
+"""
+
+from repro.server.http import StormServer
+from repro.server.protocol import ApiError
+from repro.server.scheduler import FairScheduler, StreamTask
+from repro.server.service import (QueryService, ServerConfig,
+                                  TenantQuota)
+
+__all__ = ["ApiError", "FairScheduler", "StreamTask", "QueryService",
+           "ServerConfig", "TenantQuota", "StormServer"]

@@ -1,0 +1,144 @@
+"""The query service's wire contract.
+
+Everything a remote client sends or receives is defined here, away
+from sockets and scheduling, so the service core and the tests speak
+the same vocabulary:
+
+* :class:`ApiError` — the one exception HTTP handlers translate into
+  a status code + JSON error document (401 auth, 404 unknown
+  resource, 400 bad request, 429 backpressure with ``Retry-After``,
+  503 while draining);
+* **NDJSON frames** — a streaming query response is a sequence of
+  newline-delimited JSON objects: zero or more ``progress`` frames
+  (one per scheduler quantum that produced a reportable estimate),
+  then exactly one terminal frame — ``end`` on success, ``error``
+  when the stream failed.  Clients treat the terminal frame as the
+  close signal; anything after it is a protocol violation;
+* helpers turning engine objects (:class:`~repro.core.session.
+  ProgressPoint`, :class:`~repro.core.estimators.base.Estimate`)
+  into JSON-ready dicts.
+
+The frame schema is documented for clients in ``docs/service.md``;
+``tests/test_server.py`` holds the docs↔code consistency checks.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.session import ProgressPoint
+
+__all__ = ["ApiError", "estimate_doc", "progress_frame",
+           "terminal_frame", "error_frame", "encode_frame",
+           "parse_body"]
+
+
+class ApiError(Exception):
+    """A client-visible failure with an HTTP status.
+
+    ``code`` is a stable machine-readable slug (``"unauthorized"``,
+    ``"not_found"``, ``"bad_request"``, ``"over_quota"``,
+    ``"saturated"``, ``"shutting_down"``); ``retry_after`` rides into
+    the ``Retry-After`` header on 429/503 responses.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+    def to_doc(self) -> dict:
+        doc = {"error": {"code": self.code, "message": self.message}}
+        if self.retry_after is not None:
+            doc["error"]["retry_after"] = self.retry_after
+        return doc
+
+
+def estimate_doc(estimate) -> dict:
+    """JSON-ready view of one Estimate (interval flattened)."""
+    doc = {
+        "value": _jsonable(estimate.value),
+        "std_error": estimate.std_error,
+        "k": estimate.k,
+        "q": estimate.q,
+        "exact": estimate.exact,
+    }
+    interval = estimate.interval
+    if interval is not None:
+        doc["interval"] = {"lo": interval.lo, "hi": interval.hi,
+                           "level": interval.level}
+    return doc
+
+
+def _jsonable(value):
+    """Estimator values that are not JSON scalars (grids, per-group
+    maps, trajectories) are rendered through their dict/list shape;
+    anything else falls back to ``str``."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    as_dict = getattr(value, "as_dict", None)
+    if callable(as_dict):
+        return _jsonable(as_dict())
+    return str(value)
+
+
+def progress_frame(point: ProgressPoint) -> dict:
+    """One progressive-result frame (``"frame": "progress"``)."""
+    return {
+        "frame": "progress",
+        "k": point.k,
+        "elapsed": point.elapsed,
+        "coverage": point.coverage,
+        "estimate": estimate_doc(point.estimate),
+    }
+
+
+def terminal_frame(point: ProgressPoint | None,
+                   reason: str = "") -> dict:
+    """The success terminal frame (``"frame": "end"``).
+
+    ``point`` is the last progress snapshot; ``reason`` overrides the
+    stop reason (the scheduler uses this for drain-time termination).
+    """
+    doc = {"frame": "end",
+           "reason": reason or (point.reason if point else "")}
+    if point is not None:
+        doc["k"] = point.k
+        doc["elapsed"] = point.elapsed
+        doc["coverage"] = point.coverage
+        doc["estimate"] = estimate_doc(point.estimate)
+    return doc
+
+
+def error_frame(exc: BaseException, code: str = "stream_error") -> dict:
+    """The failure terminal frame (``"frame": "error"``)."""
+    return {"frame": "error", "code": code,
+            "message": f"{type(exc).__name__}: {exc}"}
+
+
+def encode_frame(doc: dict) -> bytes:
+    """One NDJSON line: compact JSON + newline."""
+    return (json.dumps(doc, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()
+
+
+def parse_body(raw: bytes) -> dict:
+    """Decode a JSON request body (ApiError 400 on garbage)."""
+    if not raw:
+        return {}
+    try:
+        doc = json.loads(raw)
+    except ValueError as exc:
+        raise ApiError(400, "bad_request",
+                       f"request body is not valid JSON: {exc}")
+    if not isinstance(doc, dict):
+        raise ApiError(400, "bad_request",
+                       "request body must be a JSON object")
+    return doc

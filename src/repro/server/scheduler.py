@@ -1,0 +1,497 @@
+"""Fair time-slicing of many live sample streams over one engine.
+
+One engine thread, many tenants: every admitted query becomes a
+:class:`StreamTask` whose generator yields
+:class:`~repro.core.session.ProgressPoint` snapshots, and the
+:class:`FairScheduler` drives them all with **deficit round-robin**.
+The scheduling quantum is one ``next()`` on the session generator,
+i.e. one :meth:`~repro.core.sampling.base.SpatialSampler.draw_batch`
+pull of ``report_every`` samples (PR 3/8's batched pipeline) — small
+enough that a dozen interleaved streams all tighten their intervals
+visibly, large enough that the vectorised batch path stays hot.
+
+Why a single engine thread
+--------------------------
+Samplers, canonical-set caches and estimator state are not designed
+for concurrent mutation, and they do not need to be: one quantum is
+microseconds of work, so a single thread time-slices dozens of
+streams at interactive latency while HTTP handler threads only parse
+requests and drain frame buffers.  Concurrent *ingest* is safe
+because streams draw from snapshots pinned at ``range_count`` time
+(PR 7's :class:`~repro.core.sampling.tiered.LSMSnapshot`); the
+session generator is created lazily **on the scheduler thread**, so
+even snapshot pinning never races a handler thread.
+
+Fairness and uniformity
+-----------------------
+Each task holds a ``weight`` (per-tenant quota hook); a task earns
+``weight`` credits per round and runs one quantum per unit credit, so
+long streams cannot starve short ones and a weight-2 tenant gets
+twice the quanta of a weight-1 tenant under contention.  Scheduling
+only changes *when* a stream draws, never *what*: every stream owns
+its rng and its pinned snapshot, so a stream scheduled in quanta is
+sample-identical in distribution to the same stream run alone
+(chi-square checked in ``tests/test_server.py``).
+
+Backpressure
+------------
+Frames land in a per-task buffer; a streaming consumer pops them in
+order.  When a slow client lets the buffer fill, the task reports
+itself *blocked* and the scheduler simply skips it — no samples are
+drawn that nobody is reading — until the consumer drains a frame.
+Detached tasks (server-side sessions a client polls later) never
+block; their retention is bounded by the query's own sample budget.
+
+Fault injection: a :class:`~repro.faults.FaultPlan` gates each
+quantum as op ``server.quantum`` on the plan's logical clock, so
+chaos tests can fail streams mid-flight deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterator
+
+from repro.core.session import ProgressPoint
+from repro.errors import StormError
+from repro.server.protocol import (error_frame, progress_frame,
+                                   terminal_frame)
+
+__all__ = ["StreamTask", "FairScheduler"]
+
+#: Task lifecycle: queued -> active -> one of the terminal states.
+QUEUED = "queued"
+ACTIVE = "active"
+DONE = "done"
+ERROR = "error"
+CANCELLED = "cancelled"
+
+_TERMINAL = (DONE, ERROR, CANCELLED)
+
+
+class StreamTask:
+    """One admitted query stream: generator, frame buffer, accounting.
+
+    ``make_gen`` is a zero-argument callable building the ProgressPoint
+    generator; it runs on the scheduler thread at the first quantum so
+    every engine interaction (including snapshot pinning in
+    ``range_count``) stays single-threaded.
+    """
+
+    _ids = iter(range(1, 1 << 62))
+    _ids_lock = threading.Lock()
+
+    def __init__(self, tenant: str,
+                 make_gen: Callable[[], Iterator[ProgressPoint]], *,
+                 weight: float = 1.0, buffer_frames: int = 64,
+                 detached: bool = False, label: str = ""):
+        if weight <= 0:
+            raise StormError(f"stream weight must be > 0, got {weight}")
+        if buffer_frames < 1:
+            raise StormError("buffer_frames must be >= 1")
+        with StreamTask._ids_lock:
+            self.task_id = f"q-{next(StreamTask._ids)}"
+        self.tenant = tenant
+        self.label = label
+        self.weight = weight
+        self.buffer_frames = buffer_frames
+        self.detached = detached
+        self.state = QUEUED
+        self.frames: list[dict] = []
+        self.consumed = 0
+        self.quanta = 0
+        self.samples = 0
+        self.created_at = time.monotonic()
+        self.finished_at: float | None = None
+        self.credits = 0.0
+        self.cancel_reason = ""
+        self._make_gen = make_gen
+        self._gen: Iterator[ProgressPoint] | None = None
+        #: Set by the scheduler at adoption; consumers wait on it.
+        self._cond: threading.Condition | None = None
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    def pending(self) -> int:
+        """Frames produced but not yet consumed."""
+        return len(self.frames) - self.consumed
+
+    def blocked(self) -> bool:
+        """Whether backpressure parks this task (buffer full)."""
+        return (not self.detached
+                and self.pending() >= self.buffer_frames)
+
+    def result(self) -> dict | None:
+        """The terminal frame, once there is one."""
+        if self.frames and self.frames[-1].get("frame") in ("end",
+                                                            "error"):
+            return self.frames[-1]
+        return None
+
+    # -- consumer API ----------------------------------------------------
+
+    def pop(self, timeout: float | None = 5.0) -> dict | None:
+        """Next frame in order (blocking); None on timeout.
+
+        Popping advances the consumed watermark, which is what
+        releases a backpressure-parked task.
+        """
+        cond = self._cond
+        assert cond is not None, "task not yet submitted"
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with cond:
+            while self.consumed >= len(self.frames):
+                if self.terminal:
+                    return None
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                cond.wait(0.05 if remaining is None
+                          else min(0.05, remaining))
+            frame = self.frames[self.consumed]
+            self.consumed += 1
+            cond.notify_all()
+        return frame
+
+    def drain_frames(self, timeout: float | None = 5.0) -> list[dict]:
+        """Pop frames until the terminal one (inclusive) or timeout."""
+        out: list[dict] = []
+        while True:
+            frame = self.pop(timeout)
+            if frame is None:
+                return out
+            out.append(frame)
+            if frame.get("frame") in ("end", "error"):
+                return out
+
+    def frames_since(self, index: int) -> tuple[list[dict], int, str]:
+        """Detached polling: frames from ``index`` on, next index,
+        state (frames are retained, so polling never consumes)."""
+        cond = self._cond
+        if cond is None:
+            return [], index, self.state
+        with cond:
+            if index < 0:
+                index = 0
+            frames = list(self.frames[index:])
+            return frames, index + len(frames), self.state
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Ask the scheduler to stop this stream (idempotent)."""
+        cond = self._cond
+        if cond is None:  # never submitted: terminate in place
+            self.state = CANCELLED
+            self.frames.append(terminal_frame(None, reason=reason))
+            return
+        with cond:
+            if self.terminal:
+                return
+            self.cancel_reason = reason
+            cond.notify_all()
+
+    # -- scheduler-side helpers (always under the scheduler lock) --------
+
+    def _append_frame(self, frame: dict) -> None:
+        self.frames.append(frame)
+
+    def _finish(self, state: str, frame: dict | None) -> None:
+        self.state = state
+        if frame is not None:
+            self.frames.append(frame)
+        self.finished_at = time.monotonic()
+
+    def __repr__(self) -> str:
+        return (f"<StreamTask {self.task_id} tenant={self.tenant!r} "
+                f"{self.state} k={self.samples}>")
+
+
+class FairScheduler:
+    """Deficit-round-robin quantum scheduler on one engine thread.
+
+    ``max_concurrent`` bounds how many streams are *live* (pinning
+    snapshots and holding sampler streams open) at once; admitted
+    tasks beyond it wait in a FIFO queue.  The admission-control bound
+    on that queue belongs to the service layer
+    (:class:`~repro.server.service.QueryService`), which rejects with
+    429 before ``submit`` is ever called.
+    """
+
+    def __init__(self, *, max_concurrent: int = 8,
+                 registry=None, faults=None):
+        if max_concurrent < 1:
+            raise StormError("max_concurrent must be >= 1")
+        self.max_concurrent = max_concurrent
+        self.registry = registry
+        self.faults = faults
+        self._cond = threading.Condition()
+        self._queue: deque[StreamTask] = deque()
+        self._active: list[StreamTask] = []
+        self._rr = 0
+        self._started = False
+        self._stopping = False
+        self._draining = False
+        self._thread: threading.Thread | None = None
+        self.total_quanta = 0
+        self.total_streams = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "FairScheduler":
+        if self._started:
+            raise StormError("scheduler already started")
+        self._started = True
+        self._thread = threading.Thread(target=self._loop,
+                                        name="storm-scheduler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def submit(self, task: StreamTask) -> None:
+        """Adopt a task into the run queue (service pre-admits)."""
+        with self._cond:
+            if self._stopping or self._draining:
+                raise StormError("scheduler is shutting down")
+            task._cond = self._cond
+            self._queue.append(task)
+            self.total_streams += 1
+            # Promote synchronously so admission control sees a stream
+            # occupy an active slot the moment submit returns, instead
+            # of racing the engine thread's own promotion pass.
+            self._promote_locked()
+            self._cond.notify_all()
+        self._publish_depth()
+
+    def drain(self, timeout: float) -> bool:
+        """Stop accepting work; wait for live streams to finish.
+
+        Returns True when everything finished inside the timeout;
+        leftovers are then cancelled with a shutdown terminal frame
+        either way by :meth:`stop`.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+            while self._active or self._queue:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(0.05, remaining))
+        return True
+
+    def stop(self) -> None:
+        """Cancel every live stream and join the engine thread."""
+        with self._cond:
+            self._stopping = True
+            for task in list(self._queue) + list(self._active):
+                if not task.terminal and not task.cancel_reason:
+                    task.cancel_reason = "server shutdown"
+            self._cond.notify_all()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=10.0)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        with self._cond:
+            return len(self._active)
+
+    @property
+    def queued_count(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def live_count(self) -> int:
+        with self._cond:
+            return len(self._active) + len(self._queue)
+
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no stream is live (tests and the bench)."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._active or self._queue:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(0.05, remaining))
+        return True
+
+    # -- the engine thread -----------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            task = None
+            with self._cond:
+                if self._stopping:
+                    self._shutdown_locked()
+                    return
+                self._reap_locked()
+                self._promote_locked()
+                task = self._pick_locked()
+                if task is None:
+                    # Everything blocked (or nothing live): sleep on
+                    # the condition until a consumer pops a frame, a
+                    # submit arrives, or stop() fires.
+                    self._cond.wait(0.05)
+                    continue
+            self._run_quantum(task)
+
+    def _shutdown_locked(self) -> None:
+        for task in list(self._queue) + list(self._active):
+            if task.terminal:
+                continue
+            reason = task.cancel_reason or "server shutdown"
+            task._finish(CANCELLED, terminal_frame(None, reason=reason))
+            self._close_gen(task)
+        self._queue.clear()
+        self._active.clear()
+        self._cond.notify_all()
+        self._publish_depth_locked()
+
+    def _reap_locked(self) -> None:
+        """Finalise cancelled tasks and drop terminal ones."""
+        kept: list[StreamTask] = []
+        for task in self._active:
+            if not task.terminal and task.cancel_reason:
+                task._finish(CANCELLED, terminal_frame(
+                    None, reason=task.cancel_reason))
+                self._close_gen(task)
+                self._count_finish(task)
+            if not task.terminal:
+                kept.append(task)
+        if len(kept) != len(self._active):
+            self._active = kept
+            self._rr = 0
+            self._cond.notify_all()
+        if self._queue and any(t.cancel_reason or t.terminal
+                               for t in self._queue):
+            still: deque[StreamTask] = deque()
+            for task in self._queue:
+                if task.terminal:
+                    continue
+                if task.cancel_reason:
+                    task._finish(CANCELLED, terminal_frame(
+                        None, reason=task.cancel_reason))
+                    self._count_finish(task)
+                else:
+                    still.append(task)
+            self._queue = still
+            self._cond.notify_all()
+
+    def _promote_locked(self) -> None:
+        moved = False
+        while self._queue and len(self._active) < self.max_concurrent:
+            task = self._queue.popleft()
+            task.state = ACTIVE
+            task.credits = max(1.0, task.weight)
+            self._active.append(task)
+            moved = True
+        if moved:
+            self._publish_depth_locked()
+
+    def _pick_locked(self) -> StreamTask | None:
+        """Next runnable task under deficit round-robin, or None."""
+        n = len(self._active)
+        # Worst case: scan the tail, wrap (topping up credits), then
+        # scan the whole ring again before concluding nothing runs.
+        for _ in range(2 * n + 2):
+            if self._rr >= len(self._active):
+                self._rr = 0
+                # Round boundary: top up credits (capped so an idle
+                # blocked task cannot hoard a burst).
+                for t in self._active:
+                    t.credits = min(t.credits + t.weight,
+                                    max(1.0, 2.0 * t.weight))
+            if not self._active:
+                return None
+            task = self._active[self._rr]
+            if (not task.terminal and not task.blocked()
+                    and task.credits >= 1.0):
+                # Stay on this task until its deficit is spent: a
+                # weight-2 stream runs two quanta per round, not one.
+                task.credits -= 1.0
+                return task
+            self._rr += 1
+        return None
+
+    def _run_quantum(self, task: StreamTask) -> None:
+        """One scheduling quantum: one ProgressPoint off the stream.
+
+        Runs outside the lock — this is the only thread that touches
+        the engine — then publishes the frame under the lock.
+        """
+        frame: dict | None = None
+        final: tuple[str, dict] | None = None
+        try:
+            if self.faults is not None:
+                self.faults.tick()
+                if self.faults.should_fail("server.quantum"):
+                    raise StormError(
+                        "injected server fault (server.quantum)")
+            if task._gen is None:
+                task._gen = task._make_gen()
+            point = next(task._gen)
+            task.quanta += 1
+            task.samples = point.k
+            frame = progress_frame(point)
+            if point.done:
+                final = (DONE, terminal_frame(point))
+        except StopIteration:
+            final = (DONE, terminal_frame(None, reason="stream ended"))
+        except Exception as exc:  # noqa: BLE001 — becomes error frame
+            final = (ERROR, error_frame(exc))
+        with self._cond:
+            self.total_quanta += 1
+            if frame is not None:
+                task._append_frame(frame)
+            if final is not None:
+                task._finish(final[0], final[1])
+                self._close_gen(task)
+                self._count_finish(task)
+            self._cond.notify_all()
+        registry = self.registry
+        if registry is not None and registry.enabled:
+            registry.counter("storm.server.quanta",
+                             tenant=task.tenant).inc()
+            if final is not None and final[0] == ERROR:
+                registry.counter("storm.server.stream_errors",
+                                 tenant=task.tenant).inc()
+
+    @staticmethod
+    def _close_gen(task: StreamTask) -> None:
+        gen, task._gen = task._gen, None
+        if gen is not None:
+            try:
+                gen.close()
+            except Exception:  # noqa: BLE001 — teardown is best effort
+                pass
+
+    def _count_finish(self, task: StreamTask) -> None:
+        registry = self.registry
+        if registry is not None and registry.enabled:
+            registry.counter("storm.server.streams_finished",
+                             tenant=task.tenant,
+                             state=task.state).inc()
+
+    def _publish_depth(self) -> None:
+        with self._cond:
+            self._publish_depth_locked()
+
+    def _publish_depth_locked(self) -> None:
+        registry = self.registry
+        if registry is not None and registry.enabled:
+            registry.gauge("storm.server.active_streams").set(
+                len(self._active))
+            registry.gauge("storm.server.queued_streams").set(
+                len(self._queue))

@@ -98,6 +98,13 @@ def _metrics(doc: dict) -> dict[str, float]:
             value = ingest.get(key)
             if isinstance(value, (int, float)):
                 out[f"ingest.{key}"] = value
+    server = doc.get("server")
+    if isinstance(server, dict):
+        for key in ("streams_per_sec", "query_p50_seconds",
+                    "query_p99_seconds", "fairness_index"):
+            value = server.get(key)
+            if isinstance(value, (int, float)):
+                out[f"server.{key}"] = value
     return out
 
 
