@@ -5,7 +5,8 @@ PYTHON ?= python
 PROFILE ?=
 
 .PHONY: test lint bench bench-smoke chaos-smoke recovery-smoke \
-	updates-smoke serve-smoke check-bench check-links
+	updates-smoke serve-smoke serve-chaos-smoke check-bench \
+	check-links
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -36,9 +37,15 @@ serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.bench.server BENCH_server.json
 	$(PYTHON) tools/check_bench.py BENCH_server.json
 
+serve-chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.bench.server_chaos \
+		BENCH_server_chaos.json
+	$(PYTHON) tools/check_bench.py BENCH_server_chaos.json
+
 check-bench:
 	$(PYTHON) tools/check_bench.py BENCH_sampling.json \
-		BENCH_recovery.json BENCH_updates.json BENCH_server.json
+		BENCH_recovery.json BENCH_updates.json BENCH_server.json \
+		BENCH_server_chaos.json
 
 check-links:
 	$(PYTHON) tools/check_links.py

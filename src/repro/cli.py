@@ -493,6 +493,22 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument("--drain-seconds", type=float, default=10.0,
                         help="graceful-shutdown drain budget "
                              "(default 10)")
+    parser.add_argument("--default-deadline", type=float,
+                        help="deadline (seconds) applied to requests "
+                             "without an X-Storm-Deadline header "
+                             "(default: none)")
+    parser.add_argument("--abandon-seconds", type=float, default=30.0,
+                        help="reap a stream whose client read "
+                             "nothing for this long (0 = never; "
+                             "default 30)")
+    parser.add_argument("--watchdog-seconds", type=float,
+                        default=10.0,
+                        help="fail a single scheduler quantum that "
+                             "runs this long and recover the engine "
+                             "(0 = no watchdog; default 10)")
+    parser.add_argument("--journal", metavar="DIR",
+                        help="journal detached streams under DIR and "
+                             "resume them on restart (default: off)")
     parser.add_argument("--token", action="append", default=[],
                         metavar="TENANT=TOKEN",
                         help="auth token for TENANT (repeatable; "
@@ -525,6 +541,10 @@ def _serve_main(argv: list[str]) -> int:
             quantum=args.quantum,
             stream_buffer=args.stream_buffer,
             drain_seconds=args.drain_seconds,
+            default_deadline=args.default_deadline,
+            abandon_seconds=args.abandon_seconds or None,
+            watchdog_seconds=args.watchdog_seconds or None,
+            journal_dir=args.journal,
             tokens=_parse_tokens(args.token),
             quotas=_parse_quotas(args.quota))
         engine = build_engine(args.dataset or ["osm"], args.n,
@@ -533,6 +553,10 @@ def _serve_main(argv: list[str]) -> int:
                               replication=args.replication)
         service = QueryService(engine, config, obs=obs,
                                faults=faults, seed=args.seed)
+        resumed = service.recover_streams()
+        if resumed:
+            print(f"resumed {resumed} journaled detached "
+                  f"stream(s)", file=sys.stderr)
     except StormError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -283,26 +283,29 @@ class Dataset:
                 report_every: int = 16,
                 with_replacement: bool = False,
                 obs: Observability | None = None,
-                labels: dict[str, object] | None = None
-                ) -> OnlineQuerySession:
+                labels: dict[str, object] | None = None,
+                clock=None) -> OnlineQuerySession:
         """Open an online query session over this dataset.
 
         ``obs`` overrides the dataset's observability sink for this one
         session (EXPLAIN uses a private tracer this way).  ``labels``
         adds metric/span labels on top of the dataset's own — the
         query service tags every session with its tenant this way.
+        ``clock`` overrides the session's time source (durable server
+        streams use a logical clock for byte-reproducible frames).
         """
         rect = self.to_rect(query)
         sampler = self.sampler_for(rect, method, expected_k)
         merged: dict[str, object] = {"dataset": self.name}
         if labels:
             merged.update(labels)
+        kwargs = {} if clock is None else {"clock": clock}
         return OnlineQuerySession(sampler, estimator, rect, self.lookup,
                                   rng=rng, report_every=report_every,
                                   with_replacement=with_replacement,
                                   obs=obs if obs is not None
                                   else self.obs,
-                                  labels=merged)
+                                  labels=merged, **kwargs)
 
 
 class StormEngine:

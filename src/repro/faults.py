@@ -23,7 +23,14 @@ is reproducible:
   before any byte lands, or after a torn prefix of the payload is
   durably applied.  This is how the durability layer
   (:mod:`repro.storage.wal`) exercises crash-during-update and
-  torn-final-segment recovery.
+  torn-final-segment recovery;
+* **delay points** (:meth:`FaultPlan.delay`): the *n*-th gated call of
+  an operation stalls for a configured number of seconds.  This is the
+  service layer's "wedged quantum" gate: the scheduler sleeps inside
+  ``server.quantum`` and the watchdog must fail that one stream while
+  the other tenants keep drawing.  Chaos clients use the same spec
+  (ops like ``client.read``) to decide when to stall or drop a
+  connection mid-stream.
 
 Consumers: :class:`~repro.storage.dfs.SimulatedDFS` gates block reads
 (failover walks the replica list), :class:`~repro.distributed.cluster.
@@ -43,7 +50,7 @@ from dataclasses import dataclass
 
 from repro.errors import StormError
 
-__all__ = ["CrashWindow", "FaultPlan", "WriteFault"]
+__all__ = ["CrashWindow", "DelayFault", "FaultPlan", "WriteFault"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +86,19 @@ class WriteFault:
     keep_fraction: float | None = None
 
 
+@dataclass(slots=True)
+class DelayFault:
+    """One scheduled stall.
+
+    The fault fires on the ``countdown``-th gated call (counting from
+    1) of the exact operation ``op``, stalling it for ``seconds``.
+    """
+
+    op: str
+    countdown: int
+    seconds: float
+
+
 class FaultPlan:
     """A reproducible schedule of crashes, errors and slowdowns.
 
@@ -98,6 +118,7 @@ class FaultPlan:
         self._error_rates: dict[str, float] = {}
         self._slow: dict[str, float] = {}
         self._write_faults: list[WriteFault] = []
+        self._delays: list[DelayFault] = []
         self._clock = 0
 
     # -- configuration -----------------------------------------------------
@@ -152,6 +173,19 @@ class FaultPlan:
             raise StormError(
                 f"keep_fraction must be in [0, 1], got {keep_fraction}")
         self._write_faults.append(WriteFault(match, nth, keep_fraction))
+        return self
+
+    def delay(self, op: str, seconds: float,
+              nth: int = 1) -> "FaultPlan":
+        """Stall the ``nth`` gated call of ``op`` for ``seconds``
+        (one-shot; the service layer's wedged-quantum / stalled-client
+        gate)."""
+        if nth < 1:
+            raise StormError(f"nth call must be >= 1, got {nth}")
+        if seconds < 0:
+            raise StormError(
+                f"delay seconds must be >= 0, got {seconds}")
+        self._delays.append(DelayFault(op, nth, seconds))
         return self
 
     # -- the clock ---------------------------------------------------------
@@ -213,6 +247,23 @@ class FaultPlan:
                 return None
         return None
 
+    def take_delay(self, op: str) -> float:
+        """Account one gated call of ``op`` against the scheduled
+        delays; the stall in seconds (0.0 when none fired).
+
+        Like write faults, each call counts against only the *first*
+        matching schedule entry and fired delays are consumed
+        (one-shot), so stacked stalls fire deterministically in
+        configuration order.
+        """
+        for i, fault in enumerate(self._delays):
+            if fault.op == op:
+                fault.countdown -= 1
+                if fault.countdown == 0:
+                    return self._delays.pop(i).seconds
+                return 0.0
+        return 0.0
+
     # -- (de)serialisation -------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -229,6 +280,10 @@ class FaultPlan:
                 {"match": f.match, "nth": f.countdown,
                  "keep_fraction": f.keep_fraction}
                 for f in self._write_faults],
+            "delays": [
+                {"op": f.op, "nth": f.countdown,
+                 "seconds": f.seconds}
+                for f in self._delays],
         }
 
     @classmethod
@@ -252,6 +307,9 @@ class FaultPlan:
                 plan.torn_write(entry["match"],
                                 nth=int(entry.get("nth", 1)),
                                 keep_fraction=float(keep))
+        for entry in spec.get("delays", ()):
+            plan.delay(entry["op"], float(entry["seconds"]),
+                       nth=int(entry.get("nth", 1)))
         return plan
 
     @classmethod
@@ -272,4 +330,5 @@ class FaultPlan:
                 f"crashes={sum(map(len, self._windows.values()))} "
                 f"error_ops={len(self._error_rates)} "
                 f"slow={len(self._slow)} "
-                f"write_faults={len(self._write_faults)}>")
+                f"write_faults={len(self._write_faults)} "
+                f"delays={len(self._delays)}>")

@@ -371,7 +371,8 @@ class QueryExecutor:
                 rng: random.Random | None = None,
                 obs: Observability | None = None,
                 labels: dict[str, object] | None = None,
-                report_every: int = 16):
+                report_every: int = 16,
+                clock=None):
         """The interactive path: an OnlineQuerySession the caller drives
         (and may abandon at any time — the paper's exploration mode).
 
@@ -379,7 +380,10 @@ class QueryExecutor:
         many sessions over one executor — the query service hands every
         stream its own seeded ``rng`` (streams must not share draw
         state), tags sessions with tenant ``labels``, and sets
-        ``report_every`` to its scheduling quantum.
+        ``report_every`` to its scheduling quantum.  ``clock``
+        overrides the session's time source; durable detached streams
+        pass a logical clock so every emitted frame is reproducible
+        byte-for-byte across a restart.
         """
         spec = parse(query) if isinstance(query, str) else query
         if spec.explain:
@@ -393,4 +397,4 @@ class QueryExecutor:
             expected_k=spec.max_samples,
             report_every=report_every,
             with_replacement=spec.with_replacement,
-            obs=obs, labels=labels), self._stop(spec)
+            obs=obs, labels=labels, clock=clock), self._stop(spec)

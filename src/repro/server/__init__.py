@@ -13,7 +13,9 @@ remote clients — many of them at once, against one engine:
   ``draw_batch`` quantum at a time, on a single engine thread;
 * :mod:`repro.server.service` — the HTTP-agnostic core: tenant
   authentication, named sessions, quota + admission control with
-  backpressure, graceful drain;
+  backpressure, load shedding, deadlines, graceful drain;
+* :mod:`repro.server.journal` — WAL-backed durability for detached
+  streams: journaled definitions, deterministic resume on restart;
 * :mod:`repro.server.http` — the stdlib ``ThreadingHTTPServer``
   front end: JSON endpoints, the chunked NDJSON streaming endpoint,
   and the ``/metrics`` + ``/health`` operational routes.
@@ -23,10 +25,12 @@ is the CLI entry point.
 """
 
 from repro.server.http import StormServer
+from repro.server.journal import StreamJournal
 from repro.server.protocol import ApiError
 from repro.server.scheduler import FairScheduler, StreamTask
 from repro.server.service import (QueryService, ServerConfig,
                                   TenantQuota)
 
 __all__ = ["ApiError", "FairScheduler", "StreamTask", "QueryService",
-           "ServerConfig", "TenantQuota", "StormServer"]
+           "ServerConfig", "TenantQuota", "StormServer",
+           "StreamJournal"]

@@ -14,13 +14,20 @@ Streaming responses use ``Content-Type: application/x-ndjson`` with
 connection-close framing: one JSON object per line, terminated by an
 ``end`` or ``error`` frame (see :mod:`repro.server.protocol`).  A
 client that stops reading fills the per-stream buffer and the
-scheduler parks the stream (backpressure); a client that disconnects
-cancels it.
+scheduler parks the stream (backpressure) — and reaps it as abandoned
+past ``abandon_seconds``; a client that disconnects outright is
+counted in ``storm.server.client_disconnects`` and its stream is
+cancelled, never logged as a handler traceback.
+
+Requests may carry an ``X-Storm-Deadline: <seconds>`` header bounding
+the stream's whole life (queue wait included); past it the stream
+fails with a terminal ``error`` frame, code ``deadline_exceeded``.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -187,10 +194,12 @@ class _Handler(BaseHTTPRequestHandler):
         if template == "/v1/query":
             body = parse_body(self._read_body())
             return self._send_json(
-                200, service.run_query(tenant, body))
+                200, service.run_query(tenant, body,
+                                       deadline=self._deadline()))
         if template == "/v1/stream":
             body = parse_body(self._read_body())
-            task = service.submit_stream(tenant, body)
+            task = service.submit_stream(tenant, body,
+                                         deadline=self._deadline())
             return self._stream_frames(task)
         if template == "/v1/sessions" and method == "POST":
             body = parse_body(self._read_body())
@@ -209,7 +218,8 @@ class _Handler(BaseHTTPRequestHandler):
             body = parse_body(self._read_body())
             task = service.submit_stream(
                 tenant, body, detached=True,
-                session_id=params["session"])
+                session_id=params["session"],
+                deadline=self._deadline())
             return self._send_json(202, {
                 "stream": task.task_id,
                 "session": params["session"],
@@ -237,6 +247,23 @@ class _Handler(BaseHTTPRequestHandler):
         if length <= 0:
             return b""
         return self.rfile.read(length)
+
+    def _deadline(self) -> float | None:
+        """Parse ``X-Storm-Deadline: <seconds>`` (400 on garbage)."""
+        raw = self.headers.get("X-Storm-Deadline")
+        if raw is None:
+            return None
+        try:
+            deadline = float(raw)
+        except ValueError:
+            raise ApiError(400, "bad_request",
+                           "X-Storm-Deadline must be a number of "
+                           f"seconds, got {raw!r}")
+        if deadline <= 0:
+            raise ApiError(400, "bad_request",
+                           "X-Storm-Deadline must be > 0 seconds, "
+                           f"got {raw!r}")
+        return deadline
 
     def _query_int(self, key: str, default: int) -> int:
         query = ""
@@ -298,11 +325,46 @@ class _Handler(BaseHTTPRequestHandler):
                 if frame.get("frame") in ("end", "error"):
                     return 200
         except (BrokenPipeError, ConnectionResetError):
+            # The client vanished mid-stream: cancel the task so the
+            # engine reclaims its quanta and the tenant its quota
+            # slot, count it, and swallow — a dead socket is routine
+            # operation, not a handler traceback.
             task.cancel("client disconnected")
-            raise
+            registry = self.server.service.obs.registry
+            if registry.enabled:
+                registry.counter("storm.server.client_disconnects",
+                                 tenant=task.tenant).inc()
+            return 499
 
     def log_message(self, fmt: str, *args) -> None:
         pass  # storm.server.requests is the access log
+
+
+class _StormHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that treats vanished clients as routine.
+
+    ``BaseHTTPRequestHandler`` flushes the response in ``finish()``
+    *after* the handler returns; a client that disconnected makes
+    that flush raise, and stock socketserver prints a full traceback
+    per dead socket.  Those are counted, not logged.
+    """
+
+    daemon_threads = True
+    service: QueryService | None = None
+
+    def handle_error(self, request, client_address) -> None:
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError,
+                            TimeoutError)):
+            service = self.service
+            if service is not None:
+                registry = service.obs.registry
+                if registry.enabled:
+                    registry.counter(
+                        "storm.server.client_disconnects",
+                        tenant="").inc()
+            return
+        super().handle_error(request, client_address)
 
 
 class StormServer:
@@ -331,8 +393,7 @@ class StormServer:
     def start(self) -> "StormServer":
         if self._httpd is not None:
             raise RuntimeError("server already started")
-        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
-        httpd.daemon_threads = True
+        httpd = _StormHTTPServer((self.host, self.port), _Handler)
         httpd.service = self.service
         self.port = httpd.server_address[1]
         self._httpd = httpd

@@ -48,7 +48,10 @@ class ApiError(Exception):
         self.status = status
         self.code = code
         self.message = message
-        self.retry_after = retry_after
+        # Floor at 1s: `Retry-After: 0` from a momentarily-idle
+        # saturated server invites synchronized retry storms.
+        self.retry_after = None if retry_after is None \
+            else max(1, retry_after)
 
     def to_doc(self) -> dict:
         doc = {"error": {"code": self.code, "message": self.message}}

@@ -33,18 +33,39 @@ its rng and its pinned snapshot, so a stream scheduled in quanta is
 sample-identical in distribution to the same stream run alone
 (chi-square checked in ``tests/test_server.py``).
 
-Backpressure
-------------
+Backpressure and reaping
+------------------------
 Frames land in a per-task buffer; a streaming consumer pops them in
 order.  When a slow client lets the buffer fill, the task reports
 itself *blocked* and the scheduler simply skips it — no samples are
-drawn that nobody is reading — until the consumer drains a frame.
-Detached tasks (server-side sessions a client polls later) never
-block; their retention is bounded by the query's own sample budget.
+drawn that nobody is reading — until the consumer drains a frame.  A
+task that stays blocked past ``abandon_seconds`` is presumed
+abandoned (the client went away without closing the socket cleanly)
+and is cancelled, reclaiming its engine quanta and its tenant's
+quota slot.  Detached tasks (server-side sessions a client polls
+later) never block; their retention is bounded by the query's own
+sample budget.
+
+Deadlines and the watchdog
+--------------------------
+A task may carry a deadline (``X-Storm-Deadline`` header /
+``--default-deadline``): counted from admission, a stream past its
+deadline — queued or active — fails with a clean terminal ``error``
+frame (code ``deadline_exceeded``) instead of occupying a slot
+forever.  Orthogonally, a **quantum watchdog** thread guards the
+engine thread itself: when one ``_run_quantum`` call exceeds
+``watchdog_seconds`` (a wedged estimator, an injected
+``FaultPlan.delay`` stall), the watchdog fails *that* stream with a
+terminal ``error`` frame (code ``watchdog_timeout``) and hands the
+engine to a fresh thread so every other tenant keeps drawing.  The
+superseded thread discards its result when (if) it returns; its
+generator is closed then — a truly never-returning quantum leaks
+that one generator, which is the best a cooperative runtime can do.
 
 Fault injection: a :class:`~repro.faults.FaultPlan` gates each
-quantum as op ``server.quantum`` on the plan's logical clock, so
-chaos tests can fail streams mid-flight deterministically.
+quantum as op ``server.quantum`` on the plan's logical clock
+(error coins fail a quantum, one-shot ``delay`` specs wedge it), so
+chaos tests can fail or stall streams mid-flight deterministically.
 """
 
 from __future__ import annotations
@@ -67,8 +88,13 @@ ACTIVE = "active"
 DONE = "done"
 ERROR = "error"
 CANCELLED = "cancelled"
+#: Terminal for the scheduler, but *not* a protocol ending: a durable
+#: detached stream parked by graceful drain keeps its frames (no
+#: terminal frame is appended) so clients can still poll them and a
+#: journal-backed restart can resume the stream.
+SUSPENDED = "suspended"
 
-_TERMINAL = (DONE, ERROR, CANCELLED)
+_TERMINAL = (DONE, ERROR, CANCELLED, SUSPENDED)
 
 
 class StreamTask:
@@ -80,30 +106,49 @@ class StreamTask:
     ``range_count``) stays single-threaded.
     """
 
-    _ids = iter(range(1, 1 << 62))
+    _next_id = 1
     _ids_lock = threading.Lock()
 
     def __init__(self, tenant: str,
                  make_gen: Callable[[], Iterator[ProgressPoint]], *,
                  weight: float = 1.0, buffer_frames: int = 64,
-                 detached: bool = False, label: str = ""):
+                 detached: bool = False, label: str = "",
+                 deadline_seconds: float | None = None,
+                 durable: bool = False,
+                 task_id: str | None = None,
+                 meta: dict | None = None):
         if weight <= 0:
             raise StormError(f"stream weight must be > 0, got {weight}")
         if buffer_frames < 1:
             raise StormError("buffer_frames must be >= 1")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise StormError(
+                f"deadline must be > 0 seconds, got {deadline_seconds}")
         with StreamTask._ids_lock:
-            self.task_id = f"q-{next(StreamTask._ids)}"
+            if task_id is None:
+                task_id = f"q-{StreamTask._next_id}"
+                StreamTask._next_id += 1
+        self.task_id = task_id
         self.tenant = tenant
         self.label = label
         self.weight = weight
         self.buffer_frames = buffer_frames
         self.detached = detached
+        self.durable = durable
+        #: Journal payload (query text, seed, ...) for durable streams.
+        self.meta = dict(meta) if meta else {}
         self.state = QUEUED
         self.frames: list[dict] = []
         self.consumed = 0
         self.quanta = 0
         self.samples = 0
         self.created_at = time.monotonic()
+        self.deadline_seconds = deadline_seconds
+        #: Absolute monotonic deadline (covers queue wait too).
+        self.deadline_at = None if deadline_seconds is None \
+            else self.created_at + deadline_seconds
+        #: When backpressure first parked this task (None = not parked).
+        self.blocked_since: float | None = None
         self.finished_at: float | None = None
         self.credits = 0.0
         self.cancel_reason = ""
@@ -111,6 +156,16 @@ class StreamTask:
         self._gen: Iterator[ProgressPoint] | None = None
         #: Set by the scheduler at adoption; consumers wait on it.
         self._cond: threading.Condition | None = None
+
+    @classmethod
+    def advance_ids(cls, past: int) -> None:
+        """Ensure auto-assigned ids start after ``past``.
+
+        Journal recovery re-creates streams under their original ids;
+        advancing the counter keeps fresh streams from colliding.
+        """
+        with cls._ids_lock:
+            cls._next_id = max(cls._next_id, past + 1)
 
     # -- state -----------------------------------------------------------
 
@@ -197,6 +252,21 @@ class StreamTask:
             self.cancel_reason = reason
             cond.notify_all()
 
+    def wait_terminal(self, timeout: float = 5.0) -> bool:
+        """Block until the task reaches a terminal state (used by the
+        one-shot timeout path to *verify* the slot was released)."""
+        cond = self._cond
+        if cond is None:
+            return self.terminal
+        deadline = time.monotonic() + timeout
+        with cond:
+            while not self.terminal:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                cond.wait(min(0.05, remaining))
+        return True
+
     # -- scheduler-side helpers (always under the scheduler lock) --------
 
     def _append_frame(self, frame: dict) -> None:
@@ -222,15 +292,33 @@ class FairScheduler:
     on that queue belongs to the service layer
     (:class:`~repro.server.service.QueryService`), which rejects with
     429 before ``submit`` is ever called.
+
+    ``watchdog_seconds`` arms the quantum watchdog (None = off);
+    ``abandon_seconds`` reaps non-detached streams blocked on a dead
+    consumer past that long (None = never).  ``on_task_event`` is an
+    optional callback invoked off-lock with a task after it produced
+    a frame or reached a terminal state — the service layer journals
+    durable streams through it; exceptions are swallowed so
+    journaling can never take the engine down.
     """
 
     def __init__(self, *, max_concurrent: int = 8,
-                 registry=None, faults=None):
+                 registry=None, faults=None,
+                 watchdog_seconds: float | None = None,
+                 abandon_seconds: float | None = None,
+                 on_task_event=None):
         if max_concurrent < 1:
             raise StormError("max_concurrent must be >= 1")
+        if watchdog_seconds is not None and watchdog_seconds <= 0:
+            raise StormError("watchdog_seconds must be > 0")
+        if abandon_seconds is not None and abandon_seconds <= 0:
+            raise StormError("abandon_seconds must be > 0")
         self.max_concurrent = max_concurrent
         self.registry = registry
         self.faults = faults
+        self.watchdog_seconds = watchdog_seconds
+        self.abandon_seconds = abandon_seconds
+        self.on_task_event = on_task_event
         self._cond = threading.Condition()
         self._queue: deque[StreamTask] = deque()
         self._active: list[StreamTask] = []
@@ -239,8 +327,16 @@ class FairScheduler:
         self._stopping = False
         self._draining = False
         self._thread: threading.Thread | None = None
+        self._watchdog_thread: threading.Thread | None = None
+        #: (task, started_at) while a quantum runs on the engine thread.
+        self._running: tuple[StreamTask, float] | None = None
+        #: Bumped by the watchdog on takeover; a stale engine thread
+        #: notices and exits without touching shared state again.
+        self._generation = 0
+        self._events: deque[StreamTask] = deque()
         self.total_quanta = 0
         self.total_streams = 0
+        self.watchdog_kills = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -248,10 +344,15 @@ class FairScheduler:
         if self._started:
             raise StormError("scheduler already started")
         self._started = True
-        self._thread = threading.Thread(target=self._loop,
-                                        name="storm-scheduler",
-                                        daemon=True)
+        self._thread = threading.Thread(
+            target=self._loop, args=(self._generation,),
+            name="storm-scheduler", daemon=True)
         self._thread.start()
+        if self.watchdog_seconds is not None:
+            self._watchdog_thread = threading.Thread(
+                target=self._watch, name="storm-watchdog",
+                daemon=True)
+            self._watchdog_thread.start()
         return self
 
     def submit(self, task: StreamTask) -> None:
@@ -273,8 +374,8 @@ class FairScheduler:
         """Stop accepting work; wait for live streams to finish.
 
         Returns True when everything finished inside the timeout;
-        leftovers are then cancelled with a shutdown terminal frame
-        either way by :meth:`stop`.
+        leftovers are then cancelled (or, for detached streams,
+        suspended with frames retained) either way by :meth:`stop`.
         """
         deadline = time.monotonic() + timeout
         with self._cond:
@@ -288,16 +389,32 @@ class FairScheduler:
         return True
 
     def stop(self) -> None:
-        """Cancel every live stream and join the engine thread."""
+        """End every live stream and join the engine thread.
+
+        Non-detached streams are cancelled with a shutdown terminal
+        frame; detached streams are *suspended* — frames retained,
+        no terminal frame — so they stay poll-able and (when
+        journaled) resumable after restart.
+        """
         with self._cond:
             self._stopping = True
             for task in list(self._queue) + list(self._active):
-                if not task.terminal and not task.cancel_reason:
+                if (not task.terminal and not task.cancel_reason
+                        and not task.detached):
                     task.cancel_reason = "server shutdown"
             self._cond.notify_all()
         thread, self._thread = self._thread, None
         if thread is not None:
             thread.join(timeout=10.0)
+        watchdog, self._watchdog_thread = self._watchdog_thread, None
+        if watchdog is not None:
+            watchdog.join(timeout=5.0)
+        # The engine thread normally runs shutdown; if it was wedged
+        # (join timed out) or already gone, finish the job here.
+        with self._cond:
+            if self._active or self._queue:
+                self._shutdown_locked()
+        self._flush_events()
 
     # -- introspection ---------------------------------------------------
 
@@ -327,67 +444,152 @@ class FairScheduler:
                 self._cond.wait(min(0.05, remaining))
         return True
 
+    # -- load shedding ---------------------------------------------------
+
+    def shed_lowest(self, min_weight: float) -> StreamTask | None:
+        """Shed the lightest queued stream to make room for a heavier
+        one: cancels (with an ``error`` frame, code ``shed``) the
+        queued task with the lowest weight *strictly below*
+        ``min_weight`` and returns it, or None when every queued task
+        is at least that heavy.  Only queued tasks are candidates —
+        they have drawn nothing, so shedding wastes no engine work.
+        """
+        shed = None
+        with self._cond:
+            victim = None
+            for task in self._queue:
+                if task.terminal or task.cancel_reason:
+                    continue
+                if victim is None or task.weight < victim.weight:
+                    victim = task
+            if victim is not None and victim.weight < min_weight:
+                self._queue.remove(victim)
+                victim._finish(ERROR, error_frame(
+                    StormError("shed: queue full and heavier work "
+                               "arrived; retry later"), code="shed"))
+                self._count_finish(victim)
+                self._emit_locked(victim)
+                self._cond.notify_all()
+                self._publish_depth_locked()
+                shed = victim
+        if shed is not None:
+            registry = self.registry
+            if registry is not None and registry.enabled:
+                registry.counter("storm.server.shed_streams",
+                                 tenant=shed.tenant).inc()
+            self._flush_events()
+        return shed
+
     # -- the engine thread -----------------------------------------------
 
-    def _loop(self) -> None:
+    def _loop(self, generation: int) -> None:
         while True:
             task = None
+            stopping = False
             with self._cond:
+                if self._generation != generation:
+                    return  # superseded by a watchdog takeover
                 if self._stopping:
                     self._shutdown_locked()
-                    return
-                self._reap_locked()
-                self._promote_locked()
-                task = self._pick_locked()
-                if task is None:
-                    # Everything blocked (or nothing live): sleep on
-                    # the condition until a consumer pops a frame, a
-                    # submit arrives, or stop() fires.
-                    self._cond.wait(0.05)
-                    continue
-            self._run_quantum(task)
+                    stopping = True
+                else:
+                    self._reap_locked()
+                    self._promote_locked()
+                    task = self._pick_locked()
+                    if task is None:
+                        # Everything blocked (or nothing live): sleep
+                        # on the condition until a consumer pops a
+                        # frame, a submit arrives, or stop() fires.
+                        self._cond.wait(0.05)
+            self._flush_events()
+            if stopping:
+                return
+            if task is not None:
+                self._run_quantum(task, generation)
 
     def _shutdown_locked(self) -> None:
         for task in list(self._queue) + list(self._active):
             if task.terminal:
                 continue
-            reason = task.cancel_reason or "server shutdown"
-            task._finish(CANCELLED, terminal_frame(None, reason=reason))
+            if task.detached and not task.cancel_reason:
+                # Drain straggler, but poll-able/resumable: keep the
+                # frames, append no terminal frame.
+                task._finish(SUSPENDED, None)
+            else:
+                reason = task.cancel_reason or "server shutdown"
+                task._finish(CANCELLED,
+                             terminal_frame(None, reason=reason))
             self._close_gen(task)
+            self._emit_locked(task)
         self._queue.clear()
         self._active.clear()
         self._cond.notify_all()
         self._publish_depth_locked()
 
     def _reap_locked(self) -> None:
-        """Finalise cancelled tasks and drop terminal ones."""
+        """Finalise cancelled/expired/abandoned tasks, drop terminal
+        ones from the run sets."""
+        now = time.monotonic()
         kept: list[StreamTask] = []
         for task in self._active:
-            if not task.terminal and task.cancel_reason:
-                task._finish(CANCELLED, terminal_frame(
-                    None, reason=task.cancel_reason))
-                self._close_gen(task)
-                self._count_finish(task)
+            if not task.terminal:
+                reaped = self._reap_one_locked(task, now)
+                if reaped:
+                    self._close_gen(task)
+                    self._count_finish(task)
+                    self._emit_locked(task)
             if not task.terminal:
                 kept.append(task)
         if len(kept) != len(self._active):
             self._active = kept
             self._rr = 0
             self._cond.notify_all()
-        if self._queue and any(t.cancel_reason or t.terminal
-                               for t in self._queue):
+            self._publish_depth_locked()
+        if self._queue and any(
+                t.terminal or t.cancel_reason
+                or (t.deadline_at is not None and now >= t.deadline_at)
+                for t in self._queue):
             still: deque[StreamTask] = deque()
             for task in self._queue:
                 if task.terminal:
                     continue
-                if task.cancel_reason:
-                    task._finish(CANCELLED, terminal_frame(
-                        None, reason=task.cancel_reason))
+                if self._reap_one_locked(task, now):
                     self._count_finish(task)
+                    self._emit_locked(task)
                 else:
                     still.append(task)
             self._queue = still
             self._cond.notify_all()
+            self._publish_depth_locked()
+
+    def _reap_one_locked(self, task: StreamTask, now: float) -> bool:
+        """Apply cancel/deadline/abandon policy to one live task;
+        True when it was finished here."""
+        if task.cancel_reason:
+            task._finish(CANCELLED, terminal_frame(
+                None, reason=task.cancel_reason))
+            return True
+        if task.deadline_at is not None and now >= task.deadline_at:
+            task._finish(ERROR, error_frame(
+                StormError(f"deadline of {task.deadline_seconds:g}s "
+                           f"exceeded"), code="deadline_exceeded"))
+            self._count("storm.server.deadline_exceeded", task)
+            return True
+        if task.detached or self.abandon_seconds is None:
+            return False
+        if not task.blocked():
+            task.blocked_since = None
+            return False
+        if task.blocked_since is None:
+            task.blocked_since = now
+            return False
+        if now - task.blocked_since >= self.abandon_seconds:
+            task._finish(CANCELLED, terminal_frame(
+                None, reason=(f"abandoned: consumer read nothing for "
+                              f"{self.abandon_seconds:g}s")))
+            self._count("storm.server.abandoned_reaped", task)
+            return True
+        return False
 
     def _promote_locked(self) -> None:
         moved = False
@@ -425,17 +627,24 @@ class FairScheduler:
             self._rr += 1
         return None
 
-    def _run_quantum(self, task: StreamTask) -> None:
+    def _run_quantum(self, task: StreamTask, generation: int) -> None:
         """One scheduling quantum: one ProgressPoint off the stream.
 
-        Runs outside the lock — this is the only thread that touches
-        the engine — then publishes the frame under the lock.
+        Runs outside the lock — this is the only live engine thread —
+        then publishes the frame under the lock.  If the watchdog
+        declared this quantum wedged while it ran (task already
+        terminal, generation bumped), the result is discarded.
         """
+        with self._cond:
+            self._running = (task, time.monotonic())
         frame: dict | None = None
         final: tuple[str, dict] | None = None
         try:
             if self.faults is not None:
                 self.faults.tick()
+                stall = self.faults.take_delay("server.quantum")
+                if stall > 0:
+                    time.sleep(stall)  # injected wedge
                 if self.faults.should_fail("server.quantum"):
                     raise StormError(
                         "injected server fault (server.quantum)")
@@ -451,22 +660,86 @@ class FairScheduler:
             final = (DONE, terminal_frame(None, reason="stream ended"))
         except Exception as exc:  # noqa: BLE001 — becomes error frame
             final = (ERROR, error_frame(exc))
+        discarded = False
         with self._cond:
+            self._running = None
             self.total_quanta += 1
-            if frame is not None:
-                task._append_frame(frame)
-            if final is not None:
-                task._finish(final[0], final[1])
+            if self._generation != generation or task.terminal:
+                # The watchdog (or a deadline reap) already ended this
+                # stream: its terminal frame is published, the result
+                # of this late quantum must not follow it.
+                discarded = True
                 self._close_gen(task)
-                self._count_finish(task)
+            else:
+                if frame is not None:
+                    task._append_frame(frame)
+                if final is not None:
+                    task._finish(final[0], final[1])
+                    self._close_gen(task)
+                    self._count_finish(task)
+                self._emit_locked(task)
             self._cond.notify_all()
+        self._flush_events()
         registry = self.registry
-        if registry is not None and registry.enabled:
+        if registry is not None and registry.enabled and not discarded:
             registry.counter("storm.server.quanta",
                              tenant=task.tenant).inc()
             if final is not None and final[0] == ERROR:
                 registry.counter("storm.server.stream_errors",
                                  tenant=task.tenant).inc()
+
+    # -- the watchdog thread ---------------------------------------------
+
+    def _watch(self) -> None:
+        budget = self.watchdog_seconds
+        assert budget is not None
+        poll = max(0.005, min(0.05, budget / 4.0))
+        while True:
+            takeover = None
+            with self._cond:
+                if self._stopping:
+                    return
+                if self._running is not None:
+                    task, started = self._running
+                    if (time.monotonic() - started >= budget
+                            and not task.terminal):
+                        takeover = task
+                        self._watchdog_takeover_locked(task, budget)
+            if takeover is not None:
+                registry = self.registry
+                if registry is not None and registry.enabled:
+                    registry.counter("storm.server.watchdog_kills",
+                                     tenant=takeover.tenant).inc()
+                self._flush_events()
+            time.sleep(poll)
+
+    def _watchdog_takeover_locked(self, task: StreamTask,
+                                  budget: float) -> None:
+        """Fail the wedged stream and hand the engine to a fresh
+        thread.  The superseded thread sees the generation bump and
+        exits after discarding its late result; the wedged task's
+        generator is closed there (it cannot be closed while
+        executing)."""
+        task._finish(ERROR, error_frame(
+            StormError(f"quantum exceeded the {budget:g}s watchdog "
+                       f"budget; stream failed, engine recovered"),
+            code="watchdog_timeout"))
+        self._count_finish(task)
+        self._emit_locked(task)
+        if task in self._active:
+            self._active.remove(task)
+            self._rr = 0
+        self._running = None
+        self.watchdog_kills += 1
+        self._generation += 1
+        self._thread = threading.Thread(
+            target=self._loop, args=(self._generation,),
+            name=f"storm-scheduler-g{self._generation}", daemon=True)
+        self._thread.start()
+        self._cond.notify_all()
+        self._publish_depth_locked()
+
+    # -- helpers ---------------------------------------------------------
 
     @staticmethod
     def _close_gen(task: StreamTask) -> None:
@@ -476,6 +749,31 @@ class FairScheduler:
                 gen.close()
             except Exception:  # noqa: BLE001 — teardown is best effort
                 pass
+
+    def _emit_locked(self, task: StreamTask) -> None:
+        if self.on_task_event is not None:
+            self._events.append(task)
+
+    def _flush_events(self) -> None:
+        """Deliver queued task events outside the lock; the callback
+        (journaling) must never take the engine down."""
+        callback = self.on_task_event
+        if callback is None:
+            return
+        while True:
+            with self._cond:
+                if not self._events:
+                    return
+                task = self._events.popleft()
+            try:
+                callback(task)
+            except Exception:  # noqa: BLE001 — journaling best effort
+                pass
+
+    def _count(self, name: str, task: StreamTask) -> None:
+        registry = self.registry
+        if registry is not None and registry.enabled:
+            registry.counter(name, tenant=task.tenant).inc()
 
     def _count_finish(self, task: StreamTask) -> None:
         registry = self.registry

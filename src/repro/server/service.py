@@ -22,7 +22,21 @@ and the :class:`~repro.server.scheduler.FairScheduler`:
   way to sneak unscheduled work onto the engine;
 * **graceful shutdown** — draining rejects new work with 503 while
   in-flight streams run to completion (bounded by
-  ``drain_seconds``); stragglers get a terminal shutdown frame.
+  ``drain_seconds``); non-detached stragglers get a terminal shutdown
+  frame, detached stragglers are *suspended* with frames retained so
+  they stay poll-able (and, when journaled, resume after restart);
+* **resilience** — per-stream deadlines (``X-Storm-Deadline`` /
+  ``default_deadline``) propagate into the scheduler, a quantum
+  watchdog fails wedged streams without stalling other tenants,
+  abandoned streams are reaped, and under saturation the service
+  sheds the lightest queued stream to admit a heavier tenant before
+  falling back to 429 + ``Retry-After`` (clamped to ≥ 1s);
+* **durable detached streams** — with a
+  :class:`~repro.server.journal.StreamJournal` attached, every
+  detached stream's definition is journaled and
+  :meth:`QueryService.recover_streams` re-admits open streams on
+  restart, replaying them deterministically (byte-identical frames)
+  under a logical clock.
 
 Everything here raises :class:`~repro.server.protocol.ApiError`; the
 HTTP layer (:mod:`repro.server.http`) translates to status codes.
@@ -42,8 +56,10 @@ from repro.obs import NULL_OBS, Observability
 from repro.query.ast import QuerySpec
 from repro.query.executor import QueryExecutor
 from repro.query.language import parse
+from repro.server.journal import StreamJournal
 from repro.server.protocol import ApiError
-from repro.server.scheduler import FairScheduler, StreamTask
+from repro.server.scheduler import (SUSPENDED, FairScheduler,
+                                    StreamTask)
 
 __all__ = ["TenantQuota", "ServerConfig", "ServerSession",
            "QueryService"]
@@ -80,6 +96,16 @@ class ServerConfig:
     stream_buffer: int = 64
     #: Seconds graceful shutdown waits for in-flight streams.
     drain_seconds: float = 10.0
+    #: Deadline applied to requests that carry none (None = no limit).
+    default_deadline: float | None = None
+    #: Reap a non-detached stream blocked on an unread buffer this
+    #: long (presumed-dead client; None = never).
+    abandon_seconds: float | None = 30.0
+    #: Fail a single scheduler quantum that runs this long and hand
+    #: the engine to a fresh thread (None = no watchdog).
+    watchdog_seconds: float | None = 10.0
+    #: Directory for the durable-detached-stream journal (None = off).
+    journal_dir: str | None = None
     #: auth token -> tenant name; empty means open access.
     tokens: dict[str, str] = field(default_factory=dict)
     #: tenant name -> quota overrides.
@@ -134,15 +160,22 @@ class QueryService:
             # latency histograms are part of its contract.
             self.obs = Observability()
         self.executor = QueryExecutor(engine, obs=self.obs)
+        self.journal: StreamJournal | None = None
+        if self.config.journal_dir is not None:
+            self.journal = StreamJournal(self.config.journal_dir,
+                                         obs=self.obs, faults=faults)
         self.scheduler = FairScheduler(
             max_concurrent=self.config.max_streams,
-            registry=self.obs.registry, faults=faults)
+            registry=self.obs.registry, faults=faults,
+            watchdog_seconds=self.config.watchdog_seconds,
+            abandon_seconds=self.config.abandon_seconds,
+            on_task_event=self._on_task_event)
         self.scheduler.start()
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._sessions: dict[str, ServerSession] = {}
         self._tasks: dict[str, StreamTask] = {}
-        self._session_ids = iter(range(1, 1 << 62))
+        self._next_session_id = 1
         self._durations: deque[float] = deque(maxlen=32)
         self.draining = False
         self.started_at = time.time()
@@ -173,7 +206,8 @@ class QueryService:
 
     def create_session(self, tenant: str, name: str = "") -> dict:
         with self._lock:
-            session_id = f"s-{next(self._session_ids)}"
+            session_id = f"s-{self._next_session_id}"
+            self._next_session_id += 1
             session = ServerSession(session_id, tenant,
                                     name or session_id)
             self._sessions[session_id] = session
@@ -246,7 +280,9 @@ class QueryService:
 
     def retry_after(self) -> int:
         """Seconds a 429'd client should wait: the observed mean
-        stream duration scaled by how deep the queue is."""
+        stream duration scaled by how deep the queue is, clamped to
+        [1, 30] — the ≥ 1s floor keeps a momentarily-idle saturated
+        server from advertising ``Retry-After: 0`` retry storms."""
         durations = list(self._durations)
         mean = (sum(durations) / len(durations)) if durations else 0.5
         depth = self.scheduler.live_count
@@ -280,6 +316,12 @@ class QueryService:
                 retry_after=self.retry_after())
         if self.scheduler.live_count >= \
                 self.config.max_streams + self.config.queue_depth:
+            # Saturated: shed the lightest queued stream if this
+            # tenant outweighs it (lowest-weight-first load shedding);
+            # otherwise reject with a measured, floor-clamped
+            # Retry-After.
+            if self.scheduler.shed_lowest(quota.weight) is not None:
+                return
             if registry.enabled:
                 registry.counter("storm.server.rejected",
                                  reason="saturated",
@@ -292,13 +334,24 @@ class QueryService:
 
     def submit_stream(self, tenant: str, body: dict, *,
                       detached: bool = False,
-                      session_id: str | None = None) -> StreamTask:
-        """Admit one progressive query stream onto the scheduler."""
+                      session_id: str | None = None,
+                      deadline: float | None = None) -> StreamTask:
+        """Admit one progressive query stream onto the scheduler.
+
+        ``deadline`` (seconds, from the ``X-Storm-Deadline`` header)
+        bounds the stream's whole life including queue wait; absent,
+        ``config.default_deadline`` applies.  Detached streams are
+        journaled (durable) when a journal is attached.
+        """
         spec = self._parse_spec(body, tenant)
         if spec.explain:
             raise ApiError(400, "bad_request",
                            "EXPLAIN queries do not stream; POST "
                            "/v1/query instead")
+        if deadline is not None and deadline <= 0:
+            raise ApiError(400, "bad_request",
+                           f"deadline must be > 0 seconds, "
+                           f"got {deadline}")
         session = self._session(tenant, session_id) \
             if session_id is not None else None
         self._admit(tenant)
@@ -310,11 +363,30 @@ class QueryService:
         with self._lock:
             if seed is None:
                 seed = self._rng.getrandbits(48)
+        if deadline is None:
+            deadline = self.config.default_deadline
+        journal = self.journal
+        durable = (detached and session is not None
+                   and journal is not None and not journal.dead)
         task = StreamTask(
-            tenant, self._make_gen(spec, tenant, seed),
+            tenant, self._make_gen(spec, tenant, seed,
+                                   durable=durable),
             weight=quota.weight,
             buffer_frames=self.config.stream_buffer,
-            detached=detached, label=spec.task.kind)
+            detached=detached, label=spec.task.kind,
+            deadline_seconds=deadline, durable=durable,
+            meta={"query": body.get("query"), "seed": seed})
+        if durable:
+            dataset = self.engine.datasets.get(spec.dataset)
+            opened = journal.record_open(
+                task, query=body["query"], seed=seed,
+                session_id=session.session_id,
+                session_name=session.name,
+                dataset_version=getattr(dataset, "version", None))
+            if not opened:
+                # Journal is dead: the stream still runs, it just
+                # won't survive a restart.
+                task.durable = False
         with self._lock:
             self._tasks[task.task_id] = task
             if session is not None:
@@ -326,6 +398,9 @@ class QueryService:
                 self._tasks.pop(task.task_id, None)
                 if session is not None:
                     session.streams.pop(task.task_id, None)
+            if task.durable and journal is not None:
+                task.state = "cancelled"
+                journal.record_close(task)
             raise ApiError(503, "shutting_down",
                            "server is draining; no new queries",
                            retry_after=self.config.drain_seconds)
@@ -335,18 +410,24 @@ class QueryService:
                              tenant=tenant).inc()
         return task
 
-    def _make_gen(self, spec: QuerySpec, tenant: str, seed: int):
+    def _make_gen(self, spec: QuerySpec, tenant: str, seed: int, *,
+                  durable: bool = False):
         """Build the lazy session generator for one stream.
 
         The closure body runs on the scheduler thread at the first
         quantum, so session construction — including snapshot pinning
-        inside ``range_count`` — never races another stream.
+        inside ``range_count`` — never races another stream.  Durable
+        streams run under a logical clock (``elapsed`` is always 0.0)
+        so a journal replay after restart regenerates every frame
+        byte-identically; the trade-off is that wall-clock stop
+        budgets (``WITHIN ... SECONDS``) do not advance for them.
         """
         def gen():
             session, stop = self.executor.session(
                 spec, rng=random.Random(seed), obs=self.obs,
                 report_every=self.config.quantum,
-                labels={"tenant": tenant})
+                labels={"tenant": tenant},
+                clock=(lambda: 0.0) if durable else None)
             started = time.perf_counter()
             try:
                 yield from session.run(stop)
@@ -359,6 +440,108 @@ class QueryService:
                         tenant=tenant).observe(
                             time.perf_counter() - started)
         return gen
+
+    # -- scheduler events / journaling -----------------------------------
+
+    def _on_task_event(self, task: StreamTask) -> None:
+        """Scheduler callback (off-lock) after a task produced a frame
+        or reached a terminal state: journal durable streams, drop
+        terminal tasks from the quota-accounting map."""
+        journal = self.journal
+        if journal is not None and task.durable:
+            if not task.terminal:
+                journal.record_progress(task)
+            elif task.state != SUSPENDED:
+                # SUSPENDED is resume-on-restart by definition: the
+                # journal entry must stay open.
+                journal.record_close(task)
+        if task.terminal:
+            # The task stays reachable through its session (detached
+            # polling); this map only backs _tenant_live accounting,
+            # so terminal tasks must leave it.
+            with self._lock:
+                self._tasks.pop(task.task_id, None)
+
+    def recover_streams(self) -> int:
+        """Re-admit journaled detached streams after a restart.
+
+        Sessions are re-created under their original ids, streams
+        under their original task ids, and each stream replays from
+        scratch with its journaled seed — deterministically, so every
+        frame a client saw before the restart regenerates
+        byte-identically and ``?from=N`` cursors stay valid.  Returns
+        how many streams were resumed.
+        """
+        journal = self.journal
+        if journal is None:
+            return 0
+        pending = journal.pending()
+        if not pending:
+            return 0
+
+        def numeric(prefixed: str) -> int:
+            try:
+                return int(prefixed.split("-", 1)[1])
+            except (IndexError, ValueError):
+                return 0
+
+        StreamTask.advance_ids(max(numeric(t) for t in pending))
+        registry = self.obs.registry
+        resumed = 0
+        for task_id in sorted(pending, key=numeric):
+            entry = pending[task_id]
+            tenant = entry.get("tenant", "public")
+            session_id = entry.get("session_id", "")
+            try:
+                spec = self._parse_spec(
+                    {"query": entry.get("query")}, tenant)
+            except ApiError:
+                # Dataset gone or query no longer parses: close the
+                # entry so it does not haunt every future restart.
+                ghost = StreamTask(tenant, lambda: iter(()),
+                                   task_id=task_id, durable=True)
+                ghost.state = "error"
+                journal.record_close(ghost)
+                continue
+            with self._lock:
+                session = self._sessions.get(session_id)
+                if session is None:
+                    session = ServerSession(
+                        session_id, tenant,
+                        entry.get("session_name") or session_id)
+                    self._sessions[session_id] = session
+                    self._next_session_id = max(
+                        self._next_session_id,
+                        numeric(session_id) + 1)
+            quota = self.config.quota_for(tenant)
+            seed = int(entry.get("seed", 0))
+            task = StreamTask(
+                tenant, self._make_gen(spec, tenant, seed,
+                                       durable=True),
+                weight=quota.weight,
+                buffer_frames=self.config.stream_buffer,
+                detached=True, label=spec.task.kind,
+                durable=True, task_id=task_id,
+                meta={"query": entry.get("query"), "seed": seed,
+                      "resumed": True})
+            with self._lock:
+                self._tasks[task.task_id] = task
+                session.streams[task.task_id] = task
+            try:
+                self.scheduler.submit(task)
+            except StormError:
+                break
+            resumed += 1
+            if registry.enabled:
+                registry.counter("storm.server.resume_streams",
+                                 tenant=tenant).inc()
+                registry.counter("storm.server.resume_frames",
+                                 tenant=tenant).inc(
+                                     int(entry.get("frames", 0)))
+        if registry.enabled:
+            registry.gauge("storm.server.sessions").set(
+                len(self._sessions))
+        return resumed
 
     def get_task(self, tenant: str, session_id: str,
                  task_id: str) -> StreamTask:
@@ -379,7 +562,8 @@ class QueryService:
     # -- one-shot queries ------------------------------------------------
 
     def run_query(self, tenant: str, body: dict,
-                  timeout: float = 120.0) -> dict:
+                  timeout: float = 120.0,
+                  deadline: float | None = None) -> dict:
         """Admit, schedule and fully drain one query; the final doc.
 
         EXPLAIN (plan-only) queries short-circuit: they draw nothing,
@@ -392,11 +576,23 @@ class QueryService:
             except StormError as exc:
                 raise ApiError(400, "bad_request", str(exc))
             return {"explain": result.explanation}
-        task = self.submit_stream(tenant, body)
+        task = self.submit_stream(tenant, body, deadline=deadline)
         frames = task.drain_frames(timeout=timeout)
         final = frames[-1] if frames else None
         if final is None or final.get("frame") not in ("end", "error"):
+            # 504: don't just ask for cancellation — wait until the
+            # scheduler reaped it (generator closed, engine slot
+            # free), then drop it from the quota map, so the tenant's
+            # stream-quota slot is verifiably released before the
+            # error response goes out.
             task.cancel("client timeout")
+            task.wait_terminal(timeout=5.0)
+            with self._lock:
+                self._tasks.pop(task.task_id, None)
+            registry = self.obs.registry
+            if registry.enabled:
+                registry.counter("storm.server.query_timeouts",
+                                 tenant=tenant).inc()
             raise ApiError(504, "timeout",
                            f"query did not finish in {timeout:.0f}s")
         return {"stream": task.task_id,

@@ -105,6 +105,12 @@ def _metrics(doc: dict) -> dict[str, float]:
             value = server.get(key)
             if isinstance(value, (int, float)):
                 out[f"server.{key}"] = value
+    chaos = doc.get("server_chaos")
+    if isinstance(chaos, dict):
+        for key in ("recovery_seconds", "served_streams"):
+            value = chaos.get(key)
+            if isinstance(value, (int, float)):
+                out[f"server_chaos.{key}"] = value
     return out
 
 
@@ -123,6 +129,12 @@ def _correctness(doc: dict) -> list[tuple[str, bool]]:
         if isinstance(scenario, dict) and "ok" in scenario:
             name = scenario.get("scenario", str(i))
             out.append((f"scenarios.{name}.ok", bool(scenario["ok"])))
+    chaos = doc.get("server_chaos")
+    if isinstance(chaos, dict) and "resume_deterministic" in chaos:
+        # A resumed detached stream that is not byte-identical to an
+        # uninterrupted run is wrong at any speed.
+        out.append(("server_chaos.resume_deterministic",
+                    bool(chaos["resume_deterministic"])))
     return out
 
 
